@@ -1,0 +1,72 @@
+// Ablation (Section 4.3): cost of Random Tour versus Sample & Collide at
+// MATCHED accuracy, as a function of system size.
+//
+// Theory: to reach relative variance 1/l, RT needs m ~ 2*dbar/lambda_2 * l
+// tours at ~dbar*N steps each => cost Theta(l N dbar^2 / lambda_2); S&C
+// needs sqrt(2 l N) samples at ~T*dbar hops each => cost
+// Theta(sqrt(l N) dbar log N / lambda_2). The ratio grows like
+// sqrt(N/l) * dbar / log N, so S&C wins at scale — the paper's headline.
+#include <cmath>
+
+#include "common.hpp"
+
+int main() {
+  using namespace overcount;
+  using namespace overcount::bench;
+
+  preamble("ablation_cost_ratio",
+           "RT vs S&C message cost at matched accuracy, sweeping N");
+  paper_note(
+      "Sec 4.3: cost ratio RT/S&C grows ~ sqrt(N); S&C preferred for large "
+      "systems");
+
+  const std::size_t ell = 10;  // target relative variance 1/10
+  TextTable table({"N", "RT var(1 run)", "RT runs needed", "RT cost",
+                   "S&C cost", "ratio RT/S&C", "sqrt(N)"});
+  Series ratio_series{"cost_ratio", {}, {}};
+
+  Rng master(master_seed());
+  for (std::size_t n_target : {2000u, 4000u, 8000u, 16000u, 32000u}) {
+    Rng graph_rng = master.split();
+    const Graph g =
+        largest_component(balanced_random_graph(n_target, graph_rng));
+    const double n = static_cast<double>(g.num_nodes());
+    const double timer = sampling_timer(g, master_seed());
+
+    // Empirical single-tour relative variance and cost, averaged over
+    // uniformly random initiators (a single tour's cost is dbar*N/d_origin,
+    // so fixing one origin would inject arbitrary per-graph noise).
+    Rng rt_rng = master.split();
+    RunningStats rt_vals;
+    RunningStats rt_cost;
+    const std::size_t probe_runs = runs(400);
+    for (std::size_t i = 0; i < probe_runs; ++i) {
+      const auto origin =
+          static_cast<NodeId>(rt_rng.uniform_below(g.num_nodes()));
+      const auto e = random_tour_size(g, origin, rt_rng);
+      rt_vals.add(e.value / n);
+      rt_cost.add(static_cast<double>(e.steps));
+    }
+    const double rt_var = rt_vals.variance();
+    // Tours for relative variance 1/ell, and the resulting message cost.
+    const double rt_runs_needed = rt_var * static_cast<double>(ell);
+    const double rt_total_cost = rt_runs_needed * rt_cost.mean();
+
+    SampleCollideEstimator sc(g, 0, timer, ell, master.split());
+    RunningStats sc_cost;
+    for (int i = 0; i < 10; ++i)
+      sc_cost.add(static_cast<double>(sc.estimate().hops));
+
+    const double ratio = rt_total_cost / sc_cost.mean();
+    table.add_row({std::to_string(g.num_nodes()), format_double(rt_var, 2),
+                   format_double(rt_runs_needed, 1),
+                   format_double(rt_total_cost, 0),
+                   format_double(sc_cost.mean(), 0), format_double(ratio, 1),
+                   format_double(std::sqrt(n), 0)});
+    ratio_series.add(n, ratio);
+  }
+  table.print(std::cout);
+  emit("Ablation - RT/S&C cost ratio vs N (expect ~sqrt(N) growth)",
+       {ratio_series});
+  return 0;
+}

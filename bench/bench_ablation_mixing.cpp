@@ -1,0 +1,71 @@
+// Ablation (Lemma 1): sampling quality versus timer budget T, and the
+// variation-distance bound sqrt(N) e^{-lambda_2 T} against exact
+// distributions.
+//
+// Shape: the exact distance decays exponentially at rate lambda_2 and sits
+// under the bound; on the big graph the chi-square statistic of empirical
+// samples drops to its null expectation once T passes ~log(N)/lambda_2.
+#include <cmath>
+
+#include "common.hpp"
+#include "util/tests.hpp"
+#include "walk/exact.hpp"
+
+int main() {
+  using namespace overcount;
+  using namespace overcount::bench;
+
+  preamble("ablation_mixing",
+           "CTRW sampling quality vs timer T; Lemma 1 bound check");
+  paper_note(
+      "Lemma 1: d_TV(sample, uniform) <= sqrt(N) exp(-lambda_2 T); "
+      "T = 1.5 log(N)/lambda_2 => O(1/N) bias");
+
+  // Exact check on a mid-sized balanced graph.
+  Rng master(master_seed());
+  Rng small_rng = master.split();
+  const Graph small = largest_component(balanced_random_graph(300, small_rng));
+  const double gap = spectral_gap_exact(small);
+  const double sqrt_n = std::sqrt(static_cast<double>(small.num_nodes()));
+  Series exact{"exact_distance", {}, {}};
+  Series bound{"lemma1_bound", {}, {}};
+  for (double t = 0.25; t <= 6.0; t += 0.25) {
+    exact.add(t, variation_distance_to_uniform(
+                     ctrw_distribution(small, 0, t)));
+    bound.add(t, std::min(1.0, sqrt_n * std::exp(-gap * t)));
+  }
+  std::cout << "# small graph n=" << small.num_nodes()
+            << " lambda2=" << format_double(gap, 3) << '\n';
+  emit("Ablation - exact variation distance vs Lemma 1 bound (log-shape)",
+       {exact, bound});
+
+  // Empirical chi-square on the full-size graph as T sweeps through the
+  // recommended budget.
+  Rng big_rng = master.split();
+  const Graph big = make_balanced(big_rng);
+  const double big_gap = spectral_gap_lanczos(big, 120, master_seed());
+  const double recommended = recommended_ctrw_timer(
+      static_cast<double>(big.num_nodes()), big_gap);
+  std::cout << "# big graph n=" << big.num_nodes()
+            << " lambda2~=" << format_double(big_gap, 3)
+            << " recommended T=" << format_double(recommended, 2) << '\n';
+
+  TextTable table({"T", "chi2/dof (1.0 = unbiased)", "avg hops/sample"});
+  const std::size_t buckets = 200;  // aggregate nodes into buckets for power
+  for (double frac : {0.1, 0.25, 0.5, 1.0, 1.5}) {
+    const double t = frac * recommended;
+    CtrwSampler sampler(big, t, master.split());
+    std::vector<std::size_t> counts(buckets, 0);
+    const std::size_t draws = runs(40000);
+    for (std::size_t i = 0; i < draws; ++i)
+      ++counts[sampler.sample(0).node % buckets];
+    const auto chi = chi_square_uniform(counts);
+    table.add_row({format_double(t, 1),
+                   format_double(chi.statistic / chi.dof, 2),
+                   format_double(static_cast<double>(sampler.total_hops()) /
+                                     static_cast<double>(draws),
+                                 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 3: raw Sample & Collide estimates (l = 100, no sliding window) on
+// a balanced random graph, 100 consecutive measurements.
+//
+// Paper shape: points scatter tightly around 100% — an order of magnitude
+// fewer runs than RT for the same accuracy (relative std ~ 1/sqrt(l) = 10%).
+#include "common.hpp"
+
+int main() {
+  using namespace overcount;
+  using namespace overcount::bench;
+
+  preamble("fig03_sc_static",
+           "Sample&Collide l=100 raw estimates, balanced graph");
+  paper_note(
+      "Fig 3: S&C(l=100) needs ~10x fewer estimates than RT for the same "
+      "accuracy; scatter ~ +/-10%");
+
+  Rng master(master_seed());
+  Rng graph_rng = master.split();
+  const Graph g = make_balanced(graph_rng);
+  const double n = static_cast<double>(g.num_nodes());
+  const double timer = sampling_timer(g, master_seed());
+  std::cout << "# n=" << g.num_nodes() << " timer=" << format_double(timer, 2)
+            << '\n';
+
+  SampleCollideEstimator estimator(g, 0, timer, 100, master.split());
+  Series s{"sc_l100", {}, {}};
+  RunningStats quality;
+  const std::size_t total_runs = runs(100);
+  for (std::size_t run = 1; run <= total_runs; ++run) {
+    const auto e = estimator.estimate();
+    const double pct = 100.0 * e.simple / n;
+    s.add(static_cast<double>(run), pct);
+    quality.add(pct);
+  }
+  std::cout << "# mean=" << format_double(quality.mean(), 2)
+            << "% sd=" << format_double(quality.stddev(), 2)
+            << "% (theory ~10%)\n";
+  emit("Figure 3 - S&C l=100 raw estimates (% of system size)", {s});
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 6: Random Tour with a sliding window of 200 on a scale-free
+// (Barabasi-Albert) overlay.
+//
+// Paper shape: accuracy comparable to the balanced-graph case (Figure 2) —
+// the estimator copes with heavy degree heterogeneity unchanged.
+#include "common.hpp"
+
+int main() {
+  using namespace overcount;
+  using namespace overcount::bench;
+
+  preamble("fig06_rt_scalefree",
+           "Random Tour sliding-window (200) mean, scale-free graph");
+  paper_note(
+      "Fig 6: same ~+/-20% windowed accuracy as on balanced graphs despite "
+      "power-law degrees");
+
+  const std::size_t total_runs = runs(1000);
+  const std::size_t window = 200;
+  std::vector<Series> series;
+  Rng master(master_seed());
+  for (int graph_idx = 1; graph_idx <= 3; ++graph_idx) {
+    Rng graph_rng = master.split();
+    const Graph g = make_scale_free(graph_rng);
+    const double n = static_cast<double>(g.num_nodes());
+    RandomTourEstimator estimator(g, 0, master.split());
+    SlidingWindowMean mean(window);
+
+    Series s{"estimation_" + std::to_string(graph_idx), {}, {}};
+    RunningStats quality;
+    for (std::size_t run = 1; run <= total_runs; ++run) {
+      mean.push(estimator.estimate_size().value);
+      if (run >= window && run % 10 == 0) {
+        const double pct = 100.0 * mean.mean() / n;
+        s.add(static_cast<double>(run), pct);
+        quality.add(pct);
+      }
+    }
+    std::cout << "# graph " << graph_idx << ": max_degree=" << g.max_degree()
+              << " windowed mean=" << format_double(quality.mean(), 2)
+              << "% sd=" << format_double(quality.stddev(), 2) << "%\n";
+    series.push_back(std::move(s));
+  }
+  emit("Figure 6 - RT sliding window 200 on scale-free graph (%)", series);
+  return 0;
+}

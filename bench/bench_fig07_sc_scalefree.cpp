@@ -1,0 +1,38 @@
+// Figure 7: raw Sample & Collide estimates (l = 100) on a scale-free
+// (Barabasi-Albert) overlay.
+//
+// Paper shape: same tight ~+/-10% scatter as on the balanced graph — the
+// CTRW sampler's uniformity is insensitive to node heterogeneity.
+#include "common.hpp"
+
+int main() {
+  using namespace overcount;
+  using namespace overcount::bench;
+
+  preamble("fig07_sc_scalefree",
+           "Sample&Collide l=100 raw estimates, scale-free graph");
+  paper_note("Fig 7: accuracy matches the balanced-graph case (Fig 3)");
+
+  Rng master(master_seed());
+  Rng graph_rng = master.split();
+  const Graph g = make_scale_free(graph_rng);
+  const double n = static_cast<double>(g.num_nodes());
+  const double timer = sampling_timer(g, master_seed());
+  std::cout << "# n=" << g.num_nodes() << " max_degree=" << g.max_degree()
+            << " timer=" << format_double(timer, 2) << '\n';
+
+  SampleCollideEstimator estimator(g, 0, timer, 100, master.split());
+  Series s{"sc_l100_scalefree", {}, {}};
+  RunningStats quality;
+  const std::size_t total_runs = runs(100);
+  for (std::size_t run = 1; run <= total_runs; ++run) {
+    const double pct = 100.0 * estimator.estimate().simple / n;
+    s.add(static_cast<double>(run), pct);
+    quality.add(pct);
+  }
+  std::cout << "# mean=" << format_double(quality.mean(), 2)
+            << "% sd=" << format_double(quality.stddev(), 2)
+            << "% (theory ~10%)\n";
+  emit("Figure 7 - S&C l=100 on scale-free graph (%)", {s});
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark): throughput of the primitives every
+// experiment above is built from — walk steps, CTRW samples, full tours,
+// DES events, and the Lanczos spectral-gap computation.
+#include <benchmark/benchmark.h>
+
+#include "core/overcount.hpp"
+#include "des/simulator.hpp"
+#include "walk/walkers.hpp"
+
+namespace {
+
+using namespace overcount;
+
+const Graph& balanced_graph() {
+  static const Graph g = [] {
+    Rng rng(1);
+    return largest_component(balanced_random_graph(20000, rng));
+  }();
+  return g;
+}
+
+void BM_DtrwStep(benchmark::State& state) {
+  const Graph& g = balanced_graph();
+  Rng rng(2);
+  DtrwWalker walker(g, 0);
+  for (auto _ : state) benchmark::DoNotOptimize(walker.step(rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DtrwStep);
+
+void BM_RandomTour(benchmark::State& state) {
+  const Graph& g = balanced_graph();
+  Rng rng(3);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const auto e = random_tour_size(g, 0, rng);
+    steps += e.steps;
+    benchmark::DoNotOptimize(e.value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.counters["steps/tour"] =
+      static_cast<double>(steps) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_RandomTour);
+
+void BM_CtrwSample(benchmark::State& state) {
+  const Graph& g = balanced_graph();
+  Rng rng(4);
+  const auto timer = static_cast<double>(state.range(0));
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    const auto s = ctrw_sample(g, 0, timer, rng);
+    hops += s.hops;
+    benchmark::DoNotOptimize(s.node);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hops));
+}
+BENCHMARK(BM_CtrwSample)->Arg(2)->Arg(8);
+
+void BM_SampleCollide(benchmark::State& state) {
+  const Graph& g = balanced_graph();
+  Rng rng(5);
+  SampleCollideEstimator estimator(g, 0, 6.0,
+                                   static_cast<std::size_t>(state.range(0)),
+                                   rng.split());
+  for (auto _ : state) benchmark::DoNotOptimize(estimator.estimate().simple);
+}
+BENCHMARK(BM_SampleCollide)->Arg(5)->Arg(20);
+
+void BM_DesEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) sim.schedule_after(1.0, tick);
+    };
+    sim.schedule_at(0.0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * 10000));
+}
+BENCHMARK(BM_DesEventLoop);
+
+void BM_SpectralGapLanczos(benchmark::State& state) {
+  Rng rng(6);
+  const Graph g = largest_component(
+      balanced_random_graph(static_cast<std::size_t>(state.range(0)), rng));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(spectral_gap_lanczos(g, 80));
+}
+BENCHMARK(BM_SpectralGapLanczos)->Arg(2000)->Arg(8000);
+
+void BM_BalancedGeneration(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        balanced_random_graph(static_cast<std::size_t>(state.range(0)), rng)
+            .num_edges());
+}
+BENCHMARK(BM_BalancedGeneration)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

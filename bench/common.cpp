@@ -1,0 +1,66 @@
+#include "common.hpp"
+
+#include <cstdlib>
+
+namespace overcount::bench {
+
+namespace {
+
+std::uint64_t env_or(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+}  // namespace
+
+std::size_t overlay_size() {
+  return static_cast<std::size_t>(env_or("OVERCOUNT_N", 20000));
+}
+
+std::uint64_t master_seed() { return env_or("OVERCOUNT_SEED", 1); }
+
+bool fast_mode() {
+  const char* value = std::getenv("OVERCOUNT_FAST");
+  return value != nullptr && *value != '\0';
+}
+
+std::size_t runs(std::size_t full) {
+  if (!fast_mode()) return full;
+  return std::max<std::size_t>(1, full / 10);
+}
+
+Graph make_balanced(Rng& rng) {
+  return largest_component(balanced_random_graph(overlay_size(), rng));
+}
+
+Graph make_scale_free(Rng& rng) {
+  return largest_component(barabasi_albert(overlay_size(), 3, rng));
+}
+
+double sampling_timer(const Graph& g, std::uint64_t seed) {
+  const double gap = spectral_gap_lanczos(g, 120, seed);
+  return recommended_ctrw_timer(static_cast<double>(g.num_nodes()),
+                                std::max(gap, 1e-3));
+}
+
+void preamble(const std::string& figure, const std::string& description) {
+  std::cout << "==============================================\n"
+            << "# bench: " << figure << '\n'
+            << "# " << description << '\n'
+            << "# N=" << overlay_size() << " seed=" << master_seed()
+            << (fast_mode() ? " (fast mode)" : "") << '\n';
+}
+
+void paper_note(const std::string& note) {
+  std::cout << "# paper: " << note << '\n';
+}
+
+void emit(const std::string& figure_title, const std::vector<Series>& series,
+          bool plot) {
+  print_series(std::cout, figure_title, series);
+  if (plot)
+    for (const auto& s : series) ascii_plot(std::cout, s);
+}
+
+}  // namespace overcount::bench

@@ -1,0 +1,56 @@
+// Shared support for the per-figure bench binaries.
+//
+// Every bench regenerates one table or figure of the paper at a scale set by
+// the environment:
+//   OVERCOUNT_N      overlay size               (default 20000; paper 100000)
+//   OVERCOUNT_SEED   master seed                (default 1)
+//   OVERCOUNT_FAST   if set, shrink run counts ~10x for smoke testing
+// Output format: a `# figure:` header, `# series:` blocks with "name x y"
+// rows (plot-ready), an ASCII shape preview, and `# paper:` lines recording
+// what the original reports so the shapes can be compared directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/overcount.hpp"
+#include "util/table.hpp"
+
+namespace overcount::bench {
+
+/// Overlay size for this run (env OVERCOUNT_N, default 20000).
+std::size_t overlay_size();
+
+/// Master seed (env OVERCOUNT_SEED, default 1).
+std::uint64_t master_seed();
+
+/// True when OVERCOUNT_FAST is set: benches shrink their run counts.
+bool fast_mode();
+
+/// Scales a run count down by ~10x in fast mode (at least 1).
+std::size_t runs(std::size_t full);
+
+/// Builds the paper's balanced random graph at the configured size and
+/// restricts to the largest component (estimators see one component).
+Graph make_balanced(Rng& rng);
+
+/// Scale-free (Barabasi-Albert, m = 3) graph, largest component.
+Graph make_scale_free(Rng& rng);
+
+/// CTRW timer budgeted from the measured spectral gap:
+/// T = beta log(n) / lambda_2 (Section 4.1, beta = 1.5).
+double sampling_timer(const Graph& g, std::uint64_t seed);
+
+/// Emits the standard preamble (figure id, scale, seed).
+void preamble(const std::string& figure, const std::string& description);
+
+/// Emits a `# paper: ...` annotation line.
+void paper_note(const std::string& note);
+
+/// Prints a series and its ASCII preview.
+void emit(const std::string& figure_title, const std::vector<Series>& series,
+          bool plot = true);
+
+}  // namespace overcount::bench

@@ -1,0 +1,58 @@
+// Shared driver for the dynamic-scenario figures (8-13): runs a churn
+// scenario with a given estimator and emits the paper's series — real
+// network size plus the (windowed) estimates.
+#pragma once
+
+#include "common.hpp"
+#include "sim/scenario.hpp"
+
+namespace overcount::bench {
+
+struct DynamicFigure {
+  std::string title;
+  ScenarioSpec spec;
+  EstimateFn estimator;
+  std::size_t window = 1;
+  int repetitions = 1;       ///< independent curves (paper plots 3 for RT)
+  std::size_t stride = 1;    ///< plot every stride-th run
+};
+
+inline void run_dynamic_figure(const DynamicFigure& fig) {
+  std::vector<Series> series;
+  Series real{"real_size", {}, {}};
+  Rng master(master_seed());
+  for (int rep = 1; rep <= fig.repetitions; ++rep) {
+    const auto result = run_scenario(fig.spec, fig.estimator, fig.window,
+                                     master.split().next());
+    Series est{"estimation_" + std::to_string(rep), {}, {}};
+    for (std::size_t i = 0; i < result.points.size(); i += fig.stride) {
+      const auto& p = result.points[i];
+      est.add(static_cast<double>(p.run), p.windowed);
+      if (rep == 1) real.add(static_cast<double>(p.run), p.actual_size);
+    }
+    std::cout << "# rep " << rep << ": total_messages="
+              << result.total_messages << " avg_cost_per_run="
+              << format_double(static_cast<double>(result.total_messages) /
+                                   static_cast<double>(fig.spec.runs),
+                               1)
+              << '\n';
+    series.push_back(std::move(est));
+  }
+  series.insert(series.begin(), std::move(real));
+  emit(fig.title, series);
+
+  // Tracking error summary over the post-warmup region.
+  for (std::size_t si = 1; si < series.size(); ++si) {
+    RunningStats rel_err;
+    const auto& est = series[si];
+    for (std::size_t i = est.xs.size() / 5; i < est.xs.size(); ++i) {
+      const double actual = series[0].ys[i];
+      if (actual > 0.0)
+        rel_err.add(std::abs(est.ys[i] - actual) / actual);
+    }
+    std::cout << "# " << est.name << ": mean |rel error| after warmup = "
+              << format_double(100.0 * rel_err.mean(), 1) << "%\n";
+  }
+}
+
+}  // namespace overcount::bench

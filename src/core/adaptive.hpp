@@ -1,0 +1,68 @@
+// The paper's Section 4.1 bootstrap for choosing the sampling timer when
+// neither N nor lambda_2 is known: run Sample & Collide with a small T, get
+// an estimate, double T, re-run, and stop when successive estimates
+// stabilise — "they should increase with T until T is sufficiently large"
+// (an under-budgeted timer keeps samples near the origin, inflating
+// collisions and deflating the estimate).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "core/sample_collide.hpp"
+
+namespace overcount {
+
+struct AdaptiveScResult {
+  double estimate = 0.0;           ///< final (stabilised) size estimate
+  double timer = 0.0;              ///< the timer the final round used
+  std::size_t rounds = 0;          ///< sampling rounds performed
+  std::uint64_t total_hops = 0;    ///< messages across all rounds
+  std::vector<double> trajectory;  ///< estimate after each round
+  bool converged = false;          ///< stabilised before max_rounds
+};
+
+/// Doubles the timer until the estimate stops INCREASING: a round whose
+/// estimate is below (1 + tolerance) x the previous round's declares
+/// convergence. (Under-budgeted rounds are biased low but agree with each
+/// other, so a symmetric |difference| test would stop too early; the
+/// upward ramp is the reliable signature.) Two guards make this robust:
+///  * `tolerance` should exceed a few times the estimator's own relative
+///    noise 1/sqrt(ell);
+///  * convergence is only accepted once the round saw at least 3*ell
+///    DISTINCT peers — when the walk's effective support is still smaller
+///    than ell, estimates flatline near ell/2 regardless of N and would
+///    otherwise fake agreement (severe on slow-mixing overlays).
+template <OverlayTopology G>
+AdaptiveScResult adaptive_sample_collide(const G& g, NodeId origin,
+                                         std::size_t ell, Rng& rng,
+                                         double initial_timer = 1.0,
+                                         double tolerance = 0.15,
+                                         std::size_t max_rounds = 12) {
+  OVERCOUNT_EXPECTS(initial_timer > 0.0);
+  OVERCOUNT_EXPECTS(tolerance > 0.0);
+  OVERCOUNT_EXPECTS(max_rounds >= 2);
+  AdaptiveScResult out;
+  double timer = initial_timer;
+  double previous = 0.0;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    SampleCollideEstimator estimator(g, origin, timer, ell, rng.split());
+    const auto e = estimator.estimate();
+    out.total_hops += e.hops;
+    out.trajectory.push_back(e.simple);
+    out.rounds = round + 1;
+    out.timer = timer;
+    out.estimate = e.simple;
+    const std::uint64_t distinct = e.samples - ell;
+    if (round > 0 && previous > 0.0 && distinct >= 3 * ell &&
+        e.simple <= (1.0 + tolerance) * previous) {
+      out.converged = true;
+      return out;
+    }
+    previous = e.simple;
+    timer *= 2.0;
+  }
+  return out;
+}
+
+}  // namespace overcount

@@ -1,0 +1,96 @@
+// Higher-level aggregation built on Random Tour (paper Section 3: "our
+// techniques also apply to the estimation of sums of functions of the
+// nodes"). Each helper runs `tours` tours and averages, reporting the
+// estimate together with its empirical standard error and message cost.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "core/random_tour.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+
+struct AggregateEstimate {
+  double value = 0.0;          ///< averaged estimate of sum_j f(j)
+  double standard_error = 0.0; ///< empirical se of the average
+  std::uint64_t messages = 0;  ///< total walk steps spent
+  std::size_t tours = 0;
+};
+
+/// Estimates sum_j f(j) by averaging `tours` Random Tours from `origin`.
+template <OverlayTopology G>
+AggregateEstimate estimate_sum(const G& g, NodeId origin,
+                               const std::function<double(NodeId)>& f,
+                               std::size_t tours, Rng& rng) {
+  OVERCOUNT_EXPECTS(tours > 0);
+  RunningStats stats;
+  AggregateEstimate out;
+  for (std::size_t t = 0; t < tours; ++t) {
+    const auto e = random_tour(g, origin, f, rng);
+    stats.add(e.value);
+    out.messages += e.steps;
+  }
+  out.value = stats.mean();
+  out.standard_error =
+      stats.stddev() / std::sqrt(static_cast<double>(tours));
+  out.tours = tours;
+  return out;
+}
+
+/// Estimates the number of peers satisfying `predicate`.
+template <OverlayTopology G>
+AggregateEstimate estimate_count(const G& g, NodeId origin,
+                                 const std::function<bool(NodeId)>& predicate,
+                                 std::size_t tours, Rng& rng) {
+  return estimate_sum(
+      g, origin,
+      [&predicate](NodeId v) { return predicate(v) ? 1.0 : 0.0; }, tours,
+      rng);
+}
+
+/// Estimates the population mean of `f` as the ratio of two tour-averaged
+/// sums (sum f / sum 1). Both sums are accumulated on the SAME tours, which
+/// cancels most of the tour-length noise: the ratio estimator's error is
+/// driven by the dispersion of f, not of the tour length.
+template <OverlayTopology G>
+AggregateEstimate estimate_mean(const G& g, NodeId origin,
+                                const std::function<double(NodeId)>& f,
+                                std::size_t tours, Rng& rng) {
+  OVERCOUNT_EXPECTS(tours > 0);
+  RunningStats ratio_stats;
+  AggregateEstimate out;
+  double total_f = 0.0;
+  double total_1 = 0.0;
+  for (std::size_t t = 0; t < tours; ++t) {
+    // One tour, two counters: replay the same trajectory for f and 1 by
+    // accumulating both along a single walk.
+    const auto d_origin = static_cast<double>(g.degree(origin));
+    OVERCOUNT_EXPECTS(d_origin > 0);
+    double counter_f = f(origin) / d_origin;
+    double counter_1 = 1.0 / d_origin;
+    NodeId at = random_neighbor(g, origin, rng);
+    ++out.messages;
+    while (at != origin) {
+      const auto d = static_cast<double>(g.degree(at));
+      counter_f += f(at) / d;
+      counter_1 += 1.0 / d;
+      at = random_neighbor(g, at, rng);
+      ++out.messages;
+    }
+    total_f += d_origin * counter_f;
+    total_1 += d_origin * counter_1;
+    if (counter_1 > 0.0) ratio_stats.add(counter_f / counter_1);
+  }
+  out.value = total_1 > 0.0 ? total_f / total_1 : 0.0;
+  out.standard_error = ratio_stats.count() >= 2
+                           ? ratio_stats.stddev() /
+                                 std::sqrt(static_cast<double>(
+                                     ratio_stats.count()))
+                           : 0.0;
+  out.tours = tours;
+  return out;
+}
+
+}  // namespace overcount

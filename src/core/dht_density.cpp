@@ -1,0 +1,37 @@
+#include "core/dht_density.hpp"
+
+namespace overcount {
+
+DhtIdSpace::DhtIdSpace(std::size_t n, Rng& rng) {
+  OVERCOUNT_EXPECTS(n >= 2);
+  ids_.resize(n);
+  for (auto& id : ids_) id = rng.next();
+  std::sort(ids_.begin(), ids_.end());
+}
+
+std::vector<std::uint64_t> DhtIdSpace::successors(std::uint64_t from,
+                                                  std::size_t count) const {
+  OVERCOUNT_EXPECTS(count >= 1);
+  OVERCOUNT_EXPECTS(count < ids_.size());
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  auto it = std::upper_bound(ids_.begin(), ids_.end(), from);
+  while (out.size() < count) {
+    if (it == ids_.end()) it = ids_.begin();
+    if (*it != from) out.push_back(*it);
+    ++it;
+  }
+  return out;
+}
+
+double DhtIdSpace::estimate_size(std::uint64_t from, std::size_t k) const {
+  const auto succ = successors(from, k);
+  // Clockwise arc length from `from` to the k-th successor.
+  const std::uint64_t arc = succ.back() - from;  // wraps via unsigned math
+  OVERCOUNT_ENSURES(arc != 0);
+  const double fraction =
+      static_cast<double>(arc) / 18446744073709551616.0;  // 2^64
+  return static_cast<double>(k) / fraction - 1.0;
+}
+
+}  // namespace overcount

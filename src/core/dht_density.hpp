@@ -1,0 +1,42 @@
+// Architecture-specific baseline ([11], paper Section 2.1): in a structured
+// (DHT) overlay, peers hold identifiers drawn uniformly from a circular id
+// space, so system size can be read off the local identifier DENSITY — the
+// k nearest identifiers around the initiator span an arc of expected length
+// k/N. Cost is O(k) lookups irrespective of N, but the method only exists
+// on DHTs, which is exactly why the paper develops topology-agnostic
+// estimators.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace overcount {
+
+/// A minimal DHT id space: every peer owns one uniform 64-bit identifier on
+/// the ring [0, 2^64).
+class DhtIdSpace {
+ public:
+  /// Assigns n uniform ids (distinct with overwhelming probability).
+  DhtIdSpace(std::size_t n, Rng& rng);
+
+  std::size_t size() const noexcept { return ids_.size(); }
+
+  /// The `count` identifiers closest to `from` in clockwise ring order
+  /// (excluding `from`'s own id when present). Requires count < size().
+  std::vector<std::uint64_t> successors(std::uint64_t from,
+                                        std::size_t count) const;
+
+  /// Density-based size estimate around `from`: the arc covered by the k
+  /// nearest successors has expected length k/(N+1) of the ring, so
+  /// N_hat = k * 2^64 / arc - 1 ~ k / arc_fraction.
+  double estimate_size(std::uint64_t from, std::size_t k) const;
+
+ private:
+  std::vector<std::uint64_t> ids_;  // sorted
+};
+
+}  // namespace overcount

@@ -1,0 +1,130 @@
+// Decentralised spectral-gap diagnostics.
+//
+// The Lanczos solver needs the whole adjacency structure, which no overlay
+// peer has. These heuristics estimate lambda_2 from quantities a peer CAN
+// measure with walks, so the sampling timer T = beta log(N)/lambda_2 can be
+// budgeted in situ:
+//
+//  * from Random Tour dispersion: Proposition 2 gives
+//    Var(N_hat) <= N^2 * 2 dbar / lambda_2 (+ lower-order terms), which
+//    inverts to an UPPER bound lambda_2 <= 2 dbar N^2 / Var(N_hat). An
+//    upper bound cannot budget the timer safely on its own, but a SMALL
+//    value is decisive: it certifies poor expansion (the walk methods will
+//    be slow/inaccurate here), and dividing it by a safety factor gives a
+//    practical starting point for the Section 4.1 doubling bootstrap.
+//
+//  * from trajectory autocorrelation: run one long CTRW, hash the node id
+//    at multiples of delta; the autocorrelation of the hashed series decays
+//    as a positive mixture of e^{-lambda_k delta}, so the two-lag ratio
+//    log(r(delta)/r(2*delta))/delta upper-bounds lambda_2 and converges to
+//    it as delta grows.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/random_tour.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+
+struct GapEstimate {
+  double lambda2 = 0.0;
+  std::uint64_t messages = 0;  ///< walk steps spent measuring
+};
+
+/// Upper bound on lambda_2 from the empirical dispersion of `tours` Random
+/// Tours launched at `origin` (Proposition 2 inverted). N, dbar and
+/// Var(N_hat) all come from the same walks; nothing global is consulted.
+template <OverlayTopology G>
+GapEstimate gap_upper_bound_from_tour_variance(const G& g, NodeId origin,
+                                   std::size_t tours, Rng& rng) {
+  OVERCOUNT_EXPECTS(tours >= 10);
+  RunningStats size_estimates;
+  double sum_degree_estimate = 0.0;
+  GapEstimate out;
+  for (std::size_t t = 0; t < tours; ++t) {
+    const auto d_origin = static_cast<double>(g.degree(origin));
+    OVERCOUNT_EXPECTS(d_origin > 0);
+    double counter_1 = 1.0 / d_origin;
+    NodeId at = random_neighbor(g, origin, rng);
+    std::uint64_t steps = 1;
+    while (at != origin) {
+      counter_1 += 1.0 / static_cast<double>(g.degree(at));
+      at = random_neighbor(g, at, rng);
+      ++steps;
+    }
+    // With f = degree every visited node contributes d(v)/d(v) = 1, so the
+    // tour's estimate of Sigma d is simply d_origin * steps.
+    size_estimates.add(d_origin * counter_1);
+    sum_degree_estimate += d_origin * static_cast<double>(steps);
+    out.messages += steps;
+  }
+  const double n_hat = size_estimates.mean();
+  const double dbar_hat =
+      sum_degree_estimate / static_cast<double>(tours) / n_hat;
+  const double variance = size_estimates.variance();
+  OVERCOUNT_EXPECTS(variance > 0.0);
+  out.lambda2 = 2.0 * dbar_hat * n_hat * n_hat / variance;
+  return out;
+}
+
+/// Spectral gap from the autocorrelation decay of one long CTRW sampled
+/// every `delta` time units (`probes` samples). The two-lag ratio cancels
+/// the mixture's amplitude; larger delta weights the slow (lambda_2) mode
+/// more at the price of noisier correlations.
+template <OverlayTopology G>
+GapEstimate gap_from_autocorrelation(const G& g, NodeId origin, double delta,
+                                     std::size_t probes, Rng& rng) {
+  OVERCOUNT_EXPECTS(delta > 0.0);
+  OVERCOUNT_EXPECTS(probes >= 100);
+  GapEstimate out;
+  // Generic observable with overlap on every eigenvector: a fixed hash of
+  // the node id mapped to [0, 1).
+  auto observe = [](NodeId v) {
+    std::uint64_t s = 0x9e3779b97f4a7c15ULL ^ v;
+    return static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+  };
+
+  std::vector<double> series;
+  series.reserve(probes);
+  NodeId at = origin;
+  double clock = 0.0;
+  double next_probe = 0.0;
+  while (series.size() < probes) {
+    const double sojourn =
+        rng.exponential(static_cast<double>(g.degree(at)));
+    while (series.size() < probes && next_probe < clock + sojourn) {
+      series.push_back(observe(at));
+      next_probe += delta;
+    }
+    clock += sojourn;
+    at = random_neighbor(g, at, rng);
+    ++out.messages;
+  }
+
+  auto autocorrelation = [&](std::size_t lag) {
+    RunningStats all;
+    for (double x : series) all.add(x);
+    const double mean = all.mean();
+    double cov = 0.0;
+    double var = 0.0;
+    for (std::size_t i = 0; i + lag < series.size(); ++i) {
+      cov += (series[i] - mean) * (series[i + lag] - mean);
+      var += (series[i] - mean) * (series[i] - mean);
+    }
+    return var > 0.0 ? cov / var : 0.0;
+  };
+  const double r1 = autocorrelation(1);
+  const double r2 = autocorrelation(2);
+  if (r1 <= 0.0 || r2 <= 0.0 || r2 >= r1) {
+    // Decorrelated already at one lag: the gap is at least ~1/delta.
+    out.lambda2 = std::log(10.0) / delta;
+    return out;
+  }
+  out.lambda2 = std::log(r1 / r2) / delta;
+  return out;
+}
+
+}  // namespace overcount

@@ -1,0 +1,57 @@
+// Gossip-averaging baseline (Jelasity & Montresor [20], paper Section 2.2):
+// one distinguished node starts with value 1, all others 0; in each
+// asynchronous exchange a random edge's endpoints replace both their values
+// by the average. The common limit is 1/N, so every node can read off N.
+// Cost is Theta(N log N) messages per epoch on expanders ([10]).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "walk/topology.hpp"
+
+namespace overcount {
+
+struct GossipResult {
+  /// Per-node size estimates 1/value (0-valued nodes map to +inf; callers
+  /// should run enough exchanges that this cannot happen).
+  std::vector<double> estimates;
+  std::uint64_t messages = 0;  ///< 2 per pairwise exchange
+  double max_value = 0.0;
+  double min_value = 0.0;
+};
+
+/// Runs `exchanges` pairwise averaging steps: each step picks a uniform
+/// random node and a uniform random neighbour and averages their values.
+/// `starter` holds the initial 1. Requires every node to have a neighbour.
+template <OverlayTopology G>
+GossipResult gossip_average(const G& g, NodeId starter, std::size_t n_nodes,
+                            std::uint64_t exchanges, Rng& rng) {
+  OVERCOUNT_EXPECTS(starter < n_nodes);
+  std::vector<double> value(n_nodes, 0.0);
+  value[starter] = 1.0;
+  GossipResult out;
+  for (std::uint64_t k = 0; k < exchanges; ++k) {
+    const auto u = static_cast<NodeId>(rng.uniform_below(n_nodes));
+    const NodeId v = random_neighbor(g, u, rng);
+    const double avg = 0.5 * (value[u] + value[v]);
+    value[u] = avg;
+    value[v] = avg;
+    out.messages += 2;  // request + response
+  }
+  out.estimates.resize(n_nodes);
+  out.max_value = value[0];
+  out.min_value = value[0];
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    out.estimates[i] = value[i] > 0.0
+                           ? 1.0 / value[i]
+                           : std::numeric_limits<double>::infinity();
+    out.max_value = std::max(out.max_value, value[i]);
+    out.min_value = std::min(out.min_value, value[i]);
+  }
+  return out;
+}
+
+}  // namespace overcount

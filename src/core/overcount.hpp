@@ -1,0 +1,31 @@
+// Umbrella header: the public API of the overcount library.
+//
+//   #include "core/overcount.hpp"
+//
+// gives you graph construction/generation, the Random Tour and
+// Sample & Collide estimators, the CTRW uniform peer sampler, the baseline
+// estimators, and the spectral/expansion diagnostics the paper's analysis is
+// phrased in.
+#pragma once
+
+#include "core/adaptive.hpp"
+#include "core/aggregate.hpp"
+#include "core/birthday.hpp"
+#include "core/dht_density.hpp"
+#include "core/gossip.hpp"
+#include "core/polling.hpp"
+#include "core/random_tour.hpp"
+#include "core/sample_collide.hpp"
+#include "core/sampling.hpp"
+#include "core/tree_aggregate.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/metrics.hpp"
+#include "spectral/conductance.hpp"
+#include "spectral/laplacian.hpp"
+#include "util/sliding_window.hpp"
+#include "util/stats.hpp"
+#include "walk/metropolis.hpp"

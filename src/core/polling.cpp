@@ -1,0 +1,24 @@
+#include "core/polling.hpp"
+
+namespace overcount {
+
+PollingEstimate probabilistic_polling(const Graph& g, NodeId origin,
+                                      double reply_probability, Rng& rng,
+                                      std::size_t max_hops) {
+  OVERCOUNT_EXPECTS(origin < g.num_nodes());
+  OVERCOUNT_EXPECTS(reply_probability > 0.0 && reply_probability <= 1.0);
+  const auto dist = bfs_distances(g, origin);
+  PollingEstimate out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] > max_hops) continue;  // unreachable nodes have dist SIZE_MAX
+    // Every reached node forwards the query once over each incident edge
+    // (classic flooding); the initiator does too.
+    out.flood_messages += g.degree(v);
+    if (v == origin) continue;
+    if (rng.bernoulli(reply_probability)) ++out.replies;
+  }
+  out.value = 1.0 + static_cast<double>(out.replies) / reply_probability;
+  return out;
+}
+
+}  // namespace overcount

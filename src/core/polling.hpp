@@ -1,0 +1,28 @@
+// Probabilistic-polling baseline ([15, 33, 24], paper Section 2.2): the
+// initiator floods a query; every reached node independently replies with
+// probability p; the reply count R gives the unbiased estimate
+// N_hat = 1 + R/p. Cost is linear in the system size (the flood visits every
+// edge) and the initiator risks "ACK implosion" — R concurrent replies —
+// which is why the paper's walk-based methods exist.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/connectivity.hpp"
+#include "util/rng.hpp"
+
+namespace overcount {
+
+struct PollingEstimate {
+  double value = 0.0;
+  std::uint64_t flood_messages = 0;  ///< one per directed edge traversed
+  std::uint64_t replies = 0;         ///< concurrent replies at the initiator
+};
+
+/// Floods from `origin` (full component, or only up to `max_hops` if given)
+/// and simulates the probabilistic replies.
+PollingEstimate probabilistic_polling(const Graph& g, NodeId origin,
+                                      double reply_probability, Rng& rng,
+                                      std::size_t max_hops = ~std::size_t{0});
+
+}  // namespace overcount

@@ -1,0 +1,65 @@
+// Population quantiles of per-peer attributes by uniform sampling — the
+// third member of the paper's "aggregating characteristics over all peers"
+// family (Sections 1 and 4.1: the sampling sub-routine "is of independent
+// interest"). Draw m CTRW samples, evaluate the attribute at each, and
+// report empirical quantiles with the distribution-free DKW confidence
+// radius: with probability 1-delta every quantile's cdf position is within
+// sqrt(log(2/delta) / (2m)).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "core/sampling.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+
+struct QuantileEstimate {
+  double value = 0.0;        ///< empirical quantile of the attribute
+  double lower = 0.0;        ///< attribute at quantile (q - radius)
+  double upper = 0.0;        ///< attribute at quantile (q + radius)
+  double cdf_radius = 0.0;   ///< DKW radius in cdf space
+  std::uint64_t hops = 0;    ///< sampling message cost
+};
+
+/// Estimates the q-quantile of attribute(v) over the peers reachable by the
+/// sampler, from `samples` CTRW draws. `delta` is the DKW failure
+/// probability. Requires q in [0, 1], samples >= 10.
+template <OverlayTopology G>
+QuantileEstimate estimate_quantile(
+    const G& g, NodeId origin, double timer, double q,
+    const std::function<double(NodeId)>& attribute, std::size_t samples,
+    Rng& rng, double delta = 0.05) {
+  OVERCOUNT_EXPECTS(q >= 0.0 && q <= 1.0);
+  OVERCOUNT_EXPECTS(samples >= 10);
+  OVERCOUNT_EXPECTS(delta > 0.0 && delta < 1.0);
+  CtrwSampler sampler(g, timer, rng.split());
+  std::vector<double> values;
+  values.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i)
+    values.push_back(attribute(sampler.sample(origin).node));
+  const Ecdf ecdf(std::move(values));
+
+  QuantileEstimate out;
+  out.cdf_radius = std::sqrt(std::log(2.0 / delta) /
+                             (2.0 * static_cast<double>(samples)));
+  out.value = ecdf.quantile(q);
+  out.lower = ecdf.quantile(std::max(0.0, q - out.cdf_radius));
+  out.upper = ecdf.quantile(std::min(1.0, q + out.cdf_radius));
+  out.hops = sampler.total_hops();
+  return out;
+}
+
+/// Median convenience wrapper.
+template <OverlayTopology G>
+QuantileEstimate estimate_median(
+    const G& g, NodeId origin, double timer,
+    const std::function<double(NodeId)>& attribute, std::size_t samples,
+    Rng& rng) {
+  return estimate_quantile(g, origin, timer, 0.5, attribute, samples, rng);
+}
+
+}  // namespace overcount

@@ -1,0 +1,17 @@
+#include "core/random_tour.hpp"
+
+#include <cmath>
+
+namespace overcount {
+
+std::size_t random_tour_runs_needed(double avg_degree, double spectral_gap,
+                                    double eps, double delta) {
+  OVERCOUNT_EXPECTS(avg_degree > 0.0);
+  OVERCOUNT_EXPECTS(spectral_gap > 0.0);
+  OVERCOUNT_EXPECTS(eps > 0.0);
+  OVERCOUNT_EXPECTS(delta > 0.0 && delta < 1.0);
+  const double m = 2.0 * avg_degree / (spectral_gap * eps * eps * delta);
+  return static_cast<std::size_t>(std::ceil(m));
+}
+
+}  // namespace overcount

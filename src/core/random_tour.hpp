@@ -1,0 +1,133 @@
+// The Random Tour estimator (paper Section 3).
+//
+// A probe walks from the initiator i along uniformly random neighbours until
+// it first returns to i. The probe carries a counter X, initialised to
+// f(i)/d_i and incremented by f(j)/d_j at every intermediate node j. On
+// return, Phi_hat = d_i * X is an unbiased estimate of Phi = sum_j f(j)
+// (Proposition 1, via the regenerative cycle formula). With f = 1 this
+// estimates the system size N.
+//
+// Accuracy (Proposition 2): Var(N_hat) <= N^2 * 2*d_bar/lambda_2 + O(N), so
+// the relative standard deviation is controlled by the overlay's spectral
+// gap, hence (Cheeger) by its edge expansion. Cost of one tour is
+// E_i[T_i] = 2|E|/d_i steps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "walk/topology.hpp"
+#include "walk/walkers.hpp"
+
+namespace overcount {
+
+/// Result of one Random Tour.
+struct TourEstimate {
+  double value = 0.0;       ///< Phi_hat = d_origin * accumulated counter
+  std::uint64_t steps = 0;  ///< walk steps == messages spent by the probe
+};
+
+/// Runs one Random Tour from `origin`, estimating sum_j f(j).
+/// `f` maps NodeId -> double. Requires origin to have at least one
+/// neighbour. `max_steps` aborts pathological tours (returns the estimate
+/// accumulated so far, flagged by steps == max_steps); the default never
+/// triggers in practice.
+template <OverlayTopology G, typename F>
+TourEstimate random_tour(const G& g, NodeId origin, F&& f, Rng& rng,
+                         std::uint64_t max_steps = ~0ULL) {
+  const auto d_origin = static_cast<double>(g.degree(origin));
+  OVERCOUNT_EXPECTS(d_origin > 0);
+  double counter = f(origin) / d_origin;
+  NodeId at = random_neighbor(g, origin, rng);
+  std::uint64_t steps = 1;
+  while (at != origin && steps < max_steps) {
+    counter += f(at) / static_cast<double>(g.degree(at));
+    at = random_neighbor(g, at, rng);
+    ++steps;
+  }
+  return {d_origin * counter, steps};
+}
+
+/// One Random Tour size estimate (f = 1).
+template <OverlayTopology G>
+TourEstimate random_tour_size(const G& g, NodeId origin, Rng& rng,
+                              std::uint64_t max_steps = ~0ULL) {
+  return random_tour(
+      g, origin, [](NodeId) { return 1.0; }, rng, max_steps);
+}
+
+/// The continuous-time reading of the tour (Section 3.3): run the walk as
+/// the exponential-sojourn CTRW and report d_origin times the first RETURN
+/// TIME. Renewal-reward with the uniform stationary distribution gives
+/// E[cycle] = 1/(pi_i q_i) = N/d_i, so this too is an unbiased size
+/// estimate — at the same message cost as the discrete tour but with extra
+/// dispersion from the exponential sojourns. (With DETERMINISTIC sojourns
+/// of 1/d_v the elapsed time IS the discrete tour's counter, which is
+/// exactly how the paper connects the two pictures.)
+template <OverlayTopology G>
+TourEstimate ctrw_return_time_tour(const G& g, NodeId origin, Rng& rng) {
+  const auto d_origin = static_cast<double>(g.degree(origin));
+  OVERCOUNT_EXPECTS(d_origin > 0);
+  double elapsed = rng.exponential(d_origin);  // sojourn at the origin
+  NodeId at = random_neighbor(g, origin, rng);
+  std::uint64_t steps = 1;
+  while (at != origin) {
+    elapsed += rng.exponential(static_cast<double>(g.degree(at)));
+    at = random_neighbor(g, at, rng);
+    ++steps;
+  }
+  return {d_origin * elapsed, steps};
+}
+
+/// Convenience driver that owns the per-estimator RNG stream and accumulates
+/// cost across repeated tours; the unit most benches and applications use.
+template <OverlayTopology G>
+class RandomTourEstimator {
+ public:
+  RandomTourEstimator(const G& graph, NodeId origin, Rng rng)
+      : graph_(&graph), origin_(origin), rng_(rng) {}
+
+  NodeId origin() const noexcept { return origin_; }
+  std::uint64_t total_steps() const noexcept { return total_steps_; }
+  std::uint64_t tours_run() const noexcept { return tours_; }
+
+  /// One tour, f = 1 (system size).
+  TourEstimate estimate_size() {
+    return record(random_tour_size(*graph_, origin_, rng_));
+  }
+
+  /// One tour estimating sum_j f(j).
+  TourEstimate estimate_sum(const std::function<double(NodeId)>& f) {
+    return record(random_tour(*graph_, origin_, f, rng_));
+  }
+
+  /// Mean of `runs` independent size estimates (variance shrinks as 1/runs,
+  /// Section 3.5).
+  double averaged_size_estimate(std::size_t runs) {
+    OVERCOUNT_EXPECTS(runs > 0);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < runs; ++r) acc += estimate_size().value;
+    return acc / static_cast<double>(runs);
+  }
+
+ private:
+  TourEstimate record(TourEstimate t) {
+    total_steps_ += t.steps;
+    ++tours_;
+    return t;
+  }
+
+  const G* graph_;
+  NodeId origin_;
+  Rng rng_;
+  std::uint64_t total_steps_ = 0;
+  std::uint64_t tours_ = 0;
+};
+
+/// Number of tours needed for relative error <= eps with confidence
+/// 1 - delta, from the Chebyshev bound of Section 3.5 with the Proposition 2
+/// variance bound: m >= 2*d_bar / (lambda_2 * eps^2 * delta).
+std::size_t random_tour_runs_needed(double avg_degree, double spectral_gap,
+                                    double eps, double delta);
+
+}  // namespace overcount

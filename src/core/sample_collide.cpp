@@ -1,0 +1,118 @@
+#include "core/sample_collide.hpp"
+
+#include <cmath>
+
+namespace overcount {
+
+namespace {
+
+// Number of distinct values seen; the score and likelihood only depend on
+// (samples, distinct).
+std::uint64_t distinct_of(std::uint64_t samples, std::uint64_t collisions) {
+  OVERCOUNT_EXPECTS(collisions >= 1);
+  OVERCOUNT_EXPECTS(samples > collisions);
+  return samples - collisions;
+}
+
+}  // namespace
+
+double sc_log_likelihood(double n, std::uint64_t samples,
+                         std::uint64_t collisions) {
+  const auto d = distinct_of(samples, collisions);
+  OVERCOUNT_EXPECTS(n >= static_cast<double>(d));
+  // L(n) = prod_{j=0}^{d-1} (n - j) * n^{-samples}   (times an n-free factor
+  // from the collision draws).
+  double ll = -static_cast<double>(samples) * std::log(n);
+  for (std::uint64_t j = 0; j < d; ++j)
+    ll += std::log(n - static_cast<double>(j));
+  return ll;
+}
+
+double sc_score(double n, std::uint64_t samples, std::uint64_t collisions) {
+  const auto d = distinct_of(samples, collisions);
+  OVERCOUNT_EXPECTS(n > static_cast<double>(d) - 1.0);
+  double score = -static_cast<double>(samples) / n;
+  for (std::uint64_t j = 0; j < d; ++j)
+    score += 1.0 / (n - static_cast<double>(j));
+  return score;
+}
+
+ScBracket sc_bracket(std::uint64_t samples, std::uint64_t collisions) {
+  const auto d = static_cast<double>(distinct_of(samples, collisions));
+  const auto c = static_cast<double>(samples);
+  const auto ell = static_cast<double>(collisions);
+  ScBracket b;
+  // AM-HM:  sum_{j<d} 1/(n-j) >= d / (n - (d-1)/2). Solving the relaxed
+  // score gives a lower bound for the true root (the score majorises the
+  // relaxation, and both are decreasing):
+  b.n_minus = c * (d - 1.0) / (2.0 * ell);
+  // Trapezoid (convexity): sum <= (d/2) (1/n + 1/(n-d+1)); solving gives an
+  // upper bound:
+  b.n_plus = (2.0 * c - d) * (d - 1.0) / (2.0 * ell);
+  if (b.n_minus < d) b.n_minus = d;
+  if (b.n_plus < b.n_minus) b.n_plus = b.n_minus;
+  return b;
+}
+
+double sc_ml_estimate(std::uint64_t samples, std::uint64_t collisions,
+                      double tol) {
+  const auto d = static_cast<double>(distinct_of(samples, collisions));
+  auto f = [&](double n) { return sc_score(n, samples, collisions); };
+
+  // The score is +infinity-like just above d-1 only if d/n terms dominate;
+  // in degenerate cases (e.g. d == 1) it can be negative everywhere, in
+  // which case the likelihood is maximised at the smallest admissible
+  // population, n = d.
+  auto bracket = sc_bracket(samples, collisions);
+  double lo = std::max(d, 1.0);
+  if (f(lo) <= 0.0) return lo;
+
+  double hi = std::max(bracket.n_plus, lo + 1.0);
+  int guard = 0;
+  while (f(hi) > 0.0) {
+    hi *= 2.0;
+    OVERCOUNT_ENSURES(++guard < 200);
+  }
+  // Tighten with the analytic lower bracket when it is valid.
+  if (bracket.n_minus > lo && f(bracket.n_minus) > 0.0) lo = bracket.n_minus;
+
+  while (hi - lo > tol * std::max(1.0, hi)) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) > 0.0) lo = mid;
+    else hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double sc_simple_estimate(std::uint64_t samples, std::uint64_t collisions) {
+  OVERCOUNT_EXPECTS(collisions >= 1);
+  const auto c = static_cast<double>(samples);
+  return c * c / (2.0 * static_cast<double>(collisions));
+}
+
+ScInterval sc_confidence_interval(std::uint64_t samples,
+                                  std::uint64_t collisions, double z) {
+  OVERCOUNT_EXPECTS(z > 0.0);
+  const double ml = sc_ml_estimate(samples, collisions);
+  const double half_width =
+      z / std::sqrt(static_cast<double>(collisions));
+  ScInterval out;
+  out.estimate = ml;
+  out.lower = std::max(static_cast<double>(samples - collisions),
+                       ml * (1.0 - half_width));
+  out.upper = ml * (1.0 + half_width);
+  return out;
+}
+
+double sc_expected_messages(double n, std::size_t ell, double timer,
+                            double avg_degree) {
+  OVERCOUNT_EXPECTS(n > 0.0);
+  OVERCOUNT_EXPECTS(ell >= 1);
+  OVERCOUNT_EXPECTS(timer > 0.0);
+  OVERCOUNT_EXPECTS(avg_degree > 0.0);
+  // E[C_ell] ~ sqrt(2 ell N) samples, each walking ~ timer * d_bar hops
+  // (unit-mean sojourns consume 1/d_bar of the timer per hop on average).
+  return std::sqrt(2.0 * static_cast<double>(ell) * n) * timer * avg_degree;
+}
+
+}  // namespace overcount

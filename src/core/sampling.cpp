@@ -1,0 +1,13 @@
+#include "core/sampling.hpp"
+
+namespace overcount {
+
+double recommended_ctrw_timer(double n_guess, double spectral_gap_lower,
+                              double beta) {
+  OVERCOUNT_EXPECTS(n_guess >= 2.0);
+  OVERCOUNT_EXPECTS(spectral_gap_lower > 0.0);
+  OVERCOUNT_EXPECTS(beta > 0.0);
+  return beta * std::log(n_guess) / spectral_gap_lower;
+}
+
+}  // namespace overcount

@@ -1,0 +1,87 @@
+// Uniform peer sampling (paper Section 4.1) and the biased prior-art
+// baseline.
+//
+// CtrwSampler emulates the standard continuous-time random walk whose
+// sojourn at node v is Exp(d_v): a probe carries a timer T, every visited
+// node subtracts -log(u)/d_v, and the node where the timer dies is the
+// sample. Its distribution is exactly that of the CTRW at time T, so by
+// Lemma 1 the variation distance to uniform is <= sqrt(N) e^{-lambda_2 T};
+// T = beta log(N)/lambda_2 with beta = 3/2 makes the bias O(1/N).
+//
+// DtrwSampler is the discrete-time walk stopped after a fixed hop count —
+// the previous proposals the paper improves on; its limit distribution is
+// degree-biased (pi_v proportional to d_v).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "walk/walkers.hpp"
+
+namespace overcount {
+
+/// Recommended timer for a target bias: T = beta * log(n_guess) /
+/// lambda_2_lower_bound (Section 4.1 suggests beta = 3/2; with it the
+/// variation distance is O(1/n)).
+double recommended_ctrw_timer(double n_guess, double spectral_gap_lower,
+                              double beta = 1.5);
+
+/// Uniform sampler backed by the exponential-sojourn CTRW.
+template <OverlayTopology G>
+class CtrwSampler {
+ public:
+  /// `timer` is the CTRW horizon T; see recommended_ctrw_timer.
+  CtrwSampler(const G& graph, double timer, Rng rng)
+      : graph_(&graph), timer_(timer), rng_(rng) {
+    OVERCOUNT_EXPECTS(timer > 0.0);
+  }
+
+  double timer() const noexcept { return timer_; }
+  void set_timer(double t) {
+    OVERCOUNT_EXPECTS(t > 0.0);
+    timer_ = t;
+  }
+  std::uint64_t total_hops() const noexcept { return total_hops_; }
+  std::uint64_t samples_drawn() const noexcept { return samples_; }
+
+  /// Draws one (approximately uniform) sample, walking from `origin`.
+  SampleResult sample(NodeId origin) {
+    auto r = ctrw_sample(*graph_, origin, timer_, rng_);
+    total_hops_ += r.hops;
+    ++samples_;
+    return r;
+  }
+
+ private:
+  const G* graph_;
+  double timer_;
+  Rng rng_;
+  std::uint64_t total_hops_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+/// Degree-biased baseline: DTRW stopped after a fixed number of steps.
+template <OverlayTopology G>
+class DtrwSampler {
+ public:
+  DtrwSampler(const G& graph, std::uint64_t steps, Rng rng)
+      : graph_(&graph), steps_(steps), rng_(rng) {
+    OVERCOUNT_EXPECTS(steps > 0);
+  }
+
+  std::uint64_t total_hops() const noexcept { return total_hops_; }
+
+  SampleResult sample(NodeId origin) {
+    auto r = dtrw_sample(*graph_, origin, steps_, rng_);
+    total_hops_ += r.hops;
+    return r;
+  }
+
+ private:
+  const G* graph_;
+  std::uint64_t steps_;
+  Rng rng_;
+  std::uint64_t total_hops_ = 0;
+};
+
+}  // namespace overcount

@@ -1,0 +1,34 @@
+#include "core/tree_aggregate.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "graph/connectivity.hpp"
+
+namespace overcount {
+
+TreeAggregateResult tree_aggregate(const Graph& g, NodeId root,
+                                   const std::function<double(NodeId)>& f) {
+  OVERCOUNT_EXPECTS(root < g.num_nodes());
+  const auto dist = bfs_distances(g, root);
+  TreeAggregateResult out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] == std::numeric_limits<std::size_t>::max()) continue;
+    out.value += f(v);
+    ++out.tree_nodes;
+    out.tree_depth = std::max(out.tree_depth, dist[v]);
+    if (v != root) {
+      // One parent link per non-root node; the build floods every overlay
+      // edge once, and the convergecast sends one message up each tree edge.
+      out.messages += 1;               // convergecast
+    }
+    out.messages += g.degree(v);       // build flood over incident edges
+  }
+  return out;
+}
+
+TreeAggregateResult tree_count(const Graph& g, NodeId root) {
+  return tree_aggregate(g, root, [](NodeId) { return 1.0; });
+}
+
+}  // namespace overcount

@@ -1,0 +1,29 @@
+// Spanning-tree aggregation baseline ([9, 32, 25], paper Section 2.1):
+// build a BFS tree rooted at the initiator and aggregate exact per-node
+// values up the tree. Exact in the absence of failures; cost is one
+// message per tree edge in each direction, i.e. Theta(N) — and the tree
+// must be rebuilt under churn, which is the weakness that motivates the
+// paper's stateless walks.
+#pragma once
+
+#include <functional>
+
+#include "graph/graph.hpp"
+
+namespace overcount {
+
+struct TreeAggregateResult {
+  double value = 0.0;             ///< exact sum over the root's component
+  std::uint64_t messages = 0;     ///< build + convergecast messages
+  std::size_t tree_nodes = 0;     ///< nodes reached by the tree
+  std::size_t tree_depth = 0;
+};
+
+/// Builds a BFS tree from `root` and sums f over it. Exact (deterministic).
+TreeAggregateResult tree_aggregate(const Graph& g, NodeId root,
+                                   const std::function<double(NodeId)>& f);
+
+/// Convenience: exact component size by tree aggregation.
+TreeAggregateResult tree_count(const Graph& g, NodeId root);
+
+}  // namespace overcount

@@ -1,0 +1,30 @@
+#include "des/network.hpp"
+
+namespace overcount {
+
+Network::Network(Simulator& sim, const DynamicGraph& graph,
+                 LatencyModel latency, double loss_probability, Rng rng)
+    : sim_(&sim),
+      graph_(&graph),
+      latency_(latency),
+      loss_probability_(loss_probability),
+      rng_(rng) {
+  OVERCOUNT_EXPECTS(loss_probability >= 0.0 && loss_probability < 1.0);
+}
+
+void Network::send(NodeId from, NodeId to, std::any payload) {
+  OVERCOUNT_EXPECTS(graph_->alive(from));
+  OVERCOUNT_EXPECTS(static_cast<bool>(handler_));
+  ++sent_;
+  if (partition_ && partition_(from, to)) return;  // severed by a partition
+  if (rng_.bernoulli(loss_probability_)) return;   // dropped in flight
+  const double delay = latency_.sample(rng_);
+  sim_->schedule_after(
+      delay, [this, from, to, payload = std::move(payload)]() {
+        if (!graph_->alive(to)) return;  // recipient departed mid-flight
+        ++delivered_;
+        handler_(to, from, payload);
+      });
+}
+
+}  // namespace overcount

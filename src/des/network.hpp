@@ -1,0 +1,86 @@
+// Message-passing network layered on the discrete-event simulator.
+//
+// Models the overlay's communication substrate: a node may send to an
+// overlay neighbour; the message arrives after a (random) latency unless it
+// is lost — either dropped by the loss model or addressed to a peer that has
+// meanwhile departed (the failure mode Section 5.3.1 discusses). Every send
+// is counted, which is the cost metric ("overhead, specified as the number
+// of messages") used in the paper's evaluation.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+
+#include "des/simulator.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "util/rng.hpp"
+
+namespace overcount {
+
+/// Per-message latency: base + Uniform[0, jitter).
+struct LatencyModel {
+  double base = 1.0;
+  double jitter = 0.0;
+
+  double sample(Rng& rng) const {
+    OVERCOUNT_EXPECTS(base >= 0.0 && jitter >= 0.0);
+    return base + (jitter > 0.0 ? rng.uniform() * jitter : 0.0);
+  }
+};
+
+/// Unreliable unicast with delivery callbacks.
+class Network {
+ public:
+  /// Handler invoked on delivery: (recipient, sender, payload).
+  using Handler =
+      std::function<void(NodeId to, NodeId from, const std::any& payload)>;
+
+  Network(Simulator& sim, const DynamicGraph& graph, LatencyModel latency,
+          double loss_probability, Rng rng);
+
+  /// Installs the delivery handler (protocols dispatch on payload type).
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Sends `payload` from `from` to `to`. `from` must be alive. The message
+  /// is lost (silently, after accounting) when the loss model fires or when
+  /// `to` is dead at delivery time.
+  void send(NodeId from, NodeId to, std::any payload);
+
+  /// Changes the loss model mid-run (e.g. to compare protocols under
+  /// different conditions on one network). Must stay in [0, 1).
+  void set_loss_probability(double p) {
+    OVERCOUNT_EXPECTS(p >= 0.0 && p < 1.0);
+    loss_probability_ = p;
+  }
+  double loss_probability() const noexcept { return loss_probability_; }
+
+  /// Installs a partition predicate: while it returns true for a (from, to)
+  /// pair, messages between them are silently dropped (after accounting) —
+  /// the network-split failure mode. Pass nullptr to heal.
+  using PartitionFn = std::function<bool(NodeId from, NodeId to)>;
+  void set_partition(PartitionFn partition) {
+    partition_ = std::move(partition);
+  }
+
+  std::uint64_t messages_sent() const noexcept { return sent_; }
+  std::uint64_t messages_delivered() const noexcept { return delivered_; }
+  std::uint64_t messages_lost() const noexcept { return sent_ - delivered_; }
+
+  const DynamicGraph& graph() const noexcept { return *graph_; }
+  Simulator& simulator() noexcept { return *sim_; }
+  Rng& rng() noexcept { return rng_; }
+
+ private:
+  Simulator* sim_;
+  const DynamicGraph* graph_;
+  LatencyModel latency_;
+  double loss_probability_;
+  Rng rng_;
+  Handler handler_;
+  PartitionFn partition_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace overcount

@@ -1,0 +1,66 @@
+#include "des/simulator.hpp"
+
+namespace overcount {
+
+Simulator::EventId Simulator::schedule_at(SimTime t, Action action) {
+  OVERCOUNT_EXPECTS(t >= now_);
+  OVERCOUNT_EXPECTS(static_cast<bool>(action));
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+Simulator::Action Simulator::take_action(EventId id) {
+  const auto it = actions_.find(id);
+  OVERCOUNT_ENSURES(it != actions_.end());
+  Action a = std::move(it->second);
+  actions_.erase(it);
+  return a;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      actions_.erase(ev.id);
+      continue;
+    }
+    OVERCOUNT_ENSURES(ev.time >= now_);
+    now_ = ev.time;
+    const Action action = take_action(ev.id);
+    ++processed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+std::uint64_t Simulator::run_until(SimTime t_end) {
+  OVERCOUNT_EXPECTS(t_end >= now_);
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    if (cancelled_.contains(ev.id)) {
+      queue_.pop();
+      cancelled_.erase(ev.id);
+      actions_.erase(ev.id);
+      continue;
+    }
+    if (ev.time > t_end) break;
+    step();
+    ++executed;
+  }
+  now_ = t_end;
+  return executed;
+}
+
+}  // namespace overcount

@@ -1,0 +1,78 @@
+// Discrete-event simulation engine: a virtual clock plus an event queue.
+// Events at equal timestamps fire in scheduling order (stable ties), so runs
+// are fully deterministic given deterministic actions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+using SimTime = double;
+
+/// Single-threaded discrete-event simulator.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  SimTime now() const noexcept { return now_; }
+  bool empty() const noexcept { return queue_.size() == cancelled_.size(); }
+  std::size_t pending() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Schedules `action` at absolute time t >= now(). Returns an id usable
+  /// with cancel().
+  EventId schedule_at(SimTime t, Action action);
+
+  /// Schedules `action` `delay` time units from now (delay >= 0).
+  EventId schedule_after(SimTime delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancels a pending event; cancelling an already-fired or unknown id is a
+  /// harmless no-op (timers race with the messages they guard).
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  /// Executes the single next event. Returns false when none remain.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` have fired; returns the
+  /// number of events executed by this call.
+  std::uint64_t run(std::uint64_t max_events = ~0ULL);
+
+  /// Runs events with time <= t_end and advances the clock to t_end.
+  std::uint64_t run_until(SimTime t_end);
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    // Ordering for the min-heap: earliest time first, then FIFO by id.
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  // Actions live in a side map keyed by id so Event stays trivially movable
+  // inside the heap.
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_map<EventId, Action> actions_;
+  std::unordered_set<EventId> cancelled_;
+  SimTime now_ = 0.0;
+  EventId next_id_ = 0;
+  std::uint64_t processed_ = 0;
+
+  Action take_action(EventId id);
+};
+
+}  // namespace overcount

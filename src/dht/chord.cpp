@@ -1,0 +1,116 @@
+#include "dht/chord.hpp"
+
+#include <algorithm>
+
+namespace overcount {
+
+ChordRing::ChordRing(std::size_t n, Rng& rng, std::size_t successors)
+    : successor_count_(successors) {
+  OVERCOUNT_EXPECTS(n >= 2);
+  OVERCOUNT_EXPECTS(successors >= 1 && successors < n);
+  ids_.resize(n);
+  for (;;) {
+    for (auto& id : ids_) id = rng.next();
+    std::sort(ids_.begin(), ids_.end());
+    if (std::adjacent_find(ids_.begin(), ids_.end()) == ids_.end()) break;
+    // 64-bit collision: astronomically rare; redraw.
+  }
+  // Finger i of node v: the peer responsible for id(v) + 2^i. Keep the
+  // distinct ones that are not v itself or its immediate successor run.
+  fingers_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int bit = 0; bit < 64; ++bit) {
+      const ChordId target = ids_[v] + (ChordId{1} << bit);
+      const std::size_t f = successor_of(target);
+      if (f == v) continue;
+      if (std::find(fingers_[v].begin(), fingers_[v].end(), f) ==
+          fingers_[v].end())
+        fingers_[v].push_back(f);
+    }
+  }
+}
+
+std::size_t ChordRing::successor_of(ChordId key) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), key);
+  if (it == ids_.end()) return 0;  // wrap
+  return static_cast<std::size_t>(it - ids_.begin());
+}
+
+ChordRing::LookupResult ChordRing::lookup(std::size_t from,
+                                          ChordId key) const {
+  OVERCOUNT_EXPECTS(from < ids_.size());
+  LookupResult out;
+  const std::size_t n = ids_.size();
+  std::size_t at = from;
+  out.path.push_back(at);
+  for (std::size_t guard = 0; guard < 128; ++guard) {
+    const std::size_t next_on_ring = (at + 1) % n;
+    if (ids_[at] == key ||
+        in_interval(key, ids_[at], ids_[next_on_ring])) {
+      out.responsible = ids_[at] == key ? at : next_on_ring;
+      if (out.responsible != at) {
+        ++out.hops;
+        out.path.push_back(out.responsible);
+      }
+      return out;
+    }
+    // Closest preceding peer among fingers and the successor list: the one
+    // whose id lies in (id(at), key) and is clockwise-furthest from at.
+    std::size_t best = next_on_ring;
+    ChordId best_distance = ids_[next_on_ring] - ids_[at];
+    auto consider = [&](std::size_t cand) {
+      if (cand == at) return;
+      const ChordId distance = ids_[cand] - ids_[at];  // clockwise, wraps
+      const ChordId key_distance = key - ids_[at];
+      if (distance < key_distance && distance > best_distance) {
+        best = cand;
+        best_distance = distance;
+      }
+    };
+    for (std::size_t s = 1; s <= successor_count_; ++s)
+      consider((at + s) % n);
+    for (const std::size_t f : fingers_[at]) consider(f);
+    at = best;
+    ++out.hops;
+    out.path.push_back(at);
+  }
+  OVERCOUNT_ENSURES(false);  // routing must terminate in O(log n) hops
+  return out;
+}
+
+double ChordRing::estimate_size_density(std::size_t index,
+                                        std::size_t k) const {
+  OVERCOUNT_EXPECTS(index < ids_.size());
+  OVERCOUNT_EXPECTS(k >= 1 && k < ids_.size());
+  // Indices follow ring order, so the k-th successor is (index + k) mod n.
+  const ChordId arc = ids_[(index + k) % ids_.size()] - ids_[index];
+  OVERCOUNT_ENSURES(arc != 0);
+  const double fraction =
+      static_cast<double>(arc) / 18446744073709551616.0;  // 2^64
+  return static_cast<double>(k) / fraction - 1.0;
+}
+
+Graph ChordRing::to_overlay_graph() const {
+  const std::size_t n = ids_.size();
+  GraphBuilder b(n);
+  auto connect = [&](std::size_t u, std::size_t v) {
+    if (u == v) return;
+    const auto a = static_cast<NodeId>(u);
+    const auto c = static_cast<NodeId>(v);
+    if (!b.has_edge(a, c)) b.add_edge(a, c);
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t s = 1; s <= successor_count_; ++s)
+      connect(v, (v + s) % n);
+    for (const std::size_t f : fingers_[v]) connect(v, f);
+  }
+  return b.build();
+}
+
+double ChordRing::average_distinct_fingers() const {
+  double total = 0.0;
+  for (const auto& f : fingers_) total += static_cast<double>(f.size());
+  return total / static_cast<double>(fingers_.size());
+}
+
+}  // namespace overcount

@@ -1,0 +1,77 @@
+// A Chord-style structured overlay (Stoica et al.), the substrate behind
+// the paper's Section 2.1 discussion of architecture-specific size
+// estimation ([11]: identifier density) and of protocols like Viceroy [28]
+// that consume size estimates. Provides:
+//   * the ring: nodes with uniform 64-bit identifiers, successor lists and
+//     finger tables;
+//   * greedy O(log N) key lookup with hop accounting;
+//   * the identifier-density size estimator;
+//   * export of the routing topology as a Graph, so the paper's GENERIC
+//     estimators (Random Tour, Sample & Collide) can run on a DHT overlay
+//     unchanged — the interoperability the paper's "generic" claim implies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace overcount {
+
+using ChordId = std::uint64_t;
+
+/// Immutable Chord ring over n peers.
+class ChordRing {
+ public:
+  /// Draws n distinct uniform identifiers; builds successor lists of length
+  /// `successors` and full 64-entry finger tables. Requires n >= 2.
+  ChordRing(std::size_t n, Rng& rng, std::size_t successors = 4);
+
+  std::size_t size() const noexcept { return ids_.size(); }
+
+  /// Identifier of peer `index` (indices follow ring order).
+  ChordId id_of(std::size_t index) const {
+    OVERCOUNT_EXPECTS(index < ids_.size());
+    return ids_[index];
+  }
+
+  /// Index of the peer responsible for `key`: the first peer whose id is
+  /// >= key in clockwise order (wrapping).
+  std::size_t successor_of(ChordId key) const;
+
+  struct LookupResult {
+    std::size_t responsible = 0;  ///< index of the owning peer
+    std::size_t hops = 0;         ///< routing hops taken
+    std::vector<std::size_t> path;
+  };
+
+  /// Greedy Chord routing from peer `from` towards `key`: forward to the
+  /// closest preceding finger until the key falls between a peer and its
+  /// successor. Hops are O(log N) with high probability.
+  LookupResult lookup(std::size_t from, ChordId key) const;
+
+  /// Identifier-density size estimate at peer `index` using its k nearest
+  /// successors ([11]). Requires k < size().
+  double estimate_size_density(std::size_t index, std::size_t k) const;
+
+  /// The routing topology as an undirected graph (successor-list edges +
+  /// finger edges, deduplicated). Node v of the graph is peer index v.
+  Graph to_overlay_graph() const;
+
+  /// Number of finger entries that differ from the plain successor (a
+  /// measure of long-range connectivity; ~log2(N) per node on average).
+  double average_distinct_fingers() const;
+
+ private:
+  std::vector<ChordId> ids_;                       // sorted
+  std::size_t successor_count_;
+  std::vector<std::vector<std::size_t>> fingers_;  // per node, distinct
+
+  /// True iff x lies in the clockwise half-open interval (a, b].
+  static bool in_interval(ChordId x, ChordId a, ChordId b) {
+    return static_cast<ChordId>(x - a - 1) < static_cast<ChordId>(b - a);
+  }
+};
+
+}  // namespace overcount

@@ -1,0 +1,94 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace overcount {
+
+ComponentLabels connected_components(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  ComponentLabels out;
+  out.label.assign(n, std::numeric_limits<NodeId>::max());
+  NodeId next = 0;
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < n; ++start) {
+    if (out.label[start] != std::numeric_limits<NodeId>::max()) continue;
+    out.label[start] = next;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : g.neighbors(u)) {
+        if (out.label[v] == std::numeric_limits<NodeId>::max()) {
+          out.label[v] = next;
+          frontier.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  out.num_components = next;
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return false;
+  return connected_components(g).num_components == 1;
+}
+
+std::size_t component_size(const Graph& g, NodeId v) {
+  const auto labels = connected_components(g);
+  OVERCOUNT_EXPECTS(v < g.num_nodes());
+  return static_cast<std::size_t>(
+      std::count(labels.label.begin(), labels.label.end(), labels.label[v]));
+}
+
+Graph largest_component(const Graph& g, std::vector<NodeId>* old_of_new) {
+  OVERCOUNT_EXPECTS(g.num_nodes() > 0);
+  const auto labels = connected_components(g);
+  std::vector<std::size_t> sizes(labels.num_components, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++sizes[labels.label[v]];
+  const auto best = static_cast<NodeId>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<NodeId> new_id(g.num_nodes(), 0);
+  std::vector<NodeId> back;
+  NodeId next = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (labels.label[v] == best) {
+      new_id[v] = next++;
+      back.push_back(v);
+    }
+  }
+  GraphBuilder b(next);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (labels.label[v] != best) continue;
+    for (NodeId u : g.neighbors(v))
+      if (v < u) b.add_edge(new_id[v], new_id[u]);
+  }
+  if (old_of_new != nullptr) *old_of_new = std::move(back);
+  return b.build();
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source) {
+  OVERCOUNT_EXPECTS(source < g.num_nodes());
+  std::vector<std::size_t> dist(g.num_nodes(),
+                                std::numeric_limits<std::size_t>::max());
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == std::numeric_limits<std::size_t>::max()) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace overcount

@@ -1,0 +1,36 @@
+// Connectivity queries on static graphs: BFS components, largest component
+// extraction. Estimators only ever see the component of the probing node
+// (paper Section 3: "each node will only be able to estimate the size of its
+// connected component").
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace overcount {
+
+/// Component label per node (labels are 0-based, dense) plus component count.
+struct ComponentLabels {
+  std::vector<NodeId> label;   // size n
+  std::size_t num_components = 0;
+};
+
+/// Labels every node with its connected-component id (BFS).
+ComponentLabels connected_components(const Graph& g);
+
+/// True when the graph is non-empty and has a single component.
+bool is_connected(const Graph& g);
+
+/// Size of the component containing v.
+std::size_t component_size(const Graph& g, NodeId v);
+
+/// Induced subgraph of the largest component. `old_of_new[i]` maps each new
+/// node id back to the original id (optional out-parameter).
+Graph largest_component(const Graph& g,
+                        std::vector<NodeId>* old_of_new = nullptr);
+
+/// BFS distances from `source`; unreachable nodes get SIZE_MAX.
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source);
+
+}  // namespace overcount

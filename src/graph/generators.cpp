@@ -1,0 +1,450 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace overcount {
+
+namespace {
+
+/// Maintains the set of nodes with degree < cap, supporting O(1) uniform
+/// sampling and O(1) removal.
+class EligibleSet {
+ public:
+  explicit EligibleSet(std::size_t n) : pos_(n), members_(n) {
+    std::iota(members_.begin(), members_.end(), NodeId{0});
+    std::iota(pos_.begin(), pos_.end(), std::size_t{0});
+  }
+
+  bool empty() const noexcept { return members_.empty(); }
+  std::size_t size() const noexcept { return members_.size(); }
+
+  NodeId sample(Rng& rng) const {
+    return members_[rng.uniform_below(members_.size())];
+  }
+
+  bool contains(NodeId v) const noexcept {
+    return pos_[v] < members_.size() && members_[pos_[v]] == v;
+  }
+
+  void remove(NodeId v) {
+    if (!contains(v)) return;
+    const std::size_t p = pos_[v];
+    const NodeId last = members_.back();
+    members_[p] = last;
+    pos_[last] = p;
+    members_.pop_back();
+  }
+
+ private:
+  std::vector<std::size_t> pos_;
+  std::vector<NodeId> members_;
+};
+
+}  // namespace
+
+Graph balanced_random_graph(std::size_t n, Rng& rng,
+                            std::size_t max_degree) {
+  OVERCOUNT_EXPECTS(n >= 2);
+  OVERCOUNT_EXPECTS(max_degree >= 1);
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const auto want = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(max_degree)));
+    // k_i uniform candidate draws over the whole population; a draw landing
+    // on the node itself, an existing neighbour, or a degree-saturated
+    // target is discarded without retry. The wasted draws late in the
+    // sequence are what keep the average degree in the 7-8 range the paper
+    // reports (a retrying variant saturates near max_degree instead).
+    for (std::size_t attempt = 0;
+         attempt < want && b.degree(i) < max_degree; ++attempt) {
+      const auto t = static_cast<NodeId>(rng.uniform_below(n));
+      if (t == i || b.degree(t) >= max_degree || b.has_edge(i, t)) continue;
+      b.add_edge(i, t);
+    }
+    // The construction guarantees degrees >= 1: a node whose draws all
+    // failed keeps retrying for its first link.
+    std::size_t rescue_attempts = 64 * n;
+    while (b.degree(i) == 0 && rescue_attempts-- > 0) {
+      const auto t = static_cast<NodeId>(rng.uniform_below(n));
+      if (t == i || b.degree(t) >= max_degree) continue;
+      b.add_edge(i, t);
+    }
+  }
+  return b.build();
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng) {
+  OVERCOUNT_EXPECTS(m >= 1);
+  OVERCOUNT_EXPECTS(n > m);
+  GraphBuilder b(n);
+  // Endpoint multiset: each node appears once per incident edge, so uniform
+  // sampling from it is degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * m * n);
+  const std::size_t seed_size = m + 1;
+  for (NodeId u = 0; u < seed_size; ++u) {
+    for (NodeId v = u + 1; v < seed_size; ++v) {
+      b.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId v = static_cast<NodeId>(seed_size); v < n; ++v) {
+    std::vector<NodeId> chosen;
+    chosen.reserve(m);
+    while (chosen.size() < m) {
+      const NodeId t = endpoints[rng.uniform_below(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end())
+        chosen.push_back(t);
+    }
+    for (NodeId t : chosen) {
+      b.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+Graph erdos_renyi_gnp(std::size_t n, double p, Rng& rng) {
+  OVERCOUNT_EXPECTS(n >= 2);
+  OVERCOUNT_EXPECTS(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(n);
+  if (p <= 0.0) return b.build();
+  if (p >= 1.0) return complete(n);
+  // Iterate candidate pair index with geometric skips (Batagelj-Brandes).
+  const double log_q = std::log1p(-p);
+  const auto total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  std::uint64_t idx = 0;
+  // First skip.
+  auto advance = [&]() {
+    const double u = rng.uniform_positive();
+    idx += 1 + static_cast<std::uint64_t>(std::floor(std::log(u) / log_q));
+  };
+  advance();
+  while (idx <= total) {
+    // Map linear index (1-based) to pair (u, v), u < v.
+    const std::uint64_t k = idx - 1;
+    const auto u = static_cast<NodeId>(
+        n - 2 -
+        static_cast<std::uint64_t>(
+            std::floor(std::sqrt(-8.0 * static_cast<double>(k) +
+                                 4.0 * static_cast<double>(n) *
+                                     (static_cast<double>(n) - 1) -
+                                 7.0) /
+                           2.0 -
+                       0.5)));
+    const auto v = static_cast<NodeId>(
+        k + u + 1 -
+        static_cast<std::uint64_t>(n) * (n - 1) / 2 +
+        (static_cast<std::uint64_t>(n) - u) *
+            ((static_cast<std::uint64_t>(n) - u) - 1) / 2);
+    b.add_edge(u, v);
+    advance();
+  }
+  return b.build();
+}
+
+Graph erdos_renyi_gnm(std::size_t n, std::size_t m_edges, Rng& rng) {
+  OVERCOUNT_EXPECTS(n >= 2);
+  const auto total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  OVERCOUNT_EXPECTS(m_edges <= total);
+  GraphBuilder b(n);
+  while (b.num_edges() < m_edges) {
+    const auto u = static_cast<NodeId>(rng.uniform_below(n));
+    const auto v = static_cast<NodeId>(rng.uniform_below(n));
+    if (u == v || b.has_edge(u, v)) continue;
+    b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph k_out_graph(std::size_t n, std::size_t k, Rng& rng) {
+  OVERCOUNT_EXPECTS(k >= 1);
+  OVERCOUNT_EXPECTS(n > k);
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    std::size_t added = 0;
+    std::unordered_set<NodeId> chosen;
+    while (added < k) {
+      const auto t = static_cast<NodeId>(rng.uniform_below(n));
+      if (t == v || !chosen.insert(t).second) continue;
+      ++added;
+      if (!b.has_edge(v, t)) b.add_edge(v, t);
+    }
+  }
+  return b.build();
+}
+
+Graph ring(std::size_t n) {
+  OVERCOUNT_EXPECTS(n >= 3);
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v)
+    b.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  return b.build();
+}
+
+Graph path_graph(std::size_t n) {
+  OVERCOUNT_EXPECTS(n >= 2);
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph complete(std::size_t n) {
+  OVERCOUNT_EXPECTS(n >= 2);
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph star(std::size_t n) {
+  OVERCOUNT_EXPECTS(n >= 2);
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph grid_2d(std::size_t rows, std::size_t cols, bool torus) {
+  OVERCOUNT_EXPECTS(rows >= 2 && cols >= 2);
+  if (torus) OVERCOUNT_EXPECTS(rows >= 3 && cols >= 3);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      else if (torus) b.add_edge(id(r, c), id(r, 0));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+      else if (torus) b.add_edge(id(r, c), id(0, c));
+    }
+  }
+  return b.build();
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b_count) {
+  OVERCOUNT_EXPECTS(a >= 1 && b_count >= 1);
+  GraphBuilder b(a + b_count);
+  for (NodeId u = 0; u < a; ++u)
+    for (std::size_t v = 0; v < b_count; ++v)
+      b.add_edge(u, static_cast<NodeId>(a + v));
+  return b.build();
+}
+
+Graph bipartite_regular(std::size_t half, std::size_t d, Rng& rng) {
+  OVERCOUNT_EXPECTS(half >= 1);
+  OVERCOUNT_EXPECTS(d >= 1 && d <= half);
+  GraphBuilder b(2 * half);
+  std::vector<NodeId> perm(half);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  auto collides = [&](std::size_t i) {
+    return b.has_edge(static_cast<NodeId>(i),
+                      static_cast<NodeId>(half + perm[i]));
+  };
+  for (std::size_t round = 0; round < d; ++round) {
+    // Shuffle a candidate matching, then repair collisions with already
+    // placed matchings via pairwise swaps; reshuffle if repair stalls.
+    bool ok = false;
+    for (int attempt = 0; attempt < 1000 && !ok; ++attempt) {
+      for (std::size_t i = half; i > 1; --i)
+        std::swap(perm[i - 1], perm[rng.uniform_below(i)]);
+      ok = true;
+      for (std::size_t i = 0; i < half; ++i) {
+        if (!collides(i)) continue;
+        bool fixed = false;
+        for (int tries = 0; tries < 64 && !fixed; ++tries) {
+          const std::size_t j = rng.uniform_below(half);
+          if (j == i) continue;
+          std::swap(perm[i], perm[j]);
+          if (!collides(i) && !collides(j)) fixed = true;
+          else std::swap(perm[i], perm[j]);
+        }
+        if (!fixed) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    OVERCOUNT_ENSURES(ok);
+    for (std::size_t i = 0; i < half; ++i)
+      b.add_edge(static_cast<NodeId>(i),
+                 static_cast<NodeId>(half + perm[i]));
+  }
+  return b.build();
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
+  OVERCOUNT_EXPECTS(n >= 4);
+  OVERCOUNT_EXPECTS(k >= 2 && k % 2 == 0);
+  OVERCOUNT_EXPECTS(k < n - 1);
+  OVERCOUNT_EXPECTS(beta >= 0.0 && beta <= 1.0);
+  GraphBuilder b(n);
+  // Ring lattice: node v connects to v+1 .. v+k/2 (mod n).
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      const auto u = static_cast<NodeId>((v + j) % n);
+      // Rewire the far endpoint with probability beta.
+      if (rng.bernoulli(beta)) {
+        std::size_t attempts = 64;
+        NodeId t = u;
+        do {
+          t = static_cast<NodeId>(rng.uniform_below(n));
+        } while ((t == v || b.has_edge(v, t)) && attempts-- > 0);
+        if (t != v && !b.has_edge(v, t)) {
+          b.add_edge(v, t);
+          continue;
+        }
+        // Rewiring failed (dense corner case): keep the lattice edge if
+        // still free.
+      }
+      if (!b.has_edge(v, u)) b.add_edge(v, u);
+    }
+  }
+  return b.build();
+}
+
+Graph random_regular(std::size_t n, std::size_t d, Rng& rng) {
+  OVERCOUNT_EXPECTS(n >= 2);
+  OVERCOUNT_EXPECTS(d >= 1 && d < n);
+  OVERCOUNT_EXPECTS((n * d) % 2 == 0);
+  // Configuration model: shuffle the multiset of d stubs per node and pair
+  // consecutive entries; restart on self-loop or duplicate. For d << n the
+  // per-attempt success probability is bounded below, so a few hundred
+  // restarts suffice with overwhelming probability.
+  std::vector<NodeId> stubs(n * d);
+  for (std::size_t i = 0; i < stubs.size(); ++i)
+    stubs[i] = static_cast<NodeId>(i / d);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    for (std::size_t i = stubs.size(); i > 1; --i)
+      std::swap(stubs[i - 1], stubs[rng.uniform_below(i)]);
+    GraphBuilder b(n);
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size() && ok; i += 2) {
+      // Local repair beats whole-pairing rejection: on a bad pair, swap the
+      // second stub with a random not-yet-paired one and retry (the naive
+      // restart succeeds with probability ~exp(-(d^2-1)/4), hopeless past
+      // d ~ 5).
+      std::size_t tries = 256;
+      while ((stubs[i] == stubs[i + 1] ||
+              b.has_edge(stubs[i], stubs[i + 1])) &&
+             tries-- > 0) {
+        if (i + 2 >= stubs.size()) break;  // nothing left to swap with
+        const std::size_t j =
+            i + 2 + rng.uniform_below(stubs.size() - i - 2);
+        std::swap(stubs[i + 1], stubs[j]);
+      }
+      if (stubs[i] == stubs[i + 1] || b.has_edge(stubs[i], stubs[i + 1]))
+        ok = false;
+      else
+        b.add_edge(stubs[i], stubs[i + 1]);
+    }
+    if (ok) return b.build();
+  }
+  throw std::runtime_error(
+      "random_regular: pairing failed repeatedly (d too close to n?)");
+}
+
+Graph hypercube(std::size_t dimensions) {
+  OVERCOUNT_EXPECTS(dimensions >= 1 && dimensions <= 20);
+  const std::size_t n = std::size_t{1} << dimensions;
+  GraphBuilder b(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t bit = 0; bit < dimensions; ++bit) {
+      const std::size_t u = v ^ (std::size_t{1} << bit);
+      if (v < u) b.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(u));
+    }
+  return b.build();
+}
+
+Graph degree_preserving_rewire(const Graph& g, std::size_t swaps,
+                               Rng& rng) {
+  OVERCOUNT_EXPECTS(g.num_edges() >= 2);
+  // Work on a flat edge list plus an adjacency-set view for O(1)-ish
+  // duplicate checks (via GraphBuilder::has_edge on the evolving builder we
+  // can't mutate, so keep our own sets).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.num_edges());
+  std::vector<std::unordered_set<NodeId>> adj(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      adj[v].insert(u);
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  auto connected = [&](NodeId a, NodeId b) { return adj[a].contains(b); };
+  for (std::size_t s = 0; s < swaps; ++s) {
+    auto& e1 = edges[rng.uniform_below(edges.size())];
+    auto& e2 = edges[rng.uniform_below(edges.size())];
+    if (&e1 == &e2) continue;
+    NodeId a = e1.first;
+    NodeId b = e1.second;
+    NodeId c = e2.first;
+    NodeId d = e2.second;
+    // Randomly orient the second edge so both pairings are reachable.
+    if (rng.bernoulli(0.5)) std::swap(c, d);
+    // Proposed: {a,d} and {c,b}.
+    if (a == d || c == b || connected(a, d) || connected(c, b)) continue;
+    adj[a].erase(b);
+    adj[b].erase(a);
+    adj[c].erase(d);
+    adj[d].erase(c);
+    adj[a].insert(d);
+    adj[d].insert(a);
+    adj[c].insert(b);
+    adj[b].insert(c);
+    e1 = {a, d};
+    e2 = {std::min(c, b), std::max(c, b)};
+    e1 = {std::min(e1.first, e1.second), std::max(e1.first, e1.second)};
+  }
+  GraphBuilder b(g.num_nodes());
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph random_geometric(std::size_t n, double radius, Rng& rng) {
+  OVERCOUNT_EXPECTS(n >= 2);
+  OVERCOUNT_EXPECTS(radius > 0.0);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  GraphBuilder b(n);
+  const double r2 = radius * radius;
+  const auto cells =
+      std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / radius));
+  std::vector<std::vector<NodeId>> grid(cells * cells);
+  auto cell_of = [&](double v) {
+    auto c = static_cast<std::size_t>(v * static_cast<double>(cells));
+    return std::min(c, cells - 1);
+  };
+  for (NodeId i = 0; i < n; ++i)
+    grid[cell_of(x[i]) * cells + cell_of(y[i])].push_back(i);
+  for (NodeId i = 0; i < n; ++i) {
+    const std::size_t cx = cell_of(x[i]);
+    const std::size_t cy = cell_of(y[i]);
+    for (std::size_t dx = cx == 0 ? 0 : cx - 1;
+         dx <= std::min(cx + 1, cells - 1); ++dx) {
+      for (std::size_t dy = cy == 0 ? 0 : cy - 1;
+           dy <= std::min(cy + 1, cells - 1); ++dy) {
+        for (NodeId j : grid[dx * cells + dy]) {
+          if (j <= i) continue;
+          const double ddx = x[i] - x[j];
+          const double ddy = y[i] - y[j];
+          if (ddx * ddx + ddy * ddy <= r2) b.add_edge(i, j);
+        }
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace overcount

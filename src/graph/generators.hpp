@@ -1,0 +1,97 @@
+// Overlay-topology generators.
+//
+// The paper evaluates on two families (Section 5.1): "balanced random
+// graphs" (sequential construction with degree targets uniform in 1..10,
+// degrees capped at 10) and Barabasi-Albert scale-free graphs. The remaining
+// generators support the analysis-side experiments: expander-like families
+// (Erdos-Renyi, k-out), low-expansion families (ring, path, grid), exactly
+// solvable spectra (complete, star, cycle), bipartite counterexamples
+// (Remark 1), and random geometric graphs (gossip cost discussion, [10]).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace overcount {
+
+/// The paper's Section 5.1 construction. Sequentially, each node draws a
+/// target count uniform in [1, max_degree] and connects to that many random
+/// distinct nodes whose degree is still below max_degree (capping its own
+/// degree at max_degree too). The result has degrees in [1, max_degree] and
+/// average degree 7-8 when max_degree = 10.
+Graph balanced_random_graph(std::size_t n, Rng& rng,
+                            std::size_t max_degree = 10);
+
+/// Barabasi-Albert preferential attachment; each arriving node links to
+/// `m` distinct existing nodes chosen with probability proportional to
+/// degree. Seed is an (m+1)-clique. Requires n > m >= 1.
+Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng);
+
+/// Erdos-Renyi G(n, p): every pair independently an edge with probability p.
+/// Implemented with geometric skipping, O(n + |E|).
+Graph erdos_renyi_gnp(std::size_t n, double p, Rng& rng);
+
+/// Erdos-Renyi G(n, M): exactly m_edges distinct uniform edges.
+Graph erdos_renyi_gnm(std::size_t n, std::size_t m_edges, Rng& rng);
+
+/// k-out random graph: each node selects k distinct random targets; the
+/// union of selections forms the undirected edge set ([18]: expansion >=
+/// Omega(1) for k >= 2). Requires n > k.
+Graph k_out_graph(std::size_t n, std::size_t k, Rng& rng);
+
+/// Cycle C_n (n >= 3).
+Graph ring(std::size_t n);
+
+/// Path P_n (n >= 2).
+Graph path_graph(std::size_t n);
+
+/// Complete graph K_n (n >= 2).
+Graph complete(std::size_t n);
+
+/// Star: node 0 is the hub, nodes 1..n-1 are leaves (n >= 2).
+Graph star(std::size_t n);
+
+/// rows x cols grid; when `torus`, rows and columns wrap (degrees all 4).
+Graph grid_2d(std::size_t rows, std::size_t cols, bool torus = false);
+
+/// Complete bipartite K_{a,b}.
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// Random d-regular bipartite graph on 2*half nodes (left: 0..half-1,
+/// right: half..2*half-1), built as a union of d disjoint perfect matchings.
+/// Used for the Remark 1 deterministic-sojourn counterexample. Requires
+/// 1 <= d <= half.
+Graph bipartite_regular(std::size_t half, std::size_t d, Rng& rng);
+
+/// Random geometric graph: n points uniform in the unit square, edge when
+/// Euclidean distance <= radius. Grid-bucketed, O(n + |E|) expected.
+Graph random_geometric(std::size_t n, double radius, Rng& rng);
+
+/// Watts-Strogatz small world: ring lattice where each node links to its k
+/// nearest neighbours (k even), then every edge's far endpoint is rewired
+/// with probability beta to a uniform non-duplicate target. beta = 0 is the
+/// lattice (poor expansion, high clustering); beta = 1 is ER-like.
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng);
+
+/// Random d-regular graph by the configuration model (pairing stubs) with
+/// rejection of self-loops/multi-edges and bounded retries. Requires
+/// n*d even, d < n.
+Graph random_regular(std::size_t n, std::size_t d, Rng& rng);
+
+/// Boolean hypercube Q_d: 2^d nodes, edge when ids differ in one bit.
+/// d-regular with Laplacian spectrum {2k with multiplicity C(d,k)} — an
+/// exactly solvable expander used by the spectral test suite. Requires
+/// 1 <= dimensions <= 20.
+Graph hypercube(std::size_t dimensions);
+
+/// Degree-preserving randomisation: `swaps` double-edge swaps
+/// ({a,b},{c,d} -> {a,d},{c,b}) applied by MCMC, rejecting swaps that would
+/// create self-loops or parallel edges. Preserves every node's degree while
+/// destroying higher-order structure (clustering, assortativity) — the
+/// standard null model for "is this effect driven by the degree sequence
+/// alone?" questions. Requires at least 2 edges.
+Graph degree_preserving_rewire(const Graph& g, std::size_t swaps, Rng& rng);
+
+}  // namespace overcount

@@ -1,0 +1,72 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace overcount {
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  OVERCOUNT_EXPECTS(u < num_nodes());
+  OVERCOUNT_EXPECTS(v < num_nodes());
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v)
+    best = std::max(best, degree(v));
+  return best;
+}
+
+std::size_t Graph::min_degree() const noexcept {
+  if (num_nodes() == 0) return 0;
+  std::size_t best = degree(0);
+  for (NodeId v = 1; v < num_nodes(); ++v)
+    best = std::min(best, degree(v));
+  return best;
+}
+
+double Graph::average_degree() const noexcept {
+  if (num_nodes() == 0) return 0.0;
+  return static_cast<double>(total_degree()) /
+         static_cast<double>(num_nodes());
+}
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes) : adjacency_(num_nodes) {}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  OVERCOUNT_EXPECTS(u < adjacency_.size());
+  OVERCOUNT_EXPECTS(v < adjacency_.size());
+  OVERCOUNT_EXPECTS(u != v);
+  OVERCOUNT_EXPECTS(!has_edge(u, v));
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
+  OVERCOUNT_EXPECTS(u < adjacency_.size());
+  OVERCOUNT_EXPECTS(v < adjacency_.size());
+  // Search the shorter list.
+  const auto& a = adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                               : adjacency_[v];
+  const NodeId needle = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(a.begin(), a.end(), needle) != a.end();
+}
+
+Graph GraphBuilder::build() const {
+  Graph g;
+  g.offsets_.resize(adjacency_.size() + 1, 0);
+  for (std::size_t v = 0; v < adjacency_.size(); ++v)
+    g.offsets_[v + 1] = g.offsets_[v] + adjacency_[v].size();
+  g.adjacency_.resize(g.offsets_.back());
+  for (std::size_t v = 0; v < adjacency_.size(); ++v) {
+    auto out = g.adjacency_.begin() +
+               static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    std::copy(adjacency_[v].begin(), adjacency_[v].end(), out);
+    std::sort(out, out + static_cast<std::ptrdiff_t>(adjacency_[v].size()));
+  }
+  return g;
+}
+
+}  // namespace overcount

@@ -1,0 +1,81 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace overcount {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "# overcount edge list\n";
+  os << "nodes " << g.num_nodes() << '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (NodeId u : g.neighbors(v))
+      if (v < u) os << v << ' ' << u << '\n';
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  std::size_t n = 0;
+  bool have_header = false;
+  GraphBuilder builder(0);
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ss(line);
+    if (!have_header) {
+      std::string keyword;
+      ss >> keyword >> n;
+      if (keyword != "nodes" || ss.fail())
+        throw std::runtime_error("edge list line " + std::to_string(line_no) +
+                                 ": expected 'nodes <count>' header");
+      builder = GraphBuilder(n);
+      have_header = true;
+      continue;
+    }
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    ss >> u >> v;
+    if (ss.fail())
+      throw std::runtime_error("edge list line " + std::to_string(line_no) +
+                               ": expected 'u v'");
+    if (u >= n || v >= n || u == v)
+      throw std::runtime_error("edge list line " + std::to_string(line_no) +
+                               ": invalid edge " + std::to_string(u) + " " +
+                               std::to_string(v));
+    if (builder.has_edge(static_cast<NodeId>(u), static_cast<NodeId>(v)))
+      throw std::runtime_error("edge list line " + std::to_string(line_no) +
+                               ": duplicate edge");
+    builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  if (!have_header)
+    throw std::runtime_error("edge list: missing 'nodes <count>' header");
+  return builder.build();
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open for writing: " + path);
+  write_edge_list(file, g);
+  if (!file) throw std::runtime_error("write failed: " + path);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open for reading: " + path);
+  return read_edge_list(file);
+}
+
+void write_dot(std::ostream& os, const Graph& g, const std::string& name) {
+  os << "graph " << name << " {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) == 0) os << "  " << v << ";\n";
+    for (NodeId u : g.neighbors(v))
+      if (v < u) os << "  " << v << " -- " << u << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace overcount

@@ -1,0 +1,32 @@
+// Graph serialisation: a plain edge-list text format (one "u v" pair per
+// line, '#' comments, header with node count) and Graphviz DOT export for
+// visual inspection of small overlays.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace overcount {
+
+/// Writes `g` as:
+///   # overcount edge list
+///   nodes <n>
+///   <u> <v>        (one line per undirected edge, u < v)
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses the write_edge_list format. Throws std::runtime_error on
+/// malformed input (missing header, out-of-range ids, duplicate edges).
+Graph read_edge_list(std::istream& is);
+
+/// Convenience: file-path overloads. Throw std::runtime_error when the file
+/// cannot be opened.
+void save_graph(const std::string& path, const Graph& g);
+Graph load_graph(const std::string& path);
+
+/// Graphviz DOT (undirected). Intended for small graphs.
+void write_dot(std::ostream& os, const Graph& g,
+               const std::string& name = "overlay");
+
+}  // namespace overcount

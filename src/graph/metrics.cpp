@@ -1,0 +1,120 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/connectivity.hpp"
+
+namespace overcount {
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::vector<std::size_t> hist(g.max_degree() + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+double power_law_exponent(const Graph& g, std::size_t d_min) {
+  OVERCOUNT_EXPECTS(d_min >= 1);
+  // Hill estimator: alpha = 1 + n / sum(log(d_i / (d_min - 1/2))).
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto d = g.degree(v);
+    if (d < d_min) continue;
+    log_sum += std::log(static_cast<double>(d) /
+                        (static_cast<double>(d_min) - 0.5));
+    ++count;
+  }
+  if (count < 10 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(count) / log_sum;
+}
+
+double local_clustering(const Graph& g, NodeId v) {
+  const auto nbrs = g.neighbors(v);
+  if (nbrs.size() < 2) return 0.0;
+  std::size_t closed = 0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i)
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j)
+      if (g.has_edge(nbrs[i], nbrs[j])) ++closed;
+  const double pairs =
+      static_cast<double>(nbrs.size()) * (nbrs.size() - 1) / 2.0;
+  return static_cast<double>(closed) / pairs;
+}
+
+double average_clustering(const Graph& g) {
+  OVERCOUNT_EXPECTS(g.num_nodes() > 0);
+  double acc = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) acc += local_clustering(g, v);
+  return acc / static_cast<double>(g.num_nodes());
+}
+
+std::size_t triangle_count(const Graph& g) {
+  // Count ordered v < u < w with all three edges present; neighbour lists
+  // are sorted, so scan u's neighbours above u.
+  std::size_t triangles = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nv = g.neighbors(v);
+    for (NodeId u : nv) {
+      if (u <= v) continue;
+      for (NodeId w : g.neighbors(u)) {
+        if (w <= u) continue;
+        if (std::binary_search(nv.begin(), nv.end(), w)) ++triangles;
+      }
+    }
+  }
+  return triangles;
+}
+
+DistanceStats distance_stats(const Graph& g, std::size_t samples, Rng& rng) {
+  OVERCOUNT_EXPECTS(g.num_nodes() >= 2);
+  DistanceStats out;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  const bool exhaustive = samples >= g.num_nodes();
+  const std::size_t count = exhaustive ? g.num_nodes() : samples;
+  for (std::size_t s = 0; s < count; ++s) {
+    const NodeId source =
+        exhaustive ? static_cast<NodeId>(s)
+                   : static_cast<NodeId>(rng.uniform_below(g.num_nodes()));
+    const auto dist = bfs_distances(g, source);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == source ||
+          dist[v] == std::numeric_limits<std::size_t>::max())
+        continue;
+      total += static_cast<double>(dist[v]);
+      ++pairs;
+      out.diameter = std::max(out.diameter, dist[v]);
+    }
+    ++out.sources;
+  }
+  OVERCOUNT_EXPECTS(pairs > 0);
+  out.average = total / static_cast<double>(pairs);
+  return out;
+}
+
+double degree_assortativity(const Graph& g) {
+  OVERCOUNT_EXPECTS(g.num_edges() > 0);
+  // Pearson correlation over directed edge endpoints (each undirected edge
+  // contributes both orientations, which symmetrises the estimator).
+  double sum_x = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  const double m = static_cast<double>(g.total_degree());  // 2|E| endpoints
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto dv = static_cast<double>(g.degree(v));
+    for (NodeId u : g.neighbors(v)) {
+      const auto du = static_cast<double>(g.degree(u));
+      sum_x += dv;
+      sum_xx += dv * dv;
+      sum_xy += dv * du;
+    }
+  }
+  const double mean = sum_x / m;
+  const double var = sum_xx / m - mean * mean;
+  if (var <= 1e-12) return 0.0;  // regular graph: correlation undefined
+  const double cov = sum_xy / m - mean * mean;
+  return cov / var;
+}
+
+}  // namespace overcount

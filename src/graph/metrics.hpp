@@ -1,0 +1,47 @@
+// Topology diagnostics: degree distributions, clustering, distances and
+// degree assortativity. Used by the expansion-properties bench (the paper's
+// Section 3.4 discussion) and for sanity-checking generated overlays.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace overcount {
+
+/// Histogram of node degrees: result[d] = number of nodes of degree d.
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+/// Exponent fit for a power-law degree tail P(d) ~ d^-alpha via the
+/// discrete maximum-likelihood (Hill) estimator over degrees >= d_min.
+/// Returns 0 when fewer than 10 nodes qualify.
+double power_law_exponent(const Graph& g, std::size_t d_min = 3);
+
+/// Local clustering coefficient of node v: triangles / possible pairs.
+/// 0 for degree < 2.
+double local_clustering(const Graph& g, NodeId v);
+
+/// Average of local clustering over all nodes (Watts-Strogatz style).
+double average_clustering(const Graph& g);
+
+/// Exact number of triangles in the graph.
+std::size_t triangle_count(const Graph& g);
+
+struct DistanceStats {
+  double average = 0.0;      ///< mean shortest-path distance over pairs
+  std::size_t diameter = 0;  ///< max eccentricity among sampled sources
+  std::size_t sources = 0;   ///< BFS sources used
+};
+
+/// BFS from `samples` random sources (or every node if samples >= n);
+/// unreachable pairs are skipped. Requires at least one reachable pair.
+DistanceStats distance_stats(const Graph& g, std::size_t samples, Rng& rng);
+
+/// Pearson correlation of degrees across edge endpoints (Newman's degree
+/// assortativity, in [-1, 1]). Requires at least one edge and degree
+/// variance > 0; returns 0 for degree-regular graphs.
+double degree_assortativity(const Graph& g);
+
+}  // namespace overcount

@@ -1,0 +1,145 @@
+#include "membership/shuffle.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace overcount {
+
+ShuffleMembership::ShuffleMembership(std::size_t n, std::size_t view_size,
+                                     Rng rng)
+    : view_size_(view_size), views_(n), left_(n, false), rng_(rng) {
+  OVERCOUNT_EXPECTS(view_size >= 2);
+  OVERCOUNT_EXPECTS(n > view_size);
+  // Seed views: ring successors plus random fill — connected from round 0.
+  for (NodeId v = 0; v < n; ++v) {
+    views_[v].push_back(static_cast<NodeId>((v + 1) % n));
+    while (views_[v].size() < view_size_) {
+      const auto cand = static_cast<NodeId>(rng_.uniform_below(n));
+      if (cand == v) continue;
+      if (std::find(views_[v].begin(), views_[v].end(), cand) !=
+          views_[v].end())
+        continue;
+      views_[v].push_back(cand);
+    }
+  }
+}
+
+void ShuffleMembership::insert_into_view(NodeId owner, NodeId entry) {
+  if (entry == owner || left_[owner] || left_[entry]) return;
+  auto& view = views_[owner];
+  if (std::find(view.begin(), view.end(), entry) != view.end()) return;
+  if (view.size() < view_size_) {
+    view.push_back(entry);
+  } else {
+    view[rng_.uniform_below(view.size())] = entry;  // replace a random slot
+  }
+}
+
+void ShuffleMembership::run_rounds(std::size_t rounds) {
+  const std::size_t n = views_.size();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = n; i > 1; --i)
+      std::swap(order[i - 1], order[rng_.uniform_below(i)]);
+    for (const NodeId v : order) {
+      if (left_[v]) continue;
+      auto& mine = views_[v];
+      if (mine.empty()) continue;
+      const NodeId partner = mine[rng_.uniform_below(mine.size())];
+      auto& theirs = views_[partner];
+      // Exchange floor(view/2) randomly chosen entries; each side then
+      // deduplicates against itself (entries equal to the receiver or
+      // already present are re-rolled into keeping the old entry).
+      const std::size_t swap_count = view_size_ / 2;
+      for (std::size_t k = 0; k < swap_count; ++k) {
+        if (mine.empty() || theirs.empty()) break;
+        const std::size_t mi = rng_.uniform_below(mine.size());
+        const std::size_t ti = rng_.uniform_below(theirs.size());
+        const NodeId to_them = mine[mi];
+        const NodeId to_me = theirs[ti];
+        const bool they_can =
+            to_them != partner &&
+            std::find(theirs.begin(), theirs.end(), to_them) == theirs.end();
+        const bool i_can =
+            to_me != v &&
+            std::find(mine.begin(), mine.end(), to_me) == mine.end();
+        if (they_can && i_can) {
+          mine[mi] = to_me;
+          theirs[ti] = to_them;
+        }
+      }
+    }
+  }
+}
+
+Graph ShuffleMembership::overlay() const {
+  const std::size_t n = views_.size();
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v)
+    for (NodeId u : views_[v])
+      if (!b.has_edge(v, u)) b.add_edge(v, u);
+  return b.build();
+}
+
+std::vector<std::size_t> ShuffleMembership::in_degree_histogram() const {
+  std::vector<std::size_t> in_degree(views_.size(), 0);
+  for (const auto& view : views_)
+    for (NodeId u : view) ++in_degree[u];
+  return in_degree;
+}
+
+NodeId ShuffleMembership::join(NodeId contact) {
+  OVERCOUNT_EXPECTS(contact < views_.size());
+  OVERCOUNT_EXPECTS(!left_[contact]);
+  const auto me = static_cast<NodeId>(views_.size());
+  views_.emplace_back();
+  left_.push_back(false);
+  // Copy a shuffled half of the contact's view, then the contact itself.
+  auto seed_view = views_[contact];
+  for (std::size_t i = seed_view.size(); i > 1; --i)
+    std::swap(seed_view[i - 1], seed_view[rng_.uniform_below(i)]);
+  for (std::size_t i = 0; i < seed_view.size() / 2; ++i)
+    insert_into_view(me, seed_view[i]);
+  insert_into_view(me, contact);
+  // Subscription forwarding: place `view_size` copies of the newcomer into
+  // random participating peers' views (SCAMP keeps the expected in-degree
+  // ~ view size).
+  std::size_t placed = 0;
+  std::size_t attempts = 64 * view_size_;
+  while (placed < view_size_ && attempts-- > 0) {
+    const auto owner =
+        static_cast<NodeId>(rng_.uniform_below(views_.size() - 1));
+    if (left_[owner]) continue;
+    insert_into_view(owner, me);
+    ++placed;
+  }
+  return me;
+}
+
+void ShuffleMembership::leave(NodeId v) {
+  OVERCOUNT_EXPECTS(v < views_.size());
+  OVERCOUNT_EXPECTS(!left_[v]);
+  left_[v] = true;
+  views_[v].clear();
+  views_[v].shrink_to_fit();
+  for (auto& view : views_)
+    view.erase(std::remove(view.begin(), view.end(), v), view.end());
+}
+
+bool ShuffleMembership::check_invariants() const {
+  for (NodeId v = 0; v < views_.size(); ++v) {
+    const auto& view = views_[v];
+    if (left_[v] && !view.empty()) return false;
+    if (view.size() > view_size_) return false;
+    for (NodeId u : view)
+      if (u == v || u >= views_.size() || left_[u]) return false;
+    auto sorted = view;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+      return false;
+  }
+  return true;
+}
+
+}  // namespace overcount

@@ -1,0 +1,78 @@
+// Gossip-based membership management (the overlay-maintenance layer the
+// paper's evaluation presumes: [16] "peer-to-peer membership management for
+// gossip-based protocols", [22] "gossip-based peer sampling"). Each peer
+// keeps a small partial view of c neighbour descriptors; periodically it
+// picks a random view entry and the pair exchange halves of their views.
+// The union of views forms exactly the kind of bounded-degree, well-mixing
+// random overlay on which Random Tour and Sample & Collide are meant to
+// run — so this module closes the loop from "maintain an overlay" to
+// "measure it".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace overcount {
+
+/// Synchronous-round simulation of a view-shuffling membership protocol.
+class ShuffleMembership {
+ public:
+  /// Bootstraps n peers with views of size `view_size`, initialised from a
+  /// ring plus random entries (every deployment needs SOME seed graph).
+  /// Requires n > view_size >= 2.
+  ShuffleMembership(std::size_t n, std::size_t view_size, Rng rng);
+
+  std::size_t num_peers() const noexcept { return views_.size(); }
+  std::size_t view_size() const noexcept { return view_size_; }
+
+  /// Runs `rounds` shuffle rounds: in each round every peer (in random
+  /// order) exchanges floor(view_size/2) entries with a random view member.
+  void run_rounds(std::size_t rounds);
+
+  /// The current view of peer v (list of neighbour ids, no duplicates,
+  /// never contains v).
+  const std::vector<NodeId>& view_of(NodeId v) const {
+    OVERCOUNT_EXPECTS(v < views_.size());
+    return views_[v];
+  }
+
+  /// Undirected overlay induced by the views (edge iff either side holds
+  /// the other in its view). This is the graph the estimators walk on.
+  Graph overlay() const;
+
+  /// In-degree distribution summary: how many views contain each peer.
+  /// Healthy shuffling keeps this concentrated around view_size.
+  std::vector<std::size_t> in_degree_histogram() const;
+
+  /// A new peer joins via `contact`: it copies a shuffled half of the
+  /// contact's view and is inserted into `view_size` random peers' views
+  /// (subscription forwarding, SCAMP-style). Returns the new peer's id.
+  NodeId join(NodeId contact);
+
+  /// Peer `v` departs ungracefully: its own view is emptied and every
+  /// stale reference to it is purged lazily on the next shuffle touch —
+  /// here purged eagerly for simplicity. Ids are never reused.
+  void leave(NodeId v);
+
+  /// True while the peer participates (has not left).
+  bool participating(NodeId v) const {
+    OVERCOUNT_EXPECTS(v < views_.size());
+    return !left_[v];
+  }
+
+  /// Checks structural invariants (sizes, no self/duplicate entries).
+  bool check_invariants() const;
+
+ private:
+  std::size_t view_size_;
+  std::vector<std::vector<NodeId>> views_;
+  std::vector<bool> left_;
+  Rng rng_;
+
+  void insert_into_view(NodeId owner, NodeId entry);
+};
+
+}  // namespace overcount

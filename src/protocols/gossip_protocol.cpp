@@ -1,0 +1,109 @@
+#include "protocols/gossip_protocol.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "walk/topology.hpp"
+
+namespace overcount {
+
+GossipAveragingProtocol::GossipAveragingProtocol(Network& net, NodeId starter,
+                                                 Rng rng)
+    : net_(&net), rng_(rng) {
+  const auto slots = net_->graph().num_slots();
+  OVERCOUNT_EXPECTS(starter < slots);
+  OVERCOUNT_EXPECTS(net_->graph().alive(starter));
+  value_.assign(slots, 0.0);
+  value_[starter] = 1.0;
+  round_.assign(slots, 0);
+  awaiting_reply_.assign(slots, false);
+  skipped_.assign(slots, 0);
+  net_->set_handler([this](NodeId to, NodeId from, const std::any& payload) {
+    on_message(to, from, payload);
+  });
+}
+
+void GossipAveragingProtocol::schedule_wake(NodeId v) {
+  // Exp(1) local clocks: exchanges interleave asynchronously (the paper's
+  // "nodes communicate asynchronously").
+  net_->simulator().schedule_after(rng_.exponential(1.0),
+                                   [this, v] { wake(v); });
+}
+
+void GossipAveragingProtocol::run_until(SimTime t_end) {
+  for (NodeId v : net_->graph().alive_nodes()) schedule_wake(v);
+  net_->simulator().run_until(t_end);
+}
+
+void GossipAveragingProtocol::wake(NodeId v) {
+  const auto& g = net_->graph();
+  if (!g.alive(v)) return;  // departed: stop this node's clock
+  if (awaiting_reply_[v]) {
+    // An exchange is still in flight. Waiting preserves exact mass
+    // conservation (the pending reply will be applied); only after several
+    // skipped rounds do we declare the reply lost and move on, accepting
+    // the (loss-induced) drift.
+    if (++skipped_[v] < 5) {
+      schedule_wake(v);
+      return;
+    }
+    ++round_[v];  // invalidate the stale reply
+    awaiting_reply_[v] = false;
+  }
+  skipped_[v] = 0;
+  if (g.degree(v) > 0) {
+    ++round_[v];
+    awaiting_reply_[v] = true;
+    net_->send(v, random_neighbor(g, v, rng_), Push{value_[v], round_[v]});
+    ++exchanges_;
+  }
+  schedule_wake(v);
+}
+
+void GossipAveragingProtocol::on_message(NodeId to, NodeId from,
+                                         const std::any& payload) {
+  if (const auto* push = std::any_cast<Push>(&payload)) {
+    // A responder mid-exchange must not touch its value (it is committed to
+    // the pending average). It must still answer, or pushers pile up in the
+    // awaiting state and the whole overlay deadlocks — so it declines
+    // explicitly and the pusher aborts with no state change.
+    if (awaiting_reply_[to]) {
+      net_->send(to, from, Reply{0.0, push->round, false});
+      return;
+    }
+    const double settled = 0.5 * (push->value + value_[to]);
+    value_[to] = settled;
+    net_->send(to, from, Reply{settled, push->round, true});
+    return;
+  }
+  const auto* reply = std::any_cast<Reply>(&payload);
+  OVERCOUNT_EXPECTS(reply != nullptr);
+  if (!awaiting_reply_[to] || reply->round != round_[to]) return;
+  if (reply->accepted) value_[to] = reply->settled;
+  awaiting_reply_[to] = false;
+  skipped_[to] = 0;
+}
+
+double GossipAveragingProtocol::estimate_at(NodeId v) const {
+  OVERCOUNT_EXPECTS(v < value_.size());
+  return value_[v] > 0.0 ? 1.0 / value_[v]
+                         : std::numeric_limits<double>::infinity();
+}
+
+double GossipAveragingProtocol::value_spread() const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (NodeId v : net_->graph().alive_nodes()) {
+    lo = std::min(lo, value_[v]);
+    hi = std::max(hi, value_[v]);
+  }
+  return hi - lo;
+}
+
+double GossipAveragingProtocol::total_mass() const {
+  double mass = 0.0;
+  for (NodeId v : net_->graph().alive_nodes()) mass += value_[v];
+  return mass;
+}
+
+}  // namespace overcount

@@ -1,0 +1,66 @@
+// Message-level gossip averaging (Jelasity & Montresor [20]) over the DES —
+// the protocol realisation of core/gossip.hpp. Every peer wakes on a local
+// timer (Exp(1) clocks, so exchanges interleave asynchronously), pushes its
+// value to a random neighbour, and the pair settles on the average. Under
+// message loss the pairwise exchange is made atomic-or-nothing by the
+// responder echoing the settled value; a lost push simply skips the round
+// (conservation of mass is what the estimate's correctness rests on).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/network.hpp"
+
+namespace overcount {
+
+class GossipAveragingProtocol {
+ public:
+  /// `starter` begins with value 1, all other peers 0. Registers itself as
+  /// the network's delivery handler.
+  GossipAveragingProtocol(Network& net, NodeId starter, Rng rng);
+
+  /// Schedules every alive peer's first wake-up and runs until `t_end`.
+  void run_until(SimTime t_end);
+
+  /// Current size estimate at peer v (1/value); +inf while untouched.
+  double estimate_at(NodeId v) const;
+
+  /// Max-min spread of values — convergence indicator.
+  double value_spread() const;
+
+  /// Sum of all alive peers' values. Exactly 1 when no exchange is in
+  /// flight and no message was lost; exchanges in flight perturb it by at
+  /// most spread/2, and lost replies leak mass permanently (documented
+  /// weakness of gossip under loss).
+  double total_mass() const;
+
+  std::uint64_t exchanges_started() const noexcept { return exchanges_; }
+
+ private:
+  struct Push {
+    double value;
+    std::uint64_t round;
+  };
+  struct Reply {
+    double settled;
+    std::uint64_t round;
+    bool accepted;  ///< false: responder was mid-exchange, nothing changed
+  };
+
+  void on_message(NodeId to, NodeId from, const std::any& payload);
+  void wake(NodeId v);
+  void schedule_wake(NodeId v);
+
+  Network* net_;
+  Rng rng_;
+  std::vector<double> value_;
+  // Per-node round counter: a reply for a stale round is ignored so each
+  // push settles at most one exchange.
+  std::vector<std::uint64_t> round_;
+  std::vector<bool> awaiting_reply_;
+  std::vector<int> skipped_;  // wakes skipped while a reply is pending
+  std::uint64_t exchanges_ = 0;
+};
+
+}  // namespace overcount

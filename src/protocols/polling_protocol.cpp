@@ -1,0 +1,94 @@
+#include "protocols/polling_protocol.hpp"
+
+#include <algorithm>
+
+namespace overcount {
+
+PollingProtocol::PollingProtocol(Network& net, double reply_probability,
+                                 Rng rng, double quiet_period,
+                                 double implosion_window)
+    : net_(&net),
+      reply_probability_(reply_probability),
+      rng_(rng),
+      quiet_period_(quiet_period),
+      implosion_window_(implosion_window) {
+  OVERCOUNT_EXPECTS(reply_probability > 0.0 && reply_probability <= 1.0);
+  OVERCOUNT_EXPECTS(quiet_period > 0.0);
+  OVERCOUNT_EXPECTS(implosion_window > 0.0);
+  net_->set_handler([this](NodeId to, NodeId from, const std::any& payload) {
+    on_message(to, from, payload);
+  });
+}
+
+void PollingProtocol::start(NodeId initiator, Callback done) {
+  OVERCOUNT_EXPECTS(!running_);
+  const auto& g = net_->graph();
+  OVERCOUNT_EXPECTS(g.alive(initiator));
+  initiator_ = initiator;
+  done_ = std::move(done);
+  ++poll_id_;
+  running_ = true;
+  seen_.assign(g.num_slots(), false);
+  reply_times_.clear();
+  flood_messages_ = 0;
+  seen_[initiator] = true;
+  for (NodeId u : g.neighbors(initiator)) {
+    net_->send(initiator, u, Query{initiator, poll_id_});
+    ++flood_messages_;
+  }
+  arm_completion_timer();
+}
+
+void PollingProtocol::arm_completion_timer() {
+  if (completion_armed_) net_->simulator().cancel(completion_event_);
+  completion_armed_ = true;
+  const std::uint64_t expected = poll_id_;
+  completion_event_ = net_->simulator().schedule_after(
+      quiet_period_, [this, expected]() {
+        if (!running_ || poll_id_ != expected) return;
+        running_ = false;
+        completion_armed_ = false;
+        Result r;
+        r.replies = reply_times_.size();
+        r.flood_messages = flood_messages_;
+        r.estimate = 1.0 + static_cast<double>(r.replies) /
+                               reply_probability_;
+        r.completed_at = net_->simulator().now();
+        // Peak burst: max replies inside any implosion_window interval.
+        std::sort(reply_times_.begin(), reply_times_.end());
+        std::size_t best = 0;
+        std::size_t lo = 0;
+        for (std::size_t hi = 0; hi < reply_times_.size(); ++hi) {
+          while (reply_times_[hi] - reply_times_[lo] > implosion_window_)
+            ++lo;
+          best = std::max(best, hi - lo + 1);
+        }
+        r.peak_reply_burst = best;
+        if (done_) done_(r);
+      });
+}
+
+void PollingProtocol::on_message(NodeId to, NodeId /*from*/,
+                                 const std::any& payload) {
+  if (const auto* query = std::any_cast<Query>(&payload)) {
+    if (query->poll_id != poll_id_ || !running_) return;
+    if (to >= seen_.size() || seen_[to]) return;  // slots grown mid-poll: skip
+    seen_[to] = true;
+    const auto& g = net_->graph();
+    // Forward over every incident edge (classic flooding).
+    for (NodeId u : g.neighbors(to)) {
+      net_->send(to, u, *query);
+      ++flood_messages_;
+    }
+    if (rng_.bernoulli(reply_probability_))
+      net_->send(to, query->initiator, Reply{query->poll_id});
+    return;
+  }
+  const auto* reply = std::any_cast<Reply>(&payload);
+  OVERCOUNT_EXPECTS(reply != nullptr);
+  if (reply->poll_id != poll_id_ || !running_) return;
+  reply_times_.push_back(net_->simulator().now());
+  arm_completion_timer();
+}
+
+}  // namespace overcount

@@ -1,0 +1,116 @@
+#include "protocols/random_tour_protocol.hpp"
+
+#include <algorithm>
+
+#include "walk/topology.hpp"
+
+namespace overcount {
+
+RandomTourProtocol::RandomTourProtocol(Network& net, Rng rng,
+                                       std::function<double(NodeId)> f)
+    : net_(&net), rng_(rng), f_(std::move(f)) {
+  if (!f_) f_ = [](NodeId) { return 1.0; };
+  net_->set_handler([this](NodeId to, NodeId from, const std::any& payload) {
+    on_message(to, from, payload);
+  });
+}
+
+void RandomTourProtocol::set_timeout_policy(double k, double initial_timeout) {
+  OVERCOUNT_EXPECTS(k > 0.0);
+  OVERCOUNT_EXPECTS(initial_timeout > 0.0);
+  timeout_k_ = k;
+  initial_timeout_ = initial_timeout;
+}
+
+double RandomTourProtocol::current_timeout() const {
+  double base = initial_timeout_;
+  if (trip_times_.count() >= 3) {
+    // Section 5.3.1: mean plus a few multiples of the standard deviation
+    // (epsilon keeps a zero-variance history from producing a zero timeout).
+    base = trip_times_.mean() + timeout_k_ * trip_times_.stddev() + 1e-9;
+  }
+  // Return times are heavy-tailed, so a timeout estimated from completed
+  // (i.e. short, censored) tours can undershoot; exponential backoff across
+  // consecutive retries of the same measurement guarantees progress.
+  return base * static_cast<double>(1ULL << std::min<std::uint64_t>(
+                                        retries_, 40));
+}
+
+void RandomTourProtocol::start(NodeId initiator, Callback done) {
+  OVERCOUNT_EXPECTS(!in_flight_);
+  OVERCOUNT_EXPECTS(net_->graph().alive(initiator));
+  OVERCOUNT_EXPECTS(net_->graph().degree(initiator) > 0);
+  initiator_ = initiator;
+  done_ = std::move(done);
+  retries_ = 0;
+  in_flight_ = true;
+  launch_probe();
+}
+
+void RandomTourProtocol::launch_probe() {
+  const auto& g = net_->graph();
+  ++tour_id_;
+  launched_at_ = net_->simulator().now();
+  Probe probe{initiator_,
+              f_(initiator_) / static_cast<double>(g.degree(initiator_)),
+              tour_id_, 1};
+  const NodeId first = random_neighbor(g, initiator_, rng_);
+  arm_timeout();
+  net_->send(initiator_, first, probe);
+}
+
+void RandomTourProtocol::arm_timeout() {
+  if (timeout_armed_) net_->simulator().cancel(timeout_event_);
+  timeout_armed_ = true;
+  const std::uint64_t expected_tour = tour_id_;
+  timeout_event_ = net_->simulator().schedule_after(
+      current_timeout(), [this, expected_tour]() {
+        if (!in_flight_ || tour_id_ != expected_tour) return;  // stale timer
+        ++retries_;
+        if (!net_->graph().alive(initiator_) ||
+            net_->graph().degree(initiator_) == 0) {
+          // The initiator can no longer complete any tour; give up with an
+          // empty estimate so the caller is not left hanging.
+          in_flight_ = false;
+          timeout_armed_ = false;
+          Result r;
+          r.retries = retries_;
+          if (done_) done_(r);
+          return;
+        }
+        launch_probe();
+      });
+}
+
+void RandomTourProtocol::on_message(NodeId to, NodeId /*from*/,
+                                    const std::any& payload) {
+  const auto* probe = std::any_cast<Probe>(&payload);
+  OVERCOUNT_EXPECTS(probe != nullptr);
+  if (probe->tour_id != tour_id_) return;  // probe from a timed-out attempt
+
+  const auto& g = net_->graph();
+  if (to == probe->initiator) {
+    // Tour complete.
+    in_flight_ = false;
+    if (timeout_armed_) {
+      net_->simulator().cancel(timeout_event_);
+      timeout_armed_ = false;
+    }
+    Result r;
+    r.estimate = static_cast<double>(g.degree(to)) * probe->counter;
+    r.hops = probe->hops;
+    r.retries = retries_;
+    r.trip_time = net_->simulator().now() - launched_at_;
+    trip_times_.add(r.trip_time);
+    ++completed_;
+    if (done_) done_(r);
+    return;
+  }
+  if (g.degree(to) == 0) return;  // probe stranded; timeout will recover
+  Probe next = *probe;
+  next.counter += f_(to) / static_cast<double>(g.degree(to));
+  next.hops += 1;
+  net_->send(to, random_neighbor(g, to, rng_), next);
+}
+
+}  // namespace overcount

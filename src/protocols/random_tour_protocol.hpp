@@ -1,0 +1,74 @@
+// Message-level Random Tour (paper Sections 3.1 and 5.3.1).
+//
+// The initiator launches a probe carrying (initiator id, counter); each
+// recipient adds f(v)/d_v and forwards to a random neighbour; the initiator
+// completes the tour when the probe returns. Probe loss (drop, or the probe
+// sitting on a departing node) is handled exactly as Section 5.3.1
+// prescribes: the initiator declares the probe lost when it has been out
+// longer than (mean + k * stddev) of past trip times, and relaunches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "des/network.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+
+class RandomTourProtocol {
+ public:
+  struct Result {
+    double estimate = 0.0;
+    std::uint64_t hops = 0;      ///< hops of the completing tour
+    std::uint64_t retries = 0;   ///< probes relaunched after a timeout
+    SimTime trip_time = 0.0;     ///< wall-clock (sim) time of the last probe
+  };
+  using Callback = std::function<void(const Result&)>;
+
+  /// `f` is the per-node statistic to aggregate (defaults to 1 => size).
+  /// Registers itself as the network's delivery handler.
+  RandomTourProtocol(Network& net, Rng rng,
+                     std::function<double(NodeId)> f = nullptr);
+
+  /// Launches one tour from `initiator`; `done` fires on completion.
+  /// Only one tour per protocol instance may be in flight at a time.
+  void start(NodeId initiator, Callback done);
+
+  /// Timeout = mean + `k` * stddev of past trip times (default k = 4); until
+  /// enough history exists, `initial_timeout` is used.
+  void set_timeout_policy(double k, double initial_timeout);
+
+  std::uint64_t tours_completed() const noexcept { return completed_; }
+
+ private:
+  struct Probe {
+    NodeId initiator;
+    double counter;
+    std::uint64_t tour_id;
+    std::uint64_t hops;
+  };
+
+  void on_message(NodeId to, NodeId from, const std::any& payload);
+  void launch_probe();
+  void arm_timeout();
+  double current_timeout() const;
+
+  Network* net_;
+  Rng rng_;
+  std::function<double(NodeId)> f_;
+  Callback done_;
+  NodeId initiator_ = 0;
+  std::uint64_t tour_id_ = 0;     // stale probes carry an older id
+  bool in_flight_ = false;
+  std::uint64_t retries_ = 0;
+  SimTime launched_at_ = 0.0;
+  Simulator::EventId timeout_event_ = 0;
+  bool timeout_armed_ = false;
+  RunningStats trip_times_;
+  double timeout_k_ = 4.0;
+  double initial_timeout_ = 1e6;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace overcount

@@ -1,0 +1,161 @@
+#include "protocols/sampling_protocol.hpp"
+
+#include <algorithm>
+
+#include "walk/topology.hpp"
+
+namespace overcount {
+
+CtrwSampleProtocol::CtrwSampleProtocol(Network& net, double timer, Rng rng)
+    : net_(&net), timer_(timer), rng_(rng) {
+  OVERCOUNT_EXPECTS(timer > 0.0);
+  net_->set_handler([this](NodeId to, NodeId from, const std::any& payload) {
+    on_message(to, from, payload);
+  });
+}
+
+void CtrwSampleProtocol::set_timeout_policy(double k, double initial_timeout) {
+  OVERCOUNT_EXPECTS(k > 0.0);
+  OVERCOUNT_EXPECTS(initial_timeout > 0.0);
+  timeout_k_ = k;
+  initial_timeout_ = initial_timeout;
+}
+
+double CtrwSampleProtocol::current_timeout() const {
+  double base = initial_timeout_;
+  if (trip_times_.count() >= 3)
+    base = trip_times_.mean() + timeout_k_ * trip_times_.stddev() + 1e-9;
+  // Exponential backoff across consecutive retries, mirroring the Random
+  // Tour protocol: a censored-history timeout must not be able to starve a
+  // legitimately long walk.
+  return base * static_cast<double>(1ULL << std::min<std::uint64_t>(
+                                        retries_, 40));
+}
+
+void CtrwSampleProtocol::request(NodeId origin, Callback done) {
+  OVERCOUNT_EXPECTS(!in_flight_);
+  OVERCOUNT_EXPECTS(net_->graph().alive(origin));
+  origin_ = origin;
+  done_ = std::move(done);
+  retries_ = 0;
+  in_flight_ = true;
+  launch_probe();
+}
+
+void CtrwSampleProtocol::launch_probe() {
+  ++request_id_;
+  launched_at_ = net_->simulator().now();
+  arm_timeout();
+  hold_probe(origin_, Probe{origin_, timer_, request_id_, 0});
+}
+
+void CtrwSampleProtocol::arm_timeout() {
+  if (timeout_armed_) net_->simulator().cancel(timeout_event_);
+  timeout_armed_ = true;
+  const std::uint64_t expected = request_id_;
+  timeout_event_ = net_->simulator().schedule_after(
+      current_timeout(), [this, expected]() {
+        if (!in_flight_ || request_id_ != expected) return;
+        ++retries_;
+        if (!net_->graph().alive(origin_)) {
+          in_flight_ = false;
+          timeout_armed_ = false;
+          return;  // requester is gone; nobody to report to
+        }
+        launch_probe();
+      });
+}
+
+void CtrwSampleProtocol::hold_probe(NodeId holder, Probe probe) {
+  const auto& g = net_->graph();
+  const auto degree = g.degree(holder);
+  if (degree == 0) {
+    // Isolated holder: the CTRW can never leave, so the sample is the
+    // holder itself (its sojourn outlasts any timer).
+    probe.remaining = 0.0;
+  } else {
+    probe.remaining -= rng_.exponential(static_cast<double>(degree));
+  }
+  if (probe.remaining <= 0.0) {
+    if (holder == probe.origin) {
+      // Timer died at the origin itself: report locally, no message needed.
+      on_message(probe.origin, probe.origin,
+                 Reply{holder, probe.request_id, probe.hops});
+    } else {
+      net_->send(holder, probe.origin,
+                 Reply{holder, probe.request_id, probe.hops});
+    }
+    return;
+  }
+  probe.hops += 1;
+  net_->send(holder, random_neighbor(g, holder, rng_), probe);
+}
+
+void CtrwSampleProtocol::on_message(NodeId to, NodeId /*from*/,
+                                    const std::any& payload) {
+  if (const auto* probe = std::any_cast<Probe>(&payload)) {
+    if (probe->request_id != request_id_) return;  // stale attempt
+    hold_probe(to, *probe);
+    return;
+  }
+  const auto* reply = std::any_cast<Reply>(&payload);
+  OVERCOUNT_EXPECTS(reply != nullptr);
+  if (reply->request_id != request_id_ || !in_flight_) return;
+  in_flight_ = false;
+  if (timeout_armed_) {
+    net_->simulator().cancel(timeout_event_);
+    timeout_armed_ = false;
+  }
+  trip_times_.add(net_->simulator().now() - launched_at_);
+  Sample s;
+  s.node = reply->sample;
+  s.hops = reply->hops;
+  s.retries = retries_;
+  if (done_) done_(s);
+}
+
+SampleCollideProtocol::SampleCollideProtocol(Network& net, double timer,
+                                             std::size_t ell, Rng rng)
+    : sampler_(net, timer, rng), ell_(ell) {
+  OVERCOUNT_EXPECTS(ell >= 1);
+}
+
+void SampleCollideProtocol::start(NodeId origin, Callback done) {
+  OVERCOUNT_EXPECTS(!running_);
+  origin_ = origin;
+  done_ = std::move(done);
+  tracker_.reset();
+  hops_ = 0;
+  retries_ = 0;
+  running_ = true;
+  sampler_.request(origin_,
+                   [this](const CtrwSampleProtocol::Sample& s) { on_sample(s); });
+}
+
+void SampleCollideProtocol::on_sample(const CtrwSampleProtocol::Sample& s) {
+  OVERCOUNT_EXPECTS(running_);
+  hops_ += s.hops;
+  retries_ += s.retries;
+  tracker_.feed(s.node);
+  if (tracker_.collisions() < ell_) {
+    sampler_.request(origin_, [this](const CtrwSampleProtocol::Sample& next) {
+      on_sample(next);
+    });
+    return;
+  }
+  running_ = false;
+  Result r;
+  r.estimate.samples = tracker_.samples();
+  r.estimate.hops = hops_;
+  r.estimate.replies = tracker_.samples();
+  r.estimate.ml = sc_ml_estimate(tracker_.samples(), tracker_.collisions());
+  r.estimate.simple =
+      sc_simple_estimate(tracker_.samples(), tracker_.collisions());
+  const auto bracket = sc_bracket(tracker_.samples(), tracker_.collisions());
+  r.estimate.n_minus = bracket.n_minus;
+  r.estimate.n_plus = bracket.n_plus;
+  r.retries = retries_;
+  if (done_) done_(r);
+}
+
+}  // namespace overcount

@@ -1,0 +1,108 @@
+// Message-level CTRW peer sampling and the Sample & Collide orchestration
+// (paper Sections 4.1-4.2, loss handling per Section 5.3.1).
+//
+// A sampling probe carries the timer T. Each node that holds the probe
+// (including the initiator before the first hop) subtracts an Exp(d_v)
+// variate drawn locally; when the timer dies the holder reports its id
+// straight back to the initiator. The initiator times out lost probes
+// against its trip-time history and reissues them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/sample_collide.hpp"
+#include "des/network.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+
+/// Issues CTRW sampling probes and reports sampled peers to a callback.
+class CtrwSampleProtocol {
+ public:
+  struct Sample {
+    NodeId node = 0;
+    std::uint64_t hops = 0;
+    std::uint64_t retries = 0;
+  };
+  using Callback = std::function<void(const Sample&)>;
+
+  /// Registers itself as the network's delivery handler.
+  CtrwSampleProtocol(Network& net, double timer, Rng rng);
+
+  /// Requests one sample, walking from `origin`. One request in flight per
+  /// protocol instance.
+  void request(NodeId origin, Callback done);
+
+  void set_timeout_policy(double k, double initial_timeout);
+  double timer() const noexcept { return timer_; }
+  void set_timer(double t) {
+    OVERCOUNT_EXPECTS(t > 0.0);
+    timer_ = t;
+  }
+
+ private:
+  struct Probe {
+    NodeId origin;
+    double remaining;
+    std::uint64_t request_id;
+    std::uint64_t hops;
+  };
+  struct Reply {
+    NodeId sample;
+    std::uint64_t request_id;
+    std::uint64_t hops;
+  };
+
+  void on_message(NodeId to, NodeId from, const std::any& payload);
+  void launch_probe();
+  void arm_timeout();
+  double current_timeout() const;
+  /// Consumes timer at node `holder`; either reports the sample or forwards.
+  void hold_probe(NodeId holder, Probe probe);
+
+  Network* net_;
+  double timer_;
+  Rng rng_;
+  Callback done_;
+  NodeId origin_ = 0;
+  std::uint64_t request_id_ = 0;
+  bool in_flight_ = false;
+  std::uint64_t retries_ = 0;
+  SimTime launched_at_ = 0.0;
+  Simulator::EventId timeout_event_ = 0;
+  bool timeout_armed_ = false;
+  RunningStats trip_times_;
+  double timeout_k_ = 4.0;
+  double initial_timeout_ = 1e6;
+};
+
+/// Drives CtrwSampleProtocol until `ell` collisions, then reports the
+/// Sample & Collide estimates.
+class SampleCollideProtocol {
+ public:
+  struct Result {
+    ScEstimate estimate;
+    std::uint64_t retries = 0;  ///< sampling probes reissued after timeouts
+  };
+  using Callback = std::function<void(const Result&)>;
+
+  SampleCollideProtocol(Network& net, double timer, std::size_t ell, Rng rng);
+
+  /// Runs one full measurement from `origin`.
+  void start(NodeId origin, Callback done);
+
+ private:
+  void on_sample(const CtrwSampleProtocol::Sample& s);
+
+  CtrwSampleProtocol sampler_;
+  std::size_t ell_;
+  NodeId origin_ = 0;
+  Callback done_;
+  CollisionTracker tracker_;
+  std::uint64_t hops_ = 0;
+  std::uint64_t retries_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace overcount

@@ -1,0 +1,81 @@
+// Synthetic per-peer attributes for the paper's "counting peers with given
+// characteristics" use cases (Section 1/3: broadband vs dial-up viewers,
+// upload capacity above a threshold, ...). Deterministic given a seed, and
+// stable under churn: a node's attributes are a pure function of (seed,
+// node id), so joins get fresh draws and departures change nothing.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace overcount {
+
+/// Connection classes used by the live-streaming examples.
+enum class LinkClass : std::uint8_t { kDialup, kDsl, kFibre };
+
+struct PeerProfile {
+  LinkClass link = LinkClass::kDialup;
+  double upload_mbps = 0.0;
+  double uptime_hours = 0.0;
+  std::uint8_t region = 0;  ///< 0..num_regions-1
+};
+
+/// Deterministic attribute source.
+class PeerAttributes {
+ public:
+  struct Mix {
+    double dialup_fraction = 0.3;
+    double dsl_fraction = 0.5;  // remainder is fibre
+    double dialup_mbps = 0.05;
+    double dsl_mbps_min = 1.0;
+    double dsl_mbps_max = 10.0;
+    double fibre_mbps_min = 20.0;
+    double fibre_mbps_max = 100.0;
+    double mean_uptime_hours = 6.0;  // exponential
+    std::uint8_t num_regions = 4;
+  };
+
+  explicit PeerAttributes(std::uint64_t seed) : PeerAttributes(seed, Mix{}) {}
+
+  PeerAttributes(std::uint64_t seed, Mix mix) : seed_(seed), mix_(mix) {
+    OVERCOUNT_EXPECTS(mix.dialup_fraction >= 0.0);
+    OVERCOUNT_EXPECTS(mix.dsl_fraction >= 0.0);
+    OVERCOUNT_EXPECTS(mix.dialup_fraction + mix.dsl_fraction <= 1.0);
+    OVERCOUNT_EXPECTS(mix.num_regions >= 1);
+  }
+
+  /// The profile of peer v; identical across calls.
+  PeerProfile of(NodeId v) const {
+    std::uint64_t state = seed_ ^ (0x9e3779b97f4a7c15ULL * (v + 1));
+    Rng rng(splitmix64(state));
+    PeerProfile p;
+    const double roll = rng.uniform();
+    if (roll < mix_.dialup_fraction) {
+      p.link = LinkClass::kDialup;
+      p.upload_mbps = mix_.dialup_mbps;
+    } else if (roll < mix_.dialup_fraction + mix_.dsl_fraction) {
+      p.link = LinkClass::kDsl;
+      p.upload_mbps = mix_.dsl_mbps_min +
+                      (mix_.dsl_mbps_max - mix_.dsl_mbps_min) * rng.uniform();
+    } else {
+      p.link = LinkClass::kFibre;
+      p.upload_mbps =
+          mix_.fibre_mbps_min +
+          (mix_.fibre_mbps_max - mix_.fibre_mbps_min) * rng.uniform();
+    }
+    p.uptime_hours = rng.exponential(1.0 / mix_.mean_uptime_hours);
+    p.region = static_cast<std::uint8_t>(
+        rng.uniform_below(mix_.num_regions));
+    return p;
+  }
+
+  const Mix& mix() const noexcept { return mix_; }
+
+ private:
+  std::uint64_t seed_;
+  Mix mix_;
+};
+
+}  // namespace overcount

@@ -1,0 +1,205 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+
+#include "core/random_tour.hpp"
+#include "core/sample_collide.hpp"
+#include "util/sliding_window.hpp"
+
+namespace overcount {
+
+EstimateFn random_tour_estimate_fn() {
+  return [](const DynamicGraph& g, NodeId origin, Rng& rng) {
+    const auto tour = random_tour_size(g, origin, rng);
+    return EstimateSample{tour.value, tour.steps};
+  };
+}
+
+EstimateFn sample_collide_estimate_fn(double timer, std::size_t ell) {
+  return [timer, ell](const DynamicGraph& g, NodeId origin, Rng& rng) {
+    SampleCollideEstimator estimator(g, origin, timer, ell, rng.split());
+    const auto e = estimator.estimate();
+    return EstimateSample{e.simple, e.hops};
+  };
+}
+
+void churn_join(DynamicGraph& g, TopologyKind topology, Rng& rng,
+                std::size_t ba_attachment, std::size_t balanced_max_degree) {
+  OVERCOUNT_EXPECTS(g.num_alive() >= 2);
+  std::vector<NodeId> targets;
+  switch (topology) {
+    case TopologyKind::kBalanced: {
+      const auto want = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(balanced_max_degree)));
+      std::size_t attempts = 16 * want + 64;
+      while (targets.size() < want && attempts-- > 0) {
+        const NodeId t = g.random_alive_node(rng);
+        if (g.degree(t) >= balanced_max_degree) continue;
+        if (std::find(targets.begin(), targets.end(), t) != targets.end())
+          continue;
+        targets.push_back(t);
+      }
+      break;
+    }
+    case TopologyKind::kScaleFree: {
+      const std::size_t want = std::min(ba_attachment, g.num_alive());
+      // Preferential attachment by rejection: accept a uniform candidate
+      // with probability degree / (current max degree estimate).
+      std::size_t max_deg = 1;
+      for (std::size_t probe = 0; probe < 64; ++probe)
+        max_deg = std::max(max_deg, g.degree(g.random_alive_node(rng)));
+      std::size_t attempts = 1024 * want;
+      while (targets.size() < want && attempts-- > 0) {
+        const NodeId t = g.random_alive_node(rng);
+        const auto deg = g.degree(t);
+        if (deg == 0) continue;
+        max_deg = std::max(max_deg, deg);
+        if (!rng.bernoulli(static_cast<double>(deg) /
+                           static_cast<double>(max_deg)))
+          continue;
+        if (std::find(targets.begin(), targets.end(), t) != targets.end())
+          continue;
+        targets.push_back(t);
+      }
+      break;
+    }
+  }
+  // A joining peer that found no targets still joins (isolated); this can
+  // only happen when the whole system is saturated or tiny.
+  g.add_node(targets);
+}
+
+void churn_leave(DynamicGraph& g, Rng& rng) {
+  OVERCOUNT_EXPECTS(g.num_alive() > 0);
+  g.remove_node(g.random_alive_node(rng));
+}
+
+namespace {
+
+Graph make_topology(TopologyKind topology, std::size_t n, Rng& rng,
+                    std::size_t ba_attachment,
+                    std::size_t balanced_max_degree) {
+  switch (topology) {
+    case TopologyKind::kBalanced:
+      return balanced_random_graph(n, rng, balanced_max_degree);
+    case TopologyKind::kScaleFree:
+      return barabasi_albert(n, ba_attachment, rng);
+  }
+  OVERCOUNT_ENSURES(false);
+  return {};
+}
+
+// Number of churn operations (joins if delta > 0, departures if < 0) to
+// apply just before run `run`.
+std::ptrdiff_t churn_due(const ScenarioSpec& spec, std::size_t run) {
+  std::ptrdiff_t due = 0;
+  for (const auto& g : spec.gradual) {
+    if (run < g.from_run || run >= g.to_run || g.from_run >= g.to_run)
+      continue;
+    const auto span = static_cast<std::ptrdiff_t>(g.to_run - g.from_run);
+    const auto idx = static_cast<std::ptrdiff_t>(run - g.from_run);
+    // Cumulative-quota scheme so rounding never loses nodes.
+    due += g.delta * (idx + 1) / span - g.delta * idx / span;
+  }
+  for (const auto& s : spec.sudden)
+    if (s.at_run == run) due += s.delta;
+  return due;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const EstimateFn& estimate, std::size_t window,
+                            std::uint64_t seed) {
+  OVERCOUNT_EXPECTS(spec.initial_nodes >= 2);
+  OVERCOUNT_EXPECTS(spec.runs > 0);
+  OVERCOUNT_EXPECTS(window >= 1);
+  Rng rng(seed);
+  Rng churn_rng = rng.split();
+  Rng estimate_rng = rng.split();
+
+  DynamicGraph g(make_topology(spec.topology, spec.initial_nodes, rng,
+                               spec.ba_attachment, spec.balanced_max_degree));
+
+  NodeId probe = g.random_alive_node(rng);
+  SlidingWindowMean window_mean(window);
+  ScenarioResult out;
+  out.points.reserve(spec.runs);
+  double actual = 0.0;
+  bool actual_stale = true;
+
+  for (std::size_t run = 0; run < spec.runs; ++run) {
+    const std::ptrdiff_t due = churn_due(spec, run);
+    for (std::ptrdiff_t k = 0; k < due; ++k)
+      churn_join(g, spec.topology, churn_rng, spec.ba_attachment,
+                 spec.balanced_max_degree);
+    for (std::ptrdiff_t k = 0; k > due; --k) churn_leave(g, churn_rng);
+    if (due != 0) actual_stale = true;
+
+    // The probing peer itself may have departed or been isolated by churn.
+    if (probe >= g.num_slots() || !g.alive(probe) || g.degree(probe) == 0) {
+      std::size_t guard = g.num_alive() + 8;
+      do {
+        probe = g.random_alive_node(rng);
+        OVERCOUNT_ENSURES(guard-- > 0);
+      } while (g.degree(probe) == 0);
+      actual_stale = true;
+    }
+
+    // Refresh the (BFS-priced) ground truth on the configured cadence, and
+    // on the first run; between refreshes a stale value is carried forward.
+    const bool never_computed = run == 0;
+    if (never_computed ||
+        (actual_stale && run % spec.actual_size_every == 0)) {
+      actual = static_cast<double>(g.component_size(probe));
+      actual_stale = false;
+    }
+
+    const auto sample = estimate(g, probe, estimate_rng);
+    window_mean.push(sample.value);
+    out.total_messages += sample.messages;
+    out.points.push_back(ScenarioPoint{run, actual, sample.value,
+                                       window_mean.mean(), sample.messages});
+  }
+  return out;
+}
+
+ScenarioSpec gradual_decrease_spec(std::size_t n, std::size_t runs,
+                                   TopologyKind topology) {
+  // Paper Fig. 8 / 11: 50% departures between 30% and 80% of the run span.
+  ScenarioSpec spec;
+  spec.initial_nodes = n;
+  spec.runs = runs;
+  spec.topology = topology;
+  spec.gradual.push_back(GradualChange{
+      runs * 3 / 10, runs * 8 / 10, -static_cast<std::ptrdiff_t>(n / 2)});
+  return spec;
+}
+
+ScenarioSpec gradual_increase_spec(std::size_t n, std::size_t runs,
+                                   TopologyKind topology) {
+  // Paper Fig. 9 / 12: 50% joins between 30% and 80% of the run span.
+  ScenarioSpec spec;
+  spec.initial_nodes = n;
+  spec.runs = runs;
+  spec.topology = topology;
+  spec.gradual.push_back(GradualChange{
+      runs * 3 / 10, runs * 8 / 10, static_cast<std::ptrdiff_t>(n / 2)});
+  return spec;
+}
+
+ScenarioSpec catastrophic_spec(std::size_t n, std::size_t runs,
+                               TopologyKind topology) {
+  // Paper Fig. 10 / 13: -25% at 10% and 50% of the span, +25% at 70%.
+  ScenarioSpec spec;
+  spec.initial_nodes = n;
+  spec.runs = runs;
+  spec.topology = topology;
+  const auto quarter = static_cast<std::ptrdiff_t>(n / 4);
+  spec.sudden.push_back(SuddenChange{runs / 10, -quarter});
+  spec.sudden.push_back(SuddenChange{runs / 2, -quarter});
+  spec.sudden.push_back(SuddenChange{runs * 7 / 10, quarter});
+  return spec;
+}
+
+}  // namespace overcount

@@ -1,0 +1,102 @@
+// Dynamic-environment scenario engine (paper Section 5.3).
+//
+// A scenario interleaves estimation runs with population churn: gradual
+// growth/shrink phases (a fixed number of joins/departures between
+// consecutive runs) and sudden "catastrophic" events (a block of departures
+// or a flash crowd applied at once). Joins follow the topology's attachment
+// rule; departures remove uniformly random peers, and survivors do not
+// re-wire (Section 5.1). The reported "actual size" is the size of the
+// probing node's connected component.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+
+namespace overcount {
+
+enum class TopologyKind {
+  kBalanced,   ///< Section 5.1 balanced random graph (degrees 1..10)
+  kScaleFree,  ///< Barabasi-Albert preferential attachment
+};
+
+/// Node-count change spread uniformly over runs [from_run, to_run).
+struct GradualChange {
+  std::size_t from_run = 0;
+  std::size_t to_run = 0;
+  std::ptrdiff_t delta = 0;  ///< total joins (+) or departures (-)
+};
+
+/// Node-count change applied at once, just before `at_run`.
+struct SuddenChange {
+  std::size_t at_run = 0;
+  std::ptrdiff_t delta = 0;
+};
+
+struct ScenarioSpec {
+  std::size_t initial_nodes = 0;
+  std::size_t runs = 0;  ///< number of estimation runs
+  TopologyKind topology = TopologyKind::kBalanced;
+  std::vector<GradualChange> gradual;
+  std::vector<SuddenChange> sudden;
+  std::size_t ba_attachment = 3;        ///< m for scale-free joins/creation
+  std::size_t balanced_max_degree = 10;
+  /// Recompute the (BFS) actual component size every this many runs; the
+  /// value is carried forward in between. 1 = exact every run.
+  std::size_t actual_size_every = 10;
+};
+
+/// One estimation run: returns the estimate and its message cost.
+struct EstimateSample {
+  double value = 0.0;
+  std::uint64_t messages = 0;
+};
+using EstimateFn =
+    std::function<EstimateSample(const DynamicGraph&, NodeId origin, Rng&)>;
+
+/// Ready-made estimate functions for the two methods under test.
+EstimateFn random_tour_estimate_fn();
+EstimateFn sample_collide_estimate_fn(double timer, std::size_t ell);
+
+struct ScenarioPoint {
+  std::size_t run = 0;
+  double actual_size = 0.0;   ///< probing node's component (possibly stale)
+  double estimate = 0.0;      ///< raw per-run estimate
+  double windowed = 0.0;      ///< sliding-window mean (window = spec window)
+  std::uint64_t messages = 0;
+};
+
+struct ScenarioResult {
+  std::vector<ScenarioPoint> points;
+  std::uint64_t total_messages = 0;
+};
+
+/// Builds the initial topology, then alternates churn and estimation for
+/// spec.runs runs. `window` is the sliding-window size applied to estimates
+/// (1 = no averaging).
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const EstimateFn& estimate, std::size_t window,
+                            std::uint64_t seed);
+
+/// Applies one join according to the topology's attachment rule.
+void churn_join(DynamicGraph& g, TopologyKind topology, Rng& rng,
+                std::size_t ba_attachment, std::size_t balanced_max_degree);
+
+/// Removes one uniformly random alive node.
+void churn_leave(DynamicGraph& g, Rng& rng);
+
+/// The paper's three dynamic scenarios, parameterised by scale so they can
+/// be run at reduced size with the same shape (run counts and change
+/// fractions match the paper's 100k-node setups).
+ScenarioSpec gradual_decrease_spec(std::size_t n, std::size_t runs,
+                                   TopologyKind topology);
+ScenarioSpec gradual_increase_spec(std::size_t n, std::size_t runs,
+                                   TopologyKind topology);
+ScenarioSpec catastrophic_spec(std::size_t n, std::size_t runs,
+                               TopologyKind topology);
+
+}  // namespace overcount

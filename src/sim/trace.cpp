@@ -1,0 +1,60 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace overcount {
+
+namespace {
+constexpr const char* kHeader = "run,actual_size,estimate,windowed,messages";
+}
+
+void write_scenario_csv(std::ostream& os, const ScenarioResult& result) {
+  os << kHeader << '\n';
+  for (const auto& p : result.points) {
+    os << p.run << ',' << p.actual_size << ',' << p.estimate << ','
+       << p.windowed << ',' << p.messages << '\n';
+  }
+}
+
+ScenarioResult read_scenario_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader)
+    throw std::runtime_error("scenario csv: bad or missing header");
+  ScenarioResult out;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    ScenarioPoint p;
+    char c1 = 0;
+    char c2 = 0;
+    char c3 = 0;
+    char c4 = 0;
+    ss >> p.run >> c1 >> p.actual_size >> c2 >> p.estimate >> c3 >>
+        p.windowed >> c4 >> p.messages;
+    if (ss.fail() || c1 != ',' || c2 != ',' || c3 != ',' || c4 != ',')
+      throw std::runtime_error("scenario csv: malformed line " +
+                               std::to_string(line_no));
+    out.total_messages += p.messages;
+    out.points.push_back(p);
+  }
+  return out;
+}
+
+void save_scenario_csv(const std::string& path, const ScenarioResult& r) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open for writing: " + path);
+  write_scenario_csv(file, r);
+  if (!file) throw std::runtime_error("write failed: " + path);
+}
+
+ScenarioResult load_scenario_csv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open for reading: " + path);
+  return read_scenario_csv(file);
+}
+
+}  // namespace overcount

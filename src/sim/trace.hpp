@@ -1,0 +1,24 @@
+// Scenario result persistence: CSV export/import of the per-run series so
+// that external plotting tools can redraw the paper's figures, and result
+// sets can be diffed across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/scenario.hpp"
+
+namespace overcount {
+
+/// Writes `run,actual_size,estimate,windowed,messages` rows with a header.
+void write_scenario_csv(std::ostream& os, const ScenarioResult& result);
+
+/// Parses the write_scenario_csv format; throws std::runtime_error on
+/// malformed input. total_messages is recomputed from the rows.
+ScenarioResult read_scenario_csv(std::istream& is);
+
+/// File-path convenience wrappers; throw std::runtime_error on I/O errors.
+void save_scenario_csv(const std::string& path, const ScenarioResult& r);
+ScenarioResult load_scenario_csv(const std::string& path);
+
+}  // namespace overcount

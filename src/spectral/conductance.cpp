@@ -1,0 +1,138 @@
+#include "spectral/conductance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+CutResult isoperimetric_exact(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  OVERCOUNT_EXPECTS(n >= 2 && n <= 24);
+
+  // Gray-code walk over all subsets containing flips of one node at a time;
+  // maintain the cut size incrementally. Fix node n-1 out of S so each
+  // {S, S_bar} pair is visited once.
+  std::vector<bool> in_s(n, false);
+  std::size_t cut = 0;
+  std::size_t size_s = 0;
+  double best = std::numeric_limits<double>::infinity();
+  std::uint64_t best_mask = 0;
+  std::uint64_t mask = 0;
+
+  const std::uint64_t limit = 1ULL << (n - 1);
+  for (std::uint64_t code = 1; code < limit; ++code) {
+    const auto flip =
+        static_cast<std::size_t>(__builtin_ctzll(code));  // Gray-code bit
+    const bool entering = !in_s[flip];
+    in_s[flip] = entering;
+    size_s += entering ? 1 : std::size_t(-1);
+    mask ^= 1ULL << flip;
+    // Each neighbour edge toggles between cut and non-cut.
+    std::ptrdiff_t delta = 0;
+    for (NodeId u : g.neighbors(static_cast<NodeId>(flip)))
+      delta += in_s[u] == entering ? -1 : +1;
+    cut = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(cut) + delta);
+
+    const std::size_t small = std::min(size_s, n - size_s);
+    if (small == 0) continue;
+    const double expansion =
+        static_cast<double>(cut) / static_cast<double>(small);
+    if (expansion < best) {
+      best = expansion;
+      best_mask = mask;
+    }
+  }
+
+  CutResult out;
+  out.expansion = best;
+  std::vector<bool> witness(n, false);
+  std::size_t size_witness = 0;
+  for (std::size_t v = 0; v < n - 1; ++v) {
+    if ((best_mask >> v) & 1ULL) {
+      witness[v] = true;
+      ++size_witness;
+    }
+  }
+  // Report the smaller side.
+  const bool invert = size_witness > n - size_witness;
+  std::size_t cut_edges = 0;
+  for (NodeId v = 0; v < n; ++v)
+    for (NodeId u : g.neighbors(v))
+      if (v < u && witness[v] != witness[u]) ++cut_edges;
+  out.cut_edges = cut_edges;
+  for (NodeId v = 0; v < n; ++v)
+    if (witness[v] != invert) out.side.push_back(v);
+  return out;
+}
+
+double cut_expansion(const Graph& g, const std::vector<bool>& in_s) {
+  const std::size_t n = g.num_nodes();
+  OVERCOUNT_EXPECTS(in_s.size() == n);
+  std::size_t size_s = 0;
+  std::size_t cut = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_s[v]) ++size_s;
+    for (NodeId u : g.neighbors(v))
+      if (v < u && in_s[v] != in_s[u]) ++cut;
+  }
+  OVERCOUNT_EXPECTS(size_s > 0 && size_s < n);
+  return static_cast<double>(cut) /
+         static_cast<double>(std::min(size_s, n - size_s));
+}
+
+CutResult sweep_cut(const Graph& g, std::span<const double> score) {
+  const std::size_t n = g.num_nodes();
+  OVERCOUNT_EXPECTS(score.size() == n);
+  OVERCOUNT_EXPECTS(n >= 2);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return score[a] < score[b]; });
+
+  std::vector<bool> in_s(n, false);
+  std::size_t cut = 0;
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_prefix = 0;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    const NodeId v = order[k];
+    in_s[v] = true;
+    for (NodeId u : g.neighbors(v)) cut += in_s[u] ? std::size_t(-1) : 1;
+    const std::size_t small = std::min(k + 1, n - (k + 1));
+    const double expansion =
+        static_cast<double>(cut) / static_cast<double>(small);
+    if (expansion < best) {
+      best = expansion;
+      best_prefix = k + 1;
+    }
+  }
+
+  CutResult out;
+  out.expansion = best;
+  const bool smaller_is_prefix = best_prefix <= n - best_prefix;
+  for (std::size_t k = 0; k < n; ++k) {
+    const bool in_prefix = k < best_prefix;
+    if (in_prefix == smaller_is_prefix) out.side.push_back(order[k]);
+  }
+  std::fill(in_s.begin(), in_s.end(), false);
+  for (std::size_t k = 0; k < best_prefix; ++k) in_s[order[k]] = true;
+  for (NodeId v = 0; v < n; ++v)
+    for (NodeId u : g.neighbors(v))
+      if (v < u && in_s[v] != in_s[u]) ++out.cut_edges;
+  return out;
+}
+
+CheegerBounds cheeger_bounds(double isoperimetric_constant,
+                             std::size_t max_degree) {
+  OVERCOUNT_EXPECTS(isoperimetric_constant >= 0.0);
+  OVERCOUNT_EXPECTS(max_degree > 0);
+  CheegerBounds b;
+  b.lower = isoperimetric_constant * isoperimetric_constant /
+            (2.0 * static_cast<double>(max_degree));
+  b.upper = 2.0 * isoperimetric_constant;
+  return b;
+}
+
+}  // namespace overcount

@@ -1,0 +1,41 @@
+// Isoperimetric constant (edge expansion / conductance, paper Section 3.4):
+//   h(G) = min over nonempty S with |S| <= n/2 of |E(S, S_bar)| / |S|.
+// Cheeger's inequality ties it to the spectral gap:
+//   h^2 / (2 d_max) <= lambda_2 <= 2 h.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace overcount {
+
+struct CutResult {
+  double expansion = 0.0;          // |E(S, S_bar)| / min(|S|, |S_bar|)
+  std::vector<NodeId> side;        // nodes of the (smaller) witness side S
+  std::size_t cut_edges = 0;
+};
+
+/// Exact isoperimetric constant by subset enumeration (Gray-code order,
+/// O(2^n) subsets with O(d) incremental updates). Requires 2 <= n <= 24.
+CutResult isoperimetric_exact(const Graph& g);
+
+/// Expansion of the specific cut defined by `in_s` (true = in S). S must be
+/// a proper nonempty subset.
+double cut_expansion(const Graph& g, const std::vector<bool>& in_s);
+
+/// Sweep cut: sort nodes by `score` (typically the Fiedler vector) and take
+/// the best prefix cut. Upper-bounds h(G); by Cheeger it is within
+/// sqrt(2 lambda_2 d_max)-ish of optimal.
+CutResult sweep_cut(const Graph& g, std::span<const double> score);
+
+/// Cheeger bounds on lambda_2 given h and d_max.
+struct CheegerBounds {
+  double lower = 0.0;  // h^2 / (2 d_max)
+  double upper = 0.0;  // 2 h
+};
+CheegerBounds cheeger_bounds(double isoperimetric_constant,
+                             std::size_t max_degree);
+
+}  // namespace overcount

@@ -1,0 +1,153 @@
+#include "spectral/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace overcount {
+
+namespace {
+
+// One full cyclic-Jacobi pass over the strict upper triangle of `a`,
+// accumulating rotations into `v` when non-null. Returns the off-diagonal
+// Frobenius norm after the sweep.
+double jacobi_sweep(std::vector<double>& a, std::size_t n,
+                    std::vector<double>* v) {
+  auto at = [&](std::size_t i, std::size_t j) -> double& {
+    return a[i * n + j];
+  };
+  for (std::size_t p = 0; p + 1 < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      const double apq = at(p, q);
+      if (std::abs(apq) < 1e-300) continue;
+      const double app = at(p, p);
+      const double aqq = at(q, q);
+      const double theta = (aqq - app) / (2.0 * apq);
+      const double t = (theta >= 0 ? 1.0 : -1.0) /
+                       (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+      const double c = 1.0 / std::sqrt(t * t + 1.0);
+      const double s = t * c;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double akp = at(k, p);
+        const double akq = at(k, q);
+        at(k, p) = c * akp - s * akq;
+        at(k, q) = s * akp + c * akq;
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        const double apk = at(p, k);
+        const double aqk = at(q, k);
+        at(p, k) = c * apk - s * aqk;
+        at(q, k) = s * apk + c * aqk;
+      }
+      if (v != nullptr) {
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = (*v)[k * n + p];
+          const double vkq = (*v)[k * n + q];
+          (*v)[k * n + p] = c * vkp - s * vkq;
+          (*v)[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  double off = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) off += at(i, j) * at(i, j);
+  return std::sqrt(off);
+}
+
+std::vector<double> copy_matrix(const DenseSymMatrix& m) {
+  const std::size_t n = m.size();
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a[i * n + j] = m(i, j);
+  return a;
+}
+
+}  // namespace
+
+std::vector<double> jacobi_eigenvalues(const DenseSymMatrix& m, double tol) {
+  const std::size_t n = m.size();
+  auto a = copy_matrix(m);
+  double scale = 0.0;
+  for (double x : a) scale = std::max(scale, std::abs(x));
+  const double threshold = tol * std::max(scale, 1.0);
+  for (int sweep = 0; sweep < 100; ++sweep)
+    if (jacobi_sweep(a, n, nullptr) < threshold) break;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = a[i * n + i];
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+EigenDecomposition jacobi_eigensystem(const DenseSymMatrix& m, double tol) {
+  const std::size_t n = m.size();
+  auto a = copy_matrix(m);
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+  double scale = 0.0;
+  for (double x : a) scale = std::max(scale, std::abs(x));
+  const double threshold = tol * std::max(scale, 1.0);
+  for (int sweep = 0; sweep < 100; ++sweep)
+    if (jacobi_sweep(a, n, &v) < threshold) break;
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a[x * n + x] < a[y * n + y];
+  });
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors.assign(n, std::vector<double>(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = a[order[k] * n + order[k]];
+    for (std::size_t i = 0; i < n; ++i)
+      out.vectors[k][i] = v[i * n + order[k]];
+  }
+  return out;
+}
+
+std::vector<double> tridiagonal_eigenvalues(const std::vector<double>& diag,
+                                            const std::vector<double>& off) {
+  const std::size_t n = diag.size();
+  OVERCOUNT_EXPECTS(n > 0);
+  OVERCOUNT_EXPECTS(off.size() + 1 == n);
+
+  // Gershgorin bounds.
+  double lo = diag[0];
+  double hi = diag[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    double radius = 0.0;
+    if (i > 0) radius += std::abs(off[i - 1]);
+    if (i + 1 < n) radius += std::abs(off[i]);
+    lo = std::min(lo, diag[i] - radius);
+    hi = std::max(hi, diag[i] + radius);
+  }
+
+  // Sturm count: number of eigenvalues < x.
+  auto count_below = [&](double x) {
+    std::size_t count = 0;
+    double q = diag[0] - x;
+    if (q < 0.0) ++count;
+    for (std::size_t i = 1; i < n; ++i) {
+      const double denom = std::abs(q) < 1e-300 ? 1e-300 : q;
+      q = diag[i] - x - off[i - 1] * off[i - 1] / denom;
+      if (q < 0.0) ++count;
+    }
+    return count;
+  };
+
+  std::vector<double> values(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double a = lo;
+    double b = hi;
+    for (int iter = 0; iter < 200 && b - a > 1e-13 * std::max(1.0, std::abs(b));
+         ++iter) {
+      const double mid = 0.5 * (a + b);
+      if (count_below(mid) > k) b = mid;
+      else a = mid;
+    }
+    values[k] = 0.5 * (a + b);
+  }
+  return values;
+}
+
+}  // namespace overcount

@@ -1,0 +1,64 @@
+// Small dense symmetric matrices and a cyclic-Jacobi eigensolver. Used for
+// exact spectra of test graphs and for diagonalising the Lanczos tridiagonal
+// matrix; not intended for matrices beyond a few hundred rows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+/// Row-major dense symmetric matrix. Only symmetry-consistent access is
+/// enforced by convention; set() mirrors automatically.
+class DenseSymMatrix {
+ public:
+  explicit DenseSymMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {
+    OVERCOUNT_EXPECTS(n > 0);
+  }
+
+  std::size_t size() const noexcept { return n_; }
+
+  double operator()(std::size_t i, std::size_t j) const {
+    OVERCOUNT_EXPECTS(i < n_ && j < n_);
+    return data_[i * n_ + j];
+  }
+
+  /// Sets both (i, j) and (j, i).
+  void set(std::size_t i, std::size_t j, double v) {
+    OVERCOUNT_EXPECTS(i < n_ && j < n_);
+    data_[i * n_ + j] = v;
+    data_[j * n_ + i] = v;
+  }
+
+  void add(std::size_t i, std::size_t j, double v) {
+    set(i, j, (*this)(i, j) + v);
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+struct EigenDecomposition {
+  std::vector<double> values;               // ascending
+  std::vector<std::vector<double>> vectors;  // vectors[k] pairs values[k]
+};
+
+/// All eigenvalues (ascending) of a symmetric matrix via cyclic Jacobi
+/// rotations; O(n^3) per sweep, converges in a handful of sweeps.
+std::vector<double> jacobi_eigenvalues(const DenseSymMatrix& m,
+                                       double tol = 1e-12);
+
+/// Eigenvalues and orthonormal eigenvectors.
+EigenDecomposition jacobi_eigensystem(const DenseSymMatrix& m,
+                                      double tol = 1e-12);
+
+/// Eigenvalues (ascending) of a symmetric tridiagonal matrix given its
+/// diagonal and off-diagonal; implemented by bisection with Sturm sequences,
+/// robust for the Lanczos post-processing step.
+std::vector<double> tridiagonal_eigenvalues(const std::vector<double>& diag,
+                                            const std::vector<double>& off);
+
+}  // namespace overcount

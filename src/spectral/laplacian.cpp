@@ -1,0 +1,152 @@
+#include "spectral/laplacian.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace overcount {
+
+DenseSymMatrix dense_laplacian(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  OVERCOUNT_EXPECTS(n > 0);
+  DenseSymMatrix m(n);
+  for (NodeId v = 0; v < n; ++v) {
+    m.set(v, v, static_cast<double>(g.degree(v)));
+    for (NodeId u : g.neighbors(v))
+      if (v < u) m.set(v, u, -1.0);
+  }
+  return m;
+}
+
+void laplacian_apply(const Graph& g, std::span<const double> x,
+                     std::span<double> y) {
+  const std::size_t n = g.num_nodes();
+  OVERCOUNT_EXPECTS(x.size() == n && y.size() == n);
+  OVERCOUNT_EXPECTS(x.data() != y.data());
+  for (NodeId v = 0; v < n; ++v) {
+    double acc = static_cast<double>(g.degree(v)) * x[v];
+    for (NodeId u : g.neighbors(v)) acc -= x[u];
+    y[v] = acc;
+  }
+}
+
+std::vector<double> laplacian_spectrum(const Graph& g) {
+  return jacobi_eigenvalues(dense_laplacian(g));
+}
+
+double spectral_gap_exact(const Graph& g) {
+  const auto spectrum = laplacian_spectrum(g);
+  OVERCOUNT_EXPECTS(spectrum.size() >= 2);
+  return spectrum[1];
+}
+
+namespace {
+
+struct LanczosResult {
+  std::vector<double> alpha;               // tridiagonal diagonal
+  std::vector<double> beta;                // tridiagonal off-diagonal
+  std::vector<std::vector<double>> basis;  // Lanczos vectors (optional use)
+  double shift = 0.0;                      // operator was shift*I - L
+};
+
+// Lanczos with full reorthogonalisation on the operator B = cI - L
+// restricted to the orthogonal complement of the constant vector. The
+// largest eigenvalue of B there is c - lambda_2.
+LanczosResult lanczos_shifted(const Graph& g, std::size_t max_iters,
+                              std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  OVERCOUNT_EXPECTS(n >= 2);
+  LanczosResult out;
+  // Gershgorin: lambda_max(L) <= 2 * d_max.
+  out.shift = 2.0 * static_cast<double>(g.max_degree()) + 1.0;
+
+  Rng rng(seed);
+  std::vector<double> q(n);
+  for (auto& x : q) x = rng.uniform() - 0.5;
+
+  auto project_out_constant = [&](std::vector<double>& v) {
+    double mean = 0.0;
+    for (double x : v) mean += x;
+    mean /= static_cast<double>(n);
+    for (double& x : v) x -= mean;
+  };
+  auto norm = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x * x;
+    return std::sqrt(s);
+  };
+  auto dot = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+  };
+
+  project_out_constant(q);
+  const double q0 = norm(q);
+  OVERCOUNT_ENSURES(q0 > 0.0);
+  for (double& x : q) x /= q0;
+
+  std::vector<double> w(n);
+  const std::size_t iters = std::min(max_iters, n - 1);
+  out.basis.reserve(iters);
+  for (std::size_t k = 0; k < iters; ++k) {
+    out.basis.push_back(q);
+    // w = B q = shift*q - L q
+    laplacian_apply(g, q, w);
+    for (std::size_t i = 0; i < n; ++i) w[i] = out.shift * q[i] - w[i];
+
+    const double alpha = dot(w, q);
+    out.alpha.push_back(alpha);
+
+    // w -= alpha*q + beta*q_prev, then full reorthogonalisation.
+    for (std::size_t i = 0; i < n; ++i) w[i] -= alpha * q[i];
+    if (k > 0) {
+      const double beta_prev = out.beta.back();
+      const auto& prev = out.basis[k - 1];
+      for (std::size_t i = 0; i < n; ++i) w[i] -= beta_prev * prev[i];
+    }
+    project_out_constant(w);
+    for (const auto& b : out.basis) {
+      const double c = dot(w, b);
+      for (std::size_t i = 0; i < n; ++i) w[i] -= c * b[i];
+    }
+
+    const double beta = norm(w);
+    if (beta < 1e-10) break;  // invariant subspace found
+    out.beta.push_back(beta);
+    for (std::size_t i = 0; i < n; ++i) q[i] = w[i] / beta;
+  }
+  // alpha has one more entry than beta.
+  if (out.beta.size() == out.alpha.size()) out.beta.pop_back();
+  return out;
+}
+
+}  // namespace
+
+double spectral_gap_lanczos(const Graph& g, std::size_t max_iters,
+                            std::uint64_t seed) {
+  const auto lz = lanczos_shifted(g, max_iters, seed);
+  const auto evals = tridiagonal_eigenvalues(lz.alpha, lz.beta);
+  return lz.shift - evals.back();
+}
+
+std::vector<double> fiedler_vector(const Graph& g, std::size_t max_iters,
+                                   std::uint64_t seed) {
+  const auto lz = lanczos_shifted(g, max_iters, seed);
+  const std::size_t k = lz.alpha.size();
+  DenseSymMatrix t(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    t.set(i, i, lz.alpha[i]);
+    if (i + 1 < k) t.set(i, i + 1, lz.beta[i]);
+  }
+  const auto es = jacobi_eigensystem(t);
+  const auto& y = es.vectors.back();  // largest eigenvalue of B ~ lambda_2
+  std::vector<double> v(g.num_nodes(), 0.0);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] += y[j] * lz.basis[j][i];
+  return v;
+}
+
+}  // namespace overcount

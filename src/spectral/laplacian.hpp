@@ -1,0 +1,41 @@
+// Graph Laplacian machinery (paper Definition 1): L = D - A, eigenvalues
+// 0 = lambda_1 <= lambda_2 <= ..., with lambda_2 the spectral gap that
+// controls both the Random Tour variance (Proposition 2) and the CTRW
+// sampling mixing time (Lemma 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "spectral/dense.hpp"
+
+namespace overcount {
+
+/// Dense Laplacian of a (small) graph.
+DenseSymMatrix dense_laplacian(const Graph& g);
+
+/// y = L x for the sparse Laplacian; x and y must have size n, x != y.
+void laplacian_apply(const Graph& g, std::span<const double> x,
+                     std::span<double> y);
+
+/// Full Laplacian spectrum (ascending) by dense Jacobi; for small graphs.
+std::vector<double> laplacian_spectrum(const Graph& g);
+
+/// Exact spectral gap lambda_2 by dense diagonalisation; for small graphs.
+double spectral_gap_exact(const Graph& g);
+
+/// lambda_2 of a large sparse graph by Lanczos with full
+/// reorthogonalisation on the complement of the constant vector.
+/// `max_iters` bounds the Krylov dimension. Requires a connected graph for a
+/// meaningful result (otherwise returns ~0).
+double spectral_gap_lanczos(const Graph& g, std::size_t max_iters = 200,
+                            std::uint64_t seed = 1);
+
+/// Approximate Fiedler vector (eigenvector of lambda_2) by Lanczos; used to
+/// drive sweep-cut conductance estimates.
+std::vector<double> fiedler_vector(const Graph& g,
+                                   std::size_t max_iters = 200,
+                                   std::uint64_t seed = 1);
+
+}  // namespace overcount

@@ -1,0 +1,49 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 / I.8): preconditions and postconditions are asserted at runtime and
+// throw std::logic_error so that violations are testable and never silently
+// corrupt a simulation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace overcount {
+
+/// Thrown when a precondition (Expects) is violated.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a postcondition or internal invariant (Ensures) is violated.
+class postcondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_expects(const char* expr, const char* file,
+                                      int line) {
+  throw precondition_error(std::string("precondition failed: ") + expr +
+                           " at " + file + ":" + std::to_string(line));
+}
+[[noreturn]] inline void fail_ensures(const char* expr, const char* file,
+                                      int line) {
+  throw postcondition_error(std::string("postcondition failed: ") + expr +
+                            " at " + file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace overcount
+
+#define OVERCOUNT_EXPECTS(cond)                                        \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::overcount::detail::fail_expects(#cond, __FILE__, __LINE__);    \
+  } while (false)
+
+#define OVERCOUNT_ENSURES(cond)                                        \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::overcount::detail::fail_ensures(#cond, __FILE__, __LINE__);    \
+  } while (false)

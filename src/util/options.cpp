@@ -1,0 +1,106 @@
+#include "util/options.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+void Options::add(const std::string& name, const std::string& default_value,
+                  const std::string& help) {
+  OVERCOUNT_EXPECTS(!name.empty());
+  OVERCOUNT_EXPECTS(!specs_.contains(name));
+  specs_[name] = Spec{default_value, help, false};
+}
+
+void Options::add_flag(const std::string& name, const std::string& help) {
+  OVERCOUNT_EXPECTS(!name.empty());
+  OVERCOUNT_EXPECTS(!specs_.contains(name));
+  specs_[name] = Spec{"", help, true};
+}
+
+void Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end())
+      throw std::runtime_error("unknown option --" + name);
+    if (it->second.is_flag) {
+      if (have_value)
+        throw std::runtime_error("flag --" + name + " takes no value");
+      values_[name] = "1";
+      continue;
+    }
+    if (!have_value) {
+      if (i + 1 >= argc)
+        throw std::runtime_error("option --" + name + " needs a value");
+      value = argv[++i];
+    }
+    values_[name] = std::move(value);
+  }
+}
+
+bool Options::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string Options::get(const std::string& name) const {
+  const auto spec = specs_.find(name);
+  OVERCOUNT_EXPECTS(spec != specs_.end());
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : spec->second.default_value;
+}
+
+std::int64_t Options::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t used = 0;
+  const auto out = std::stoll(v, &used);
+  if (used != v.size())
+    throw std::runtime_error("option --" + name + ": '" + v +
+                             "' is not an integer");
+  return out;
+}
+
+double Options::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t used = 0;
+  const double out = std::stod(v, &used);
+  if (used != v.size())
+    throw std::runtime_error("option --" + name + ": '" + v +
+                             "' is not a number");
+  return out;
+}
+
+bool Options::get_flag(const std::string& name) const {
+  const auto spec = specs_.find(name);
+  OVERCOUNT_EXPECTS(spec != specs_.end());
+  OVERCOUNT_EXPECTS(spec->second.is_flag);
+  return values_.contains(name);
+}
+
+std::string Options::usage(const std::string& program) const {
+  std::ostringstream ss;
+  ss << "usage: " << program << " [options]\n";
+  for (const auto& [name, spec] : specs_) {
+    ss << "  --" << name;
+    if (!spec.is_flag) ss << "=<" << spec.default_value << ">";
+    ss << "  " << spec.help << '\n';
+  }
+  return ss.str();
+}
+
+}  // namespace overcount

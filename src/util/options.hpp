@@ -1,0 +1,50 @@
+// Minimal command-line option parsing for the examples and bench binaries:
+// --name=value / --name value / --flag, with typed accessors, defaults, and
+// a generated usage string. No external dependencies, no global state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace overcount {
+
+/// Parsed command line. Unknown options throw at parse time so typos fail
+/// loudly; positional arguments are collected in order.
+class Options {
+ public:
+  /// Declares an option before parsing. `help` feeds usage().
+  void add(const std::string& name, const std::string& default_value,
+           const std::string& help);
+  /// Declares a boolean flag (present => true).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv; throws std::runtime_error on unknown/malformed options.
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// "--name=<default>  help" lines, one per declared option.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace overcount

@@ -1,0 +1,49 @@
+// Sliding-window aggregation over the most recent W observations, as used by
+// the paper's evaluation (Figures 2, 6, 8-10 average Random Tour estimates
+// over windows of 200 or 700 samples).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+/// Mean over the last `capacity` values pushed; older values are evicted.
+class SlidingWindowMean {
+ public:
+  explicit SlidingWindowMean(std::size_t capacity) : capacity_(capacity) {
+    OVERCOUNT_EXPECTS(capacity > 0);
+  }
+
+  void push(double x) {
+    window_.push_back(x);
+    sum_ += x;
+    if (window_.size() > capacity_) {
+      sum_ -= window_.front();
+      window_.pop_front();
+    }
+  }
+
+  /// Mean of the current window; requires at least one pushed value.
+  double mean() const {
+    OVERCOUNT_EXPECTS(!window_.empty());
+    return sum_ / static_cast<double>(window_.size());
+  }
+
+  std::size_t size() const noexcept { return window_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool full() const noexcept { return window_.size() == capacity_; }
+  void clear() noexcept {
+    window_.clear();
+    sum_ = 0.0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+};
+
+}  // namespace overcount

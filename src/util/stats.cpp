@@ -1,0 +1,122 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::population_variance() const noexcept {
+  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  OVERCOUNT_EXPECTS(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  OVERCOUNT_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[idx] * (1.0 - frac) + sorted_[idx + 1] * frac;
+}
+
+double Ecdf::ks_distance(const Ecdf& other) const noexcept {
+  double d = 0.0;
+  for (double x : sorted_) d = std::max(d, std::abs((*this)(x) - other(x)));
+  for (double x : other.sorted_)
+    d = std::max(d, std::abs((*this)(x) - other(x)));
+  return d;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  OVERCOUNT_EXPECTS(bins > 0);
+  OVERCOUNT_EXPECTS(lo < hi);
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  OVERCOUNT_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  OVERCOUNT_EXPECTS(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(bins());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  OVERCOUNT_EXPECTS(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) /
+                   static_cast<double>(bins());
+}
+
+double mean_of(std::span<const double> xs) {
+  OVERCOUNT_EXPECTS(!xs.empty());
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double variance_of(std::span<const double> xs) {
+  OVERCOUNT_EXPECTS(xs.size() >= 2);
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.variance();
+}
+
+}  // namespace overcount

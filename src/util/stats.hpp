@@ -1,0 +1,84 @@
+// Streaming and batch statistics used throughout the evaluation harness:
+// Welford running moments, empirical CDFs/quantiles, and histograms.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace overcount {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  /// Mean of the observations; 0 when empty.
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const noexcept;
+  /// Population variance (divide by n); 0 when empty.
+  double population_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Empirical cumulative distribution function over a fixed sample.
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> samples);
+
+  /// P(X <= x) under the empirical measure.
+  double operator()(double x) const noexcept;
+
+  /// Empirical quantile, q in [0,1]; q=0 -> min, q=1 -> max.
+  double quantile(double q) const;
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+  /// Kolmogorov-Smirnov distance to another ECDF (two-sample statistic).
+  double ks_distance(const Ecdf& other) const noexcept;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-range equal-width histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;  // out-of-range values land in edge bins
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Mean of the values in the span; requires non-empty.
+double mean_of(std::span<const double> xs);
+/// Unbiased sample variance; requires at least two values.
+double variance_of(std::span<const double> xs);
+
+}  // namespace overcount

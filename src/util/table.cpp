@@ -1,0 +1,100 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  OVERCOUNT_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  OVERCOUNT_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left
+         << row[c] << " |";
+    os << '\n';
+  };
+
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+void print_series(std::ostream& os, const std::string& title,
+                  const std::vector<Series>& series) {
+  os << "# figure: " << title << '\n';
+  for (const auto& s : series) {
+    os << "# series: " << s.name << " (" << s.xs.size() << " points)\n";
+    for (std::size_t i = 0; i < s.xs.size(); ++i)
+      os << s.name << ' ' << format_double(s.xs[i], 6) << ' '
+         << format_double(s.ys[i], 6) << '\n';
+  }
+}
+
+void ascii_plot(std::ostream& os, const Series& series, int width,
+                int height) {
+  OVERCOUNT_EXPECTS(width > 4 && height > 2);
+  if (series.xs.empty()) {
+    os << "(empty series: " << series.name << ")\n";
+    return;
+  }
+  const auto [ymin_it, ymax_it] =
+      std::minmax_element(series.ys.begin(), series.ys.end());
+  double ymin = *ymin_it;
+  double ymax = *ymax_it;
+  if (ymax - ymin < 1e-12) {
+    ymin -= 1.0;
+    ymax += 1.0;
+  }
+  const auto [xmin_it, xmax_it] =
+      std::minmax_element(series.xs.begin(), series.xs.end());
+  const double xmin = *xmin_it;
+  const double xmax = std::max(*xmax_it, xmin + 1e-12);
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width),
+                                              ' '));
+  for (std::size_t i = 0; i < series.xs.size(); ++i) {
+    const double tx = (series.xs[i] - xmin) / (xmax - xmin);
+    const double ty = (series.ys[i] - ymin) / (ymax - ymin);
+    auto col = static_cast<std::size_t>(tx * (width - 1));
+    auto row = static_cast<std::size_t>((1.0 - ty) * (height - 1));
+    canvas[row][col] = '*';
+  }
+  os << "## " << series.name << "  y:[" << format_double(ymin, 2) << ", "
+     << format_double(ymax, 2) << "]  x:[" << format_double(xmin, 2) << ", "
+     << format_double(xmax, 2) << "]\n";
+  for (const auto& line : canvas) os << '|' << line << "|\n";
+}
+
+}  // namespace overcount

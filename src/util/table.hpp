@@ -1,0 +1,54 @@
+// Plain-text table and data-series printers used by the bench harness to
+// emit each paper table / figure in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace overcount {
+
+/// Column-aligned ASCII table. Cells are strings; format_cell helpers below
+/// render doubles compactly.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders with a header underline; every row padded to the widest cell.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision rendering of a double (default 4 significant decimals).
+std::string format_double(double v, int precision = 4);
+
+/// A named (x, y) series: one line per point, `# name` header — the exact
+/// shape a plotting script or eyeball needs to compare against the paper's
+/// figures.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+
+  void add(double x, double y) {
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+};
+
+/// Prints `# figure: <title>` then each series as "name x y" rows.
+void print_series(std::ostream& os, const std::string& title,
+                  const std::vector<Series>& series);
+
+/// Coarse ASCII plot (for quick shape checks in the terminal): y range is
+/// auto-scaled, one column per x bucket.
+void ascii_plot(std::ostream& os, const Series& series, int width = 72,
+                int height = 16);
+
+}  // namespace overcount

@@ -1,0 +1,129 @@
+#include "util/tests.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+namespace {
+
+// Regularised incomplete gamma by series expansion (x < s+1).
+double gamma_p_series(double s, double x) {
+  double term = 1.0 / s;
+  double sum = term;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (s + n);
+    sum += term;
+    if (term < sum * 1e-15) break;
+  }
+  return sum * std::exp(-x + s * std::log(x) - std::lgamma(s));
+}
+
+// Regularised complementary incomplete gamma by continued fraction (x>=s+1).
+double gamma_q_cf(double s, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - s;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -i * (i - s);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + s * std::log(x) - std::lgamma(s)) * h;
+}
+
+}  // namespace
+
+double gamma_p(double s, double x) {
+  OVERCOUNT_EXPECTS(s > 0.0);
+  if (x <= 0.0) return 0.0;
+  return x < s + 1.0 ? gamma_p_series(s, x) : 1.0 - gamma_q_cf(s, x);
+}
+
+double erlang_cdf(int k, double rate, double x) {
+  OVERCOUNT_EXPECTS(k > 0);
+  OVERCOUNT_EXPECTS(rate > 0.0);
+  if (x <= 0.0) return 0.0;
+  return gamma_p(static_cast<double>(k), rate * x);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+ChiSquareResult chi_square_test(std::span<const double> observed,
+                                std::span<const double> expected) {
+  OVERCOUNT_EXPECTS(!observed.empty());
+  OVERCOUNT_EXPECTS(observed.size() == expected.size());
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    OVERCOUNT_EXPECTS(expected[i] > 0.0);
+    const double diff = observed[i] - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  ChiSquareResult r;
+  r.statistic = stat;
+  r.dof = static_cast<double>(observed.size() - 1);
+  if (r.dof <= 0.0) {
+    r.p_value = 1.0;
+  } else {
+    // p = Q(dof/2, stat/2) via the exact regularised gamma.
+    r.p_value = 1.0 - gamma_p(r.dof / 2.0, stat / 2.0);
+  }
+  return r;
+}
+
+ChiSquareResult chi_square_uniform(std::span<const std::size_t> observed) {
+  OVERCOUNT_EXPECTS(!observed.empty());
+  std::size_t total = 0;
+  for (auto c : observed) total += c;
+  OVERCOUNT_EXPECTS(total > 0);
+  std::vector<double> obs(observed.size());
+  std::vector<double> exp(observed.size(),
+                          static_cast<double>(total) /
+                              static_cast<double>(observed.size()));
+  for (std::size_t i = 0; i < observed.size(); ++i)
+    obs[i] = static_cast<double>(observed[i]);
+  return chi_square_test(obs, exp);
+}
+
+KsResult ks_test(std::vector<double> samples,
+                 const std::function<double(double)>& cdf) {
+  OVERCOUNT_EXPECTS(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+  }
+  KsResult r;
+  r.statistic = d;
+  // Asymptotic Kolmogorov distribution with the small-sample correction
+  // suggested by Stephens: use sqrt(n) + 0.12 + 0.11/sqrt(n).
+  const double sqn = std::sqrt(n);
+  const double lambda = (sqn + 0.12 + 0.11 / sqn) * d;
+  double p = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  r.p_value = std::clamp(2.0 * p, 0.0, 1.0);
+  return r;
+}
+
+}  // namespace overcount

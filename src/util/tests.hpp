@@ -1,0 +1,47 @@
+// Goodness-of-fit test statistics used by the property-test suites and the
+// sampling-quality benches: Pearson chi-square (with Wilson-Hilferty p-value
+// approximation) and one-sample Kolmogorov-Smirnov.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace overcount {
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+  /// Approximate p-value (Wilson-Hilferty); accurate enough for
+  /// accept/reject at conventional thresholds when dof >= ~5.
+  double p_value = 1.0;
+};
+
+/// Pearson chi-square test of observed counts against expected counts.
+/// Spans must be the same non-zero length; expected counts must be positive.
+ChiSquareResult chi_square_test(std::span<const double> observed,
+                                std::span<const double> expected);
+
+/// Chi-square test of observed counts against the uniform distribution.
+ChiSquareResult chi_square_uniform(std::span<const std::size_t> observed);
+
+struct KsResult {
+  double statistic = 0.0;  // sup-norm distance
+  double p_value = 1.0;    // asymptotic Kolmogorov distribution
+};
+
+/// One-sample KS test of `samples` against a continuous CDF.
+KsResult ks_test(std::vector<double> samples,
+                 const std::function<double(double)>& cdf);
+
+/// Standard normal CDF.
+double normal_cdf(double x);
+
+/// Regularised lower incomplete gamma P(s, x) via series/continued fraction;
+/// used for exact chi-square and Erlang CDFs.
+double gamma_p(double s, double x);
+
+/// CDF of the Erlang(k, rate) distribution (sum of k exponentials).
+double erlang_cdf(int k, double rate, double x);
+
+}  // namespace overcount

@@ -1,0 +1,125 @@
+#include "walk/exact.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+namespace {
+
+// q = p * P where P is the DTRW transition matrix.
+std::vector<double> dtrw_step(const Graph& g, const std::vector<double>& p) {
+  std::vector<double> q(p.size(), 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (p[v] == 0.0) continue;
+    const auto nbrs = g.neighbors(v);
+    OVERCOUNT_EXPECTS(!nbrs.empty());
+    const double share = p[v] / static_cast<double>(nbrs.size());
+    for (NodeId u : nbrs) q[u] += share;
+  }
+  return q;
+}
+
+}  // namespace
+
+std::vector<double> dtrw_distribution(const Graph& g, NodeId origin,
+                                      std::size_t steps) {
+  OVERCOUNT_EXPECTS(origin < g.num_nodes());
+  std::vector<double> p(g.num_nodes(), 0.0);
+  p[origin] = 1.0;
+  for (std::size_t k = 0; k < steps; ++k) p = dtrw_step(g, p);
+  return p;
+}
+
+std::vector<double> ctrw_distribution(const Graph& g, NodeId origin, double t,
+                                      double tol) {
+  OVERCOUNT_EXPECTS(origin < g.num_nodes());
+  OVERCOUNT_EXPECTS(t >= 0.0);
+  const std::size_t n = g.num_nodes();
+  // Uniformisation: -L = c (P_tilde - I) with c = d_max and
+  // P_tilde = I - L/c (stochastic). Then
+  //   exp(-tL) = sum_k Poisson(ct; k) P_tilde^k.
+  const double c = static_cast<double>(g.max_degree());
+  if (c == 0.0 || t == 0.0) {
+    std::vector<double> p(n, 0.0);
+    p[origin] = 1.0;
+    return p;
+  }
+  auto uniformised_step = [&](const std::vector<double>& p) {
+    // q = p * P_tilde; P_tilde(v,v) = 1 - d_v/c, P_tilde(v,u) = 1/c per edge.
+    std::vector<double> q(n, 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (p[v] == 0.0) continue;
+      const auto nbrs = g.neighbors(v);
+      q[v] += p[v] * (1.0 - static_cast<double>(nbrs.size()) / c);
+      const double share = p[v] / c;
+      for (NodeId u : nbrs) q[u] += share;
+    }
+    return q;
+  };
+
+  const double rate = c * t;
+  std::vector<double> term(n, 0.0);
+  term[origin] = 1.0;
+  std::vector<double> result(n, 0.0);
+  // Accumulate Poisson-weighted powers until the tail mass drops below tol.
+  double log_weight = -rate;  // log Poisson(rate; 0)
+  double cumulative = 0.0;
+  const std::size_t k_max =
+      static_cast<std::size_t>(rate + 12.0 * std::sqrt(rate + 1.0) + 60.0);
+  for (std::size_t k = 0; k <= k_max; ++k) {
+    const double w = std::exp(log_weight);
+    for (std::size_t i = 0; i < n; ++i) result[i] += w * term[i];
+    cumulative += w;
+    if (1.0 - cumulative < tol) break;
+    term = uniformised_step(term);
+    log_weight += std::log(rate) - std::log(static_cast<double>(k + 1));
+  }
+  // Renormalise away the truncated tail.
+  double total = 0.0;
+  for (double x : result) total += x;
+  for (double& x : result) x /= total;
+  return result;
+}
+
+std::vector<double> deterministic_ctrw_distribution_regular(const Graph& g,
+                                                            NodeId origin,
+                                                            double t) {
+  OVERCOUNT_EXPECTS(g.num_nodes() >= 2);
+  const std::size_t d = g.degree(0);
+  for (NodeId v = 1; v < g.num_nodes(); ++v)
+    OVERCOUNT_EXPECTS(g.degree(v) == d);
+  OVERCOUNT_EXPECTS(t >= 0.0);
+  const auto steps =
+      static_cast<std::size_t>(std::floor(t * static_cast<double>(d)));
+  return dtrw_distribution(g, origin, steps);
+}
+
+double variation_distance(const std::vector<double>& p,
+                          const std::vector<double>& q) {
+  OVERCOUNT_EXPECTS(p.size() == q.size());
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) l1 += std::abs(p[i] - q[i]);
+  return 0.5 * l1;
+}
+
+double variation_distance_to_uniform(const std::vector<double>& p) {
+  OVERCOUNT_EXPECTS(!p.empty());
+  const double u = 1.0 / static_cast<double>(p.size());
+  double l1 = 0.0;
+  for (double x : p) l1 += std::abs(x - u);
+  return 0.5 * l1;
+}
+
+std::vector<double> dtrw_stationary(const Graph& g) {
+  OVERCOUNT_EXPECTS(g.num_nodes() > 0);
+  OVERCOUNT_EXPECTS(g.total_degree() > 0);
+  std::vector<double> pi(g.num_nodes());
+  const double total = static_cast<double>(g.total_degree());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    pi[v] = static_cast<double>(g.degree(v)) / total;
+  return pi;
+}
+
+}  // namespace overcount

@@ -1,0 +1,40 @@
+// Exact walk-distribution evolution on small graphs. Used to verify the
+// mixing analysis (Lemma 1) against ground truth: DTRW distributions by
+// transition-matrix powers, CTRW distributions by uniformisation of
+// exp(-tL), and total-variation distances to uniform.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace overcount {
+
+/// Distribution of the DTRW after `steps` steps from `origin` (size n).
+std::vector<double> dtrw_distribution(const Graph& g, NodeId origin,
+                                      std::size_t steps);
+
+/// Distribution of the exponential-sojourn CTRW at time `t` from `origin`,
+/// i.e. the `origin` row of exp(-tL), computed by uniformisation (exact up
+/// to a truncation error below `tol`).
+std::vector<double> ctrw_distribution(const Graph& g, NodeId origin, double t,
+                                      double tol = 1e-12);
+
+/// Distribution of the *deterministic-sojourn* CTRW at time `t` from
+/// `origin`, exact for regular graphs (where the walk position at time t is
+/// the DTRW after floor(t*d) steps). Requires a regular graph.
+std::vector<double> deterministic_ctrw_distribution_regular(const Graph& g,
+                                                            NodeId origin,
+                                                            double t);
+
+/// Total-variation distance max_A |p(A) - q(A)| = (1/2) * ||p - q||_1.
+double variation_distance(const std::vector<double>& p,
+                          const std::vector<double>& q);
+
+/// Total-variation distance of `p` to the uniform distribution on n points.
+double variation_distance_to_uniform(const std::vector<double>& p);
+
+/// Stationary distribution of the DTRW: pi_v = d_v / (2|E|).
+std::vector<double> dtrw_stationary(const Graph& g);
+
+}  // namespace overcount

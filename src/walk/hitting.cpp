@@ -1,0 +1,151 @@
+#include "walk/hitting.hpp"
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+
+namespace overcount {
+
+namespace {
+
+// Solves A x = b in place by Gaussian elimination with partial pivoting.
+// A is row-major k x k; b holds the solution on return.
+void solve_dense(std::vector<double>& a, std::vector<double>& b,
+                 std::size_t k) {
+  for (std::size_t col = 0; col < k; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < k; ++row)
+      if (std::abs(a[row * k + col]) > std::abs(a[pivot * k + col]))
+        pivot = row;
+    OVERCOUNT_ENSURES(std::abs(a[pivot * k + col]) > 1e-12);
+    if (pivot != col) {
+      for (std::size_t j = 0; j < k; ++j)
+        std::swap(a[col * k + j], a[pivot * k + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    const double inv = 1.0 / a[col * k + col];
+    for (std::size_t row = col + 1; row < k; ++row) {
+      const double factor = a[row * k + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < k; ++j)
+        a[row * k + j] -= factor * a[col * k + j];
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back-substitute.
+  for (std::size_t col = k; col-- > 0;) {
+    double acc = b[col];
+    for (std::size_t j = col + 1; j < k; ++j)
+      acc -= a[col * k + j] * b[j];
+    b[col] = acc / a[col * k + col];
+  }
+}
+
+// Builds (I - Q) where Q is the DTRW transition matrix restricted to the
+// non-`excluded` nodes, along with the index maps.
+struct RestrictedSystem {
+  std::vector<double> matrix;       // k x k
+  std::vector<std::size_t> index;   // node -> row (or SIZE_MAX)
+  std::vector<NodeId> node;         // row -> node
+  std::size_t k = 0;
+};
+
+RestrictedSystem build_restricted(const Graph& g, NodeId excluded) {
+  RestrictedSystem sys;
+  const std::size_t n = g.num_nodes();
+  sys.index.assign(n, static_cast<std::size_t>(-1));
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == excluded) continue;
+    sys.index[v] = sys.node.size();
+    sys.node.push_back(v);
+  }
+  sys.k = sys.node.size();
+  sys.matrix.assign(sys.k * sys.k, 0.0);
+  for (std::size_t row = 0; row < sys.k; ++row) {
+    const NodeId v = sys.node[row];
+    sys.matrix[row * sys.k + row] = 1.0;
+    const double p = 1.0 / static_cast<double>(g.degree(v));
+    for (NodeId u : g.neighbors(v)) {
+      if (u == excluded) continue;
+      sys.matrix[row * sys.k + sys.index[u]] -= p;
+    }
+  }
+  return sys;
+}
+
+}  // namespace
+
+std::vector<double> exact_hitting_times(const Graph& g, NodeId target) {
+  OVERCOUNT_EXPECTS(target < g.num_nodes());
+  OVERCOUNT_EXPECTS(is_connected(g));
+  auto sys = build_restricted(g, target);
+  std::vector<double> rhs(sys.k, 1.0);
+  auto matrix = sys.matrix;  // solve_dense destroys its inputs
+  solve_dense(matrix, rhs, sys.k);
+  std::vector<double> h(g.num_nodes(), 0.0);
+  for (std::size_t row = 0; row < sys.k; ++row) h[sys.node[row]] = rhs[row];
+  return h;
+}
+
+double exact_return_time(const Graph& g, NodeId origin) {
+  OVERCOUNT_EXPECTS(g.degree(origin) > 0);
+  const auto h = exact_hitting_times(g, origin);
+  double acc = 0.0;
+  for (NodeId u : g.neighbors(origin)) acc += h[u];
+  return 1.0 + acc / static_cast<double>(g.degree(origin));
+}
+
+TourMoments exact_tour_moments(const Graph& g, NodeId origin) {
+  OVERCOUNT_EXPECTS(origin < g.num_nodes());
+  OVERCOUNT_EXPECTS(is_connected(g));
+  const auto d_origin = static_cast<double>(g.degree(origin));
+  auto sys = build_restricted(g, origin);
+
+  // M1[v] = 1/d_v + sum_u P(v,u) M1[u]  (v != origin, M1[origin] = 0).
+  std::vector<double> m1(sys.k);
+  for (std::size_t row = 0; row < sys.k; ++row)
+    m1[row] = 1.0 / static_cast<double>(g.degree(sys.node[row]));
+  {
+    auto matrix = sys.matrix;
+    solve_dense(matrix, m1, sys.k);
+  }
+  // M2[v] = 1/d_v^2 + (2/d_v) sum_u P(v,u) M1[u] + sum_u P(v,u) M2[u].
+  std::vector<double> m2(sys.k);
+  for (std::size_t row = 0; row < sys.k; ++row) {
+    const NodeId v = sys.node[row];
+    const double inv_d = 1.0 / static_cast<double>(g.degree(v));
+    double next_m1 = 0.0;
+    for (NodeId u : g.neighbors(v))
+      if (u != origin) next_m1 += m1[sys.index[u]];
+    next_m1 *= inv_d;
+    m2[row] = inv_d * inv_d + 2.0 * inv_d * next_m1;
+  }
+  {
+    auto matrix = sys.matrix;
+    solve_dense(matrix, m2, sys.k);
+  }
+
+  // Counter = 1/d_origin + S_{V1}, V1 uniform over origin's neighbours.
+  double avg_m1 = 0.0;
+  double avg_m2 = 0.0;
+  for (NodeId u : g.neighbors(origin)) {
+    avg_m1 += m1[sys.index[u]];
+    avg_m2 += m2[sys.index[u]];
+  }
+  avg_m1 /= d_origin;
+  avg_m2 /= d_origin;
+  const double inv_d = 1.0 / d_origin;
+  const double mean_counter = inv_d + avg_m1;
+  const double second_counter =
+      inv_d * inv_d + 2.0 * inv_d * avg_m1 + avg_m2;
+
+  TourMoments out;
+  out.mean = d_origin * mean_counter;
+  out.variance =
+      d_origin * d_origin * (second_counter - mean_counter * mean_counter);
+  return out;
+}
+
+}  // namespace overcount

@@ -1,0 +1,32 @@
+// Exact first-passage quantities for the DTRW on small graphs, by solving
+// the linear systems they satisfy. Ground truth for everything the Random
+// Tour analysis rests on: Kac's formula E_i[T_i] = 2|E|/d_i, expected
+// hitting times, and the exact variance of the tour's counter.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace overcount {
+
+/// Expected hitting times h[v] = E_v[steps to reach target]; h[target] = 0.
+/// Solves (I - P_restricted) h = 1 by Gaussian elimination; O(n^3).
+/// Requires target's component to contain all of the graph (connected).
+std::vector<double> exact_hitting_times(const Graph& g, NodeId target);
+
+/// Exact expected return time E_i[T_i] = 1 + average of h over i's
+/// neighbours; equals 2|E|/d_i (Kac) — exposed so tests can confirm the
+/// linear-solve path agrees with the closed form.
+double exact_return_time(const Graph& g, NodeId origin);
+
+/// Exact mean and variance of the Random Tour SIZE estimate launched at
+/// `origin`, from first principles: solves for E[counter] and E[counter^2]
+/// accumulated until absorption at the origin. O(n^3); small graphs only.
+struct TourMoments {
+  double mean = 0.0;      ///< E[d_origin * counter]  (= N, Prop. 1)
+  double variance = 0.0;  ///< Var(d_origin * counter)
+};
+TourMoments exact_tour_moments(const Graph& g, NodeId origin);
+
+}  // namespace overcount

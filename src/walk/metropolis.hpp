@@ -1,0 +1,65 @@
+// Metropolis-Hastings random walk: the standard DISCRETE-time construction
+// whose stationary distribution is uniform. From node v, propose a uniform
+// neighbour u and move there with probability min(1, d_v/d_u); otherwise
+// stay. Included as the natural competitor to the paper's CTRW sampler —
+// it also removes degree bias, but pays for it with self-loops (wasted
+// steps at low-degree nodes next to hubs), whereas the CTRW spends real
+// time, not messages, at high-degree nodes. The ablation bench quantifies
+// the message-cost difference.
+#pragma once
+
+#include "walk/topology.hpp"
+#include "walk/walkers.hpp"
+
+namespace overcount {
+
+/// One Metropolis-Hastings transition from `at`; returns the next node
+/// (possibly `at` itself on rejection).
+template <OverlayTopology G>
+NodeId metropolis_step(const G& g, NodeId at, Rng& rng) {
+  const NodeId proposal = random_neighbor(g, at, rng);
+  const auto d_at = static_cast<double>(g.degree(at));
+  const auto d_prop = static_cast<double>(g.degree(proposal));
+  if (d_prop <= d_at || rng.uniform() < d_at / d_prop) return proposal;
+  return at;
+}
+
+/// Metropolis-Hastings sample after a fixed number of steps. `hops` in the
+/// result counts only ACCEPTED moves (messages actually sent); rejected
+/// proposals still consume a probe round-trip in a real deployment, which
+/// `probes_sent` below accounts for.
+template <OverlayTopology G>
+struct MetropolisSampler {
+  MetropolisSampler(const G& graph, std::uint64_t steps, Rng rng)
+      : graph_(&graph), steps_(steps), rng_(rng) {
+    OVERCOUNT_EXPECTS(steps > 0);
+  }
+
+  SampleResult sample(NodeId origin) {
+    NodeId at = origin;
+    SampleResult out;
+    for (std::uint64_t k = 0; k < steps_; ++k) {
+      // A proposal costs one probe exchange whether or not it is accepted:
+      // the walker must learn d_u from the proposed neighbour.
+      ++probes_sent_;
+      const NodeId next = metropolis_step(*graph_, at, rng_);
+      if (next != at) ++out.hops;
+      at = next;
+    }
+    out.node = at;
+    total_hops_ += out.hops;
+    return out;
+  }
+
+  std::uint64_t probes_sent() const noexcept { return probes_sent_; }
+  std::uint64_t total_hops() const noexcept { return total_hops_; }
+
+ private:
+  const G* graph_;
+  std::uint64_t steps_;
+  Rng rng_;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t total_hops_ = 0;
+};
+
+}  // namespace overcount

@@ -1,0 +1,47 @@
+#include "walk/mixing.hpp"
+
+#include <cmath>
+
+#include "walk/exact.hpp"
+
+namespace overcount {
+
+double ctrw_worst_case_distance(const Graph& g, double t) {
+  OVERCOUNT_EXPECTS(g.num_nodes() >= 2);
+  double worst = 0.0;
+  for (NodeId origin = 0; origin < g.num_nodes(); ++origin)
+    worst = std::max(worst, variation_distance_to_uniform(
+                                ctrw_distribution(g, origin, t)));
+  return worst;
+}
+
+double ctrw_mixing_time(const Graph& g, double eps, double resolution) {
+  OVERCOUNT_EXPECTS(eps > 0.0 && eps < 1.0);
+  OVERCOUNT_EXPECTS(resolution > 0.0);
+  // Variation distance is non-increasing in t for the CTRW (complete
+  // monotonicity, cf. the Lemma 1 proof), so bisection is valid.
+  double hi = 1.0;
+  int guard = 0;
+  while (ctrw_worst_case_distance(g, hi) > eps) {
+    hi *= 2.0;
+    OVERCOUNT_ENSURES(++guard < 64);
+  }
+  double lo = hi / 2.0;
+  if (hi == 1.0) lo = 0.0;
+  while (hi - lo > resolution) {
+    const double mid = 0.5 * (lo + hi);
+    if (ctrw_worst_case_distance(g, mid) > eps) lo = mid;
+    else hi = mid;
+  }
+  return hi;
+}
+
+double lemma1_mixing_bound(std::size_t n, double spectral_gap, double eps) {
+  OVERCOUNT_EXPECTS(n >= 2);
+  OVERCOUNT_EXPECTS(spectral_gap > 0.0);
+  OVERCOUNT_EXPECTS(eps > 0.0 && eps < 1.0);
+  return (0.5 * std::log(static_cast<double>(n)) + std::log(1.0 / eps)) /
+         spectral_gap;
+}
+
+}  // namespace overcount

@@ -1,0 +1,26 @@
+// Exact mixing-time computations on small graphs, tying Lemma 1's spectral
+// bound to ground truth: t_mix(eps) is the smallest t with worst-case
+// variation distance to the stationary/uniform distribution below eps.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace overcount {
+
+/// Smallest t (found by doubling + bisection to `resolution`) such that the
+/// exponential-sojourn CTRW started from the WORST origin is within eps of
+/// uniform in variation distance. Requires a connected graph and eps in
+/// (0, 1).
+double ctrw_mixing_time(const Graph& g, double eps,
+                        double resolution = 1e-3);
+
+/// Variation distance to uniform at time t from the worst-case origin.
+double ctrw_worst_case_distance(const Graph& g, double t);
+
+/// Lemma 1's spectral upper bound on the mixing time:
+/// t <= (log(sqrt(n)) + log(1/eps)) / lambda_2.
+double lemma1_mixing_bound(std::size_t n, double spectral_gap, double eps);
+
+}  // namespace overcount

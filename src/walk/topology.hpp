@@ -1,0 +1,29 @@
+// The minimal interface a walker needs from an overlay: degree and
+// neighbour-list access. Both the static CSR Graph and the churn-capable
+// DynamicGraph satisfy it, so every walk/estimator template runs unchanged
+// on static and dynamic overlays.
+#pragma once
+
+#include <concepts>
+#include <span>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace overcount {
+
+template <typename G>
+concept OverlayTopology = requires(const G& g, NodeId v) {
+  { g.degree(v) } -> std::convertible_to<std::size_t>;
+  { g.neighbors(v) } -> std::convertible_to<std::span<const NodeId>>;
+};
+
+/// Uniformly random neighbour of v. Requires degree(v) > 0.
+template <OverlayTopology G>
+NodeId random_neighbor(const G& g, NodeId v, Rng& rng) {
+  const auto nbrs = g.neighbors(v);
+  OVERCOUNT_EXPECTS(!nbrs.empty());
+  return nbrs[rng.uniform_below(nbrs.size())];
+}
+
+}  // namespace overcount

@@ -1,0 +1,116 @@
+// Random-walk primitives on overlay graphs.
+//
+// * DTRW: the discrete-time simple random walk; stationary distribution is
+//   proportional to degree (hence biased as a sampler — Section 4.1).
+// * CTRW with exponential sojourns: mean sojourn 1/d_v at node v; uniform
+//   stationary distribution. The paper's sampling sub-routine simulates it
+//   by decrementing a timer with -log(u)/d_v per visit.
+// * CTRW with deterministic sojourns (exactly 1/d_v per visit): the variant
+//   used by the Random Tour accounting (Section 3.3), but NOT safe for
+//   sampling (Remark 1's bipartite parity counterexample).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "walk/topology.hpp"
+
+namespace overcount {
+
+/// Outcome of a timer-driven sampling walk.
+struct SampleResult {
+  NodeId node = 0;        ///< the sampled peer
+  std::uint64_t hops = 0; ///< messages spent (walk steps until timer death)
+};
+
+/// Discrete-time random walk stepper.
+template <OverlayTopology G>
+class DtrwWalker {
+ public:
+  DtrwWalker(const G& graph, NodeId start) : graph_(&graph), at_(start) {}
+
+  NodeId position() const noexcept { return at_; }
+  std::uint64_t steps() const noexcept { return steps_; }
+
+  /// Moves to a uniformly random neighbour; returns the new position.
+  NodeId step(Rng& rng) {
+    at_ = random_neighbor(*graph_, at_, rng);
+    ++steps_;
+    return at_;
+  }
+
+ private:
+  const G* graph_;
+  NodeId at_;
+  std::uint64_t steps_ = 0;
+};
+
+/// Number of DTRW steps from `origin` until first return to `origin`.
+template <OverlayTopology G>
+std::uint64_t measure_return_time(const G& g, NodeId origin, Rng& rng,
+                                  std::uint64_t max_steps = ~0ULL) {
+  DtrwWalker walker(g, origin);
+  while (walker.steps() < max_steps)
+    if (walker.step(rng) == origin) return walker.steps();
+  return max_steps;
+}
+
+/// CTRW sample with exponential sojourns (paper Section 4.1): start a timer
+/// at T; each visited node v (including the origin) decrements the timer by
+/// an Exp(d_v) variate; the node where the timer dies is the sample.
+/// Unbiased in the T -> infinity limit: variation distance to uniform is at
+/// most sqrt(N) * exp(-lambda_2 T) (Lemma 1).
+template <OverlayTopology G>
+SampleResult ctrw_sample(const G& g, NodeId origin, double timer, Rng& rng) {
+  OVERCOUNT_EXPECTS(timer > 0.0);
+  SampleResult out;
+  NodeId at = origin;
+  double remaining = timer;
+  for (;;) {
+    const auto degree = g.degree(at);
+    OVERCOUNT_EXPECTS(degree > 0);
+    remaining -= rng.exponential(static_cast<double>(degree));
+    if (remaining <= 0.0) {
+      out.node = at;
+      return out;
+    }
+    at = random_neighbor(g, at, rng);
+    ++out.hops;
+  }
+}
+
+/// CTRW sample with *deterministic* sojourns of exactly 1/d_v. Cheaper (no
+/// per-hop exponential draw) but lacks the Lemma 1 guarantee: on bipartite
+/// regular graphs the sampled side is a deterministic function of T
+/// (Remark 1). Provided for the ablation study and tests.
+template <OverlayTopology G>
+SampleResult deterministic_ctrw_sample(const G& g, NodeId origin,
+                                       double timer, Rng& rng) {
+  OVERCOUNT_EXPECTS(timer > 0.0);
+  SampleResult out;
+  NodeId at = origin;
+  double remaining = timer;
+  for (;;) {
+    const auto degree = g.degree(at);
+    OVERCOUNT_EXPECTS(degree > 0);
+    remaining -= 1.0 / static_cast<double>(degree);
+    if (remaining <= 0.0) {
+      out.node = at;
+      return out;
+    }
+    at = random_neighbor(g, at, rng);
+    ++out.hops;
+  }
+}
+
+/// DTRW-based sampler stopped after a fixed number of steps — the prior-art
+/// baseline the paper improves on; biased towards high-degree nodes.
+template <OverlayTopology G>
+SampleResult dtrw_sample(const G& g, NodeId origin, std::uint64_t steps,
+                         Rng& rng) {
+  DtrwWalker walker(g, origin);
+  while (walker.steps() < steps) walker.step(rng);
+  return {walker.position(), walker.steps()};
+}
+
+}  // namespace overcount

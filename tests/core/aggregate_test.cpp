@@ -1,0 +1,91 @@
+#include "core/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(EstimateSum, DegreeSumIsTotalDegree) {
+  Rng rng(1);
+  const Graph g = largest_component(balanced_random_graph(300, rng));
+  const auto est = estimate_sum(
+      g, 0, [&g](NodeId v) { return static_cast<double>(g.degree(v)); },
+      2000, rng);
+  EXPECT_NEAR(est.value, static_cast<double>(g.total_degree()),
+              5.0 * est.standard_error + 1e-9);
+  EXPECT_EQ(est.tours, 2000u);
+  EXPECT_GT(est.messages, 0u);
+}
+
+TEST(EstimateCount, HighDegreePeers) {
+  Rng rng(2);
+  const Graph g = largest_component(barabasi_albert(400, 3, rng));
+  double truth = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (g.degree(v) >= 10) truth += 1.0;
+  const auto est = estimate_count(
+      g, 0, [&g](NodeId v) { return g.degree(v) >= 10; }, 3000, rng);
+  EXPECT_NEAR(est.value, truth, 5.0 * est.standard_error + 1e-9);
+}
+
+TEST(EstimateMean, UploadCapacityScenario) {
+  // The paper's motivating live-streaming statistic: average upload
+  // capacity per peer.
+  Rng rng(3);
+  const Graph g = largest_component(balanced_random_graph(250, rng));
+  std::vector<double> capacity(g.num_nodes());
+  double truth_sum = 0.0;
+  for (auto& c : capacity) {
+    c = 1.0 + 9.0 * rng.uniform();
+    truth_sum += c;
+  }
+  const double truth_mean = truth_sum / static_cast<double>(g.num_nodes());
+  const auto est = estimate_mean(
+      g, 0, [&capacity](NodeId v) { return capacity[v]; }, 1500, rng);
+  // Ratio estimator: tolerance via its reported se (plus slack for the
+  // small ratio bias).
+  EXPECT_NEAR(est.value, truth_mean,
+              5.0 * est.standard_error + 0.02 * truth_mean);
+}
+
+TEST(EstimateMean, ConstantFunctionIsExact) {
+  // f == c makes every tour's ratio exactly c regardless of trajectory.
+  Rng rng(4);
+  const Graph g = complete(20);
+  const auto est =
+      estimate_mean(g, 0, [](NodeId) { return 3.5; }, 50, rng);
+  EXPECT_NEAR(est.value, 3.5, 1e-12);
+  EXPECT_NEAR(est.standard_error, 0.0, 1e-12);
+}
+
+TEST(EstimateMean, TighterThanSumOverSizeForFlatF) {
+  // The whole point of the shared-tour ratio estimator: for f with small
+  // dispersion, the ratio's variance is far below the variance of the
+  // sum estimate divided by N.
+  Rng rng(5);
+  const Graph g = largest_component(balanced_random_graph(200, rng));
+  auto f = [](NodeId v) { return 10.0 + (v % 3); };  // nearly flat
+  RunningStats ratio_runs;
+  RunningStats sum_runs;
+  const double n = static_cast<double>(g.num_nodes());
+  for (int rep = 0; rep < 40; ++rep) {
+    ratio_runs.add(estimate_mean(g, 0, f, 20, rng).value);
+    sum_runs.add(estimate_sum(g, 0, f, 20, rng).value / n);
+  }
+  EXPECT_LT(ratio_runs.variance(), 0.2 * sum_runs.variance());
+}
+
+TEST(Aggregate, PreconditionsEnforced) {
+  Rng rng(6);
+  const Graph g = ring(8);
+  EXPECT_THROW(estimate_sum(g, 0, [](NodeId) { return 1.0; }, 0, rng),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,131 @@
+// Tests for the architecture-specific baselines (Section 2.1): DHT
+// identifier-density estimation and spanning-tree aggregation — plus the
+// adaptive timer bootstrap of Section 4.1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adaptive.hpp"
+#include "core/dht_density.hpp"
+#include "core/tree_aggregate.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(DhtDensity, SuccessorsAreClockwiseSorted) {
+  Rng rng(1);
+  const DhtIdSpace space(100, rng);
+  const auto succ = space.successors(1ULL << 60, 10);
+  ASSERT_EQ(succ.size(), 10u);
+  // Clockwise distances from the query must be strictly increasing.
+  for (std::size_t i = 1; i < succ.size(); ++i)
+    EXPECT_GT(succ[i] - (1ULL << 60), succ[i - 1] - (1ULL << 60));
+}
+
+TEST(DhtDensity, EstimateUnbiasedOverRepeats) {
+  Rng rng(2);
+  const std::size_t n = 5000;
+  RunningStats stats;
+  for (int trial = 0; trial < 60; ++trial) {
+    const DhtIdSpace space(n, rng);
+    stats.add(space.estimate_size(rng.next(), 50));
+  }
+  const double se = stats.stddev() / std::sqrt(60.0);
+  EXPECT_NEAR(stats.mean(), static_cast<double>(n), 5.0 * se + 0.05 * n);
+}
+
+TEST(DhtDensity, MoreSuccessorsTightenTheEstimate) {
+  Rng rng(3);
+  const std::size_t n = 5000;
+  RunningStats k8;
+  RunningStats k128;
+  for (int trial = 0; trial < 60; ++trial) {
+    const DhtIdSpace space(n, rng);
+    const std::uint64_t from = rng.next();
+    k8.add(space.estimate_size(from, 8) / n);
+    k128.add(space.estimate_size(from, 128) / n);
+  }
+  // Relative variance ~ 1/k.
+  EXPECT_LT(k128.variance(), 0.5 * k8.variance());
+}
+
+TEST(DhtDensity, PreconditionsEnforced) {
+  Rng rng(4);
+  EXPECT_THROW(DhtIdSpace(1, rng), precondition_error);
+  const DhtIdSpace space(10, rng);
+  EXPECT_THROW(space.successors(0, 10), precondition_error);
+  EXPECT_THROW(space.successors(0, 0), precondition_error);
+}
+
+TEST(TreeAggregate, ExactCountOnConnectedGraph) {
+  Rng rng(5);
+  const Graph g = largest_component(balanced_random_graph(500, rng));
+  const auto r = tree_count(g, 0);
+  EXPECT_DOUBLE_EQ(r.value, static_cast<double>(g.num_nodes()));
+  EXPECT_EQ(r.tree_nodes, g.num_nodes());
+  EXPECT_GT(r.tree_depth, 0u);
+}
+
+TEST(TreeAggregate, CountsOnlyOwnComponent) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  EXPECT_DOUBLE_EQ(tree_count(g, 0).value, 3.0);
+  EXPECT_DOUBLE_EQ(tree_count(g, 3).value, 2.0);
+  EXPECT_DOUBLE_EQ(tree_count(g, 5).value, 1.0);
+}
+
+TEST(TreeAggregate, GeneralSumAndCostModel) {
+  const Graph g = star(9);
+  const auto r = tree_aggregate(
+      g, 0, [&g](NodeId v) { return static_cast<double>(g.degree(v)); });
+  EXPECT_DOUBLE_EQ(r.value, static_cast<double>(g.total_degree()));
+  // Cost: flood over 2|E| directed edges + one convergecast per non-root.
+  EXPECT_EQ(r.messages, 2 * g.num_edges() + (g.num_nodes() - 1));
+  EXPECT_EQ(r.tree_depth, 1u);
+}
+
+TEST(AdaptiveSampleCollide, ConvergesToTruthFromTinyTimer) {
+  Rng rng(6);
+  const Graph g = largest_component(balanced_random_graph(3000, rng));
+  const double n = static_cast<double>(g.num_nodes());
+  const auto r = adaptive_sample_collide(g, 0, 20, rng, /*initial=*/0.25);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.rounds, 1u);
+  EXPECT_NEAR(r.estimate, n, 0.5 * n);
+  EXPECT_GT(r.timer, 0.25);
+}
+
+TEST(AdaptiveSampleCollide, TrajectoryIncreasesWhileUnderBudgeted) {
+  // Under-budgeted timers keep samples near the origin, inflating collision
+  // rates and deflating the estimate — the trajectory should climb. Use
+  // ell = 100 so the sqrt(2) per-doubling drift dominates the estimator's
+  // own 1/sqrt(ell) = 10% noise.
+  Rng rng(7);
+  const Graph g = ring(2000);  // slow mixing: small timers are badly biased
+  const auto r = adaptive_sample_collide(g, 0, 100, rng, 0.5, 0.15, 10);
+  ASSERT_GE(r.trajectory.size(), 3u);
+  EXPECT_LT(r.trajectory.front(), 0.8 * r.trajectory.back());
+  // The distinct-count guard must keep the flat under-budgeted bottom of
+  // the ramp from faking convergence.
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(AdaptiveSampleCollide, PreconditionsEnforced) {
+  Rng rng(8);
+  const Graph g = ring(16);
+  EXPECT_THROW(adaptive_sample_collide(g, 0, 5, rng, 0.0),
+               precondition_error);
+  EXPECT_THROW(adaptive_sample_collide(g, 0, 5, rng, 1.0, -0.1),
+               precondition_error);
+  EXPECT_THROW(adaptive_sample_collide(g, 0, 5, rng, 1.0, 0.1, 1),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/birthday.hpp"
+#include "core/gossip.hpp"
+#include "core/polling.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(Gossip, ConvergesToReciprocalSize) {
+  Rng rng(301);
+  const Graph g = largest_component(balanced_random_graph(300, rng));
+  const std::size_t n = g.num_nodes();
+  // ~n log n exchanges per "epoch"; run a few epochs.
+  const auto result =
+      gossip_average(g, 0, n, 30ull * n, rng);
+  for (double est : result.estimates)
+    EXPECT_NEAR(est, static_cast<double>(n), 0.05 * static_cast<double>(n));
+}
+
+TEST(Gossip, MassIsConserved) {
+  Rng rng(302);
+  const Graph g = complete(50);
+  const auto result = gossip_average(g, 3, 50, 500, rng);
+  double mass = 0.0;
+  for (double est : result.estimates) mass += 1.0 / est;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(Gossip, CostIsTwoPerExchange) {
+  Rng rng(303);
+  const Graph g = ring(10);
+  const auto result = gossip_average(g, 0, 10, 123, rng);
+  EXPECT_EQ(result.messages, 246u);
+}
+
+TEST(Gossip, ValueSpreadShrinksWithMoreExchanges) {
+  Rng rng(304);
+  const Graph g = largest_component(balanced_random_graph(200, rng));
+  const std::size_t n = g.num_nodes();
+  const auto early = gossip_average(g, 0, n, 2 * n, rng);
+  const auto late = gossip_average(g, 0, n, 40 * n, rng);
+  EXPECT_LT(late.max_value - late.min_value,
+            early.max_value - early.min_value);
+}
+
+TEST(Polling, UnbiasedOverRepeats) {
+  Rng rng(305);
+  const Graph g = largest_component(balanced_random_graph(500, rng));
+  const double n = static_cast<double>(g.num_nodes());
+  RunningStats stats;
+  for (int trial = 0; trial < 300; ++trial)
+    stats.add(probabilistic_polling(g, 0, 0.2, rng).value);
+  const double se = stats.stddev() / std::sqrt(300.0);
+  EXPECT_NEAR(stats.mean(), n, 5.0 * se + 1e-9);
+}
+
+TEST(Polling, FullProbabilityIsExact) {
+  Rng rng(306);
+  const Graph g = complete(40);
+  const auto e = probabilistic_polling(g, 0, 1.0, rng);
+  EXPECT_DOUBLE_EQ(e.value, 40.0);
+  EXPECT_EQ(e.replies, 39u);
+}
+
+TEST(Polling, FloodCostIsLinearInEdges) {
+  Rng rng(307);
+  const Graph g = complete(40);
+  const auto e = probabilistic_polling(g, 0, 0.5, rng);
+  // Every node forwards over each incident edge: 2|E| flood messages.
+  EXPECT_EQ(e.flood_messages, 2u * g.num_edges());
+}
+
+TEST(Polling, HopLimitRestrictsScope) {
+  Rng rng(308);
+  const Graph g = path_graph(10);
+  const auto e = probabilistic_polling(g, 0, 1.0, rng, 3);
+  EXPECT_DOUBLE_EQ(e.value, 4.0);  // nodes 0..3 reachable in <= 3 hops
+}
+
+TEST(Polling, AckImplosionVisibleAtScale) {
+  // The drawback the paper highlights: replies concentrate on the
+  // initiator. With p = 0.5 and n = 500, ~250 simultaneous replies.
+  Rng rng(309);
+  const Graph g = largest_component(balanced_random_graph(500, rng));
+  const auto e = probabilistic_polling(g, 0, 0.5, rng);
+  EXPECT_GT(e.replies, g.num_nodes() / 3);
+}
+
+TEST(Birthday, MeanNearTruth) {
+  Rng rng(310);
+  const Graph g = largest_component(balanced_random_graph(2000, rng));
+  const double n = static_cast<double>(g.num_nodes());
+  BirthdayParadoxEstimator estimator(g, 0, 9.0, 20, rng.split());
+  RunningStats stats;
+  for (int trial = 0; trial < 20; ++trial)
+    stats.add(estimator.estimate().value);
+  const double se = stats.stddev() / std::sqrt(20.0);
+  // C_1^2/2 is only asymptotically unbiased; tolerate a slow drift.
+  EXPECT_NEAR(stats.mean(), n, 5.0 * se + 0.1 * n);
+}
+
+TEST(Birthday, NeedsMoreSamplesThanSampleCollideForSameVariance) {
+  // The paper's headline comparison (Section 4.3): to match S&C at ell,
+  // birthday-paradox averaging needs ell repetitions, i.e. ell*sqrt(N)
+  // samples against S&C's sqrt(2 ell N) — a factor sqrt(ell/2) more.
+  Rng rng(311);
+  const Graph g = largest_component(balanced_random_graph(3000, rng));
+  const std::size_t ell = 8;
+
+  BirthdayParadoxEstimator birthday(g, 0, 9.0, ell, rng.split());
+  SampleCollideEstimator sc(g, 0, 9.0, ell, rng.split());
+
+  RunningStats bd_samples;
+  RunningStats sc_samples;
+  for (int trial = 0; trial < 10; ++trial) {
+    bd_samples.add(static_cast<double>(birthday.estimate().samples));
+    sc_samples.add(static_cast<double>(sc.estimate().samples));
+  }
+  const double ratio = bd_samples.mean() / sc_samples.mean();
+  const double predicted = std::sqrt(static_cast<double>(ell) / 2.0) *
+                           std::sqrt(3.14159 / 2.0);  // E[C1]=sqrt(pi N/2)
+  EXPECT_GT(ratio, 0.5 * predicted);
+  EXPECT_LT(ratio, 2.0 * predicted);
+}
+
+TEST(Birthday, RequiresAtLeastOneRepetition) {
+  Rng rng(312);
+  const Graph g = ring(8);
+  EXPECT_THROW(BirthdayParadoxEstimator(g, 0, 1.0, 0, rng.split()),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

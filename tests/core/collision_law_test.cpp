@@ -1,0 +1,149 @@
+// Exact-law tests for the Sample & Collide stopping statistic: the
+// distribution of C_ell under ideal uniform sampling, computed by dynamic
+// programming over (distinct, collisions) states, against (a) Monte-Carlo
+// simulation through the production CollisionTracker and (b) the
+// sufficiency/ML machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/sample_collide.hpp"
+#include "util/rng.hpp"
+#include "util/tests.hpp"
+
+namespace overcount {
+namespace {
+
+// P(C_ell = m) for uniform sampling from n values: DP over the number of
+// distinct values seen; a sample is new w.p. (n-k)/n, a collision w.p. k/n;
+// stop at the ell-th collision.
+std::vector<double> exact_collision_law(std::size_t n, std::size_t ell,
+                                        std::size_t m_max) {
+  // state[k][c] = P(after t samples, k distinct, c collisions), t = k + c.
+  std::vector<std::vector<double>> state(
+      m_max + 2, std::vector<double>(ell + 1, 0.0));
+  std::vector<double> law(m_max + 1, 0.0);
+  state[0][0] = 1.0;
+  for (std::size_t t = 0; t < m_max; ++t) {
+    // Iterate k downward so each (k, c) is consumed exactly once per step.
+    std::vector<std::vector<double>> next(
+        m_max + 2, std::vector<double>(ell + 1, 0.0));
+    for (std::size_t k = 0; k <= std::min(t, m_max); ++k) {
+      for (std::size_t c = 0; c + 1 <= ell; ++c) {
+        if (k + c != t) continue;
+        const double p = state[k][c];
+        if (p == 0.0) continue;
+        const double p_new = static_cast<double>(n - k) / n;
+        const double p_old = static_cast<double>(k) / n;
+        if (k + 1 <= m_max + 1) next[k + 1][c] += p * p_new;
+        if (c + 1 == ell) {
+          law[t + 1] += p * p_old;  // stopped at the ell-th collision
+        } else {
+          next[k][c + 1] += p * p_old;
+        }
+      }
+    }
+    state = std::move(next);
+  }
+  return law;
+}
+
+TEST(CollisionLaw, DpIsAProbabilityDistributionInTheLimit) {
+  const auto law = exact_collision_law(50, 2, 200);
+  double total = 0.0;
+  for (double p : law) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(CollisionLaw, MatchesMonteCarloThroughCollisionTracker) {
+  const std::size_t n = 60;
+  const std::size_t ell = 3;
+  const std::size_t m_max = 150;
+  const auto law = exact_collision_law(n, ell, m_max);
+
+  Rng rng(42);
+  std::vector<double> observed(m_max + 1, 0.0);
+  const int trials = 40000;
+  for (int trial = 0; trial < trials; ++trial) {
+    CollisionTracker tracker;
+    while (tracker.collisions() < ell)
+      tracker.feed(static_cast<NodeId>(rng.uniform_below(n)));
+    if (tracker.samples() <= m_max) observed[tracker.samples()] += 1.0;
+  }
+
+  // Chi-square over the buckets with expected count >= 5.
+  std::vector<double> obs;
+  std::vector<double> expected;
+  double obs_tail = 0.0;
+  double exp_tail = 0.0;
+  for (std::size_t m = 0; m <= m_max; ++m) {
+    const double e = law[m] * trials;
+    if (e >= 5.0) {
+      obs.push_back(observed[m]);
+      expected.push_back(e);
+    } else {
+      obs_tail += observed[m];
+      exp_tail += e;
+    }
+  }
+  if (exp_tail >= 5.0) {
+    obs.push_back(obs_tail);
+    expected.push_back(exp_tail);
+  }
+  const auto result = chi_square_test(obs, expected);
+  EXPECT_GT(result.p_value, 1e-4)
+      << "stat=" << result.statistic << " dof=" << result.dof;
+}
+
+TEST(CollisionLaw, ExpectationMatchesSqrtTwoEllN) {
+  // E[C_ell] -> sqrt(2 ell N) * E[sqrt(Gamma_ell)]/sqrt(ell)... for large
+  // N the first-order scaling E[C_ell] ~ sqrt(2 ell N) holds within a few
+  // percent already at N = 2000 for moderate ell.
+  const std::size_t n = 2000;
+  for (std::size_t ell : {2u, 5u, 10u}) {
+    const std::size_t m_max = 1200;
+    const auto law = exact_collision_law(n, ell, m_max);
+    double mean = 0.0;
+    double mass = 0.0;
+    for (std::size_t m = 0; m <= m_max; ++m) {
+      mean += static_cast<double>(m) * law[m];
+      mass += law[m];
+    }
+    ASSERT_GT(mass, 0.999);
+    const double predicted = std::sqrt(2.0 * ell * n);
+    EXPECT_NEAR(mean / predicted, 1.0, 0.08) << "ell=" << ell;
+  }
+}
+
+TEST(CollisionLaw, MlEstimateIsConsistentUnderTheExactLaw) {
+  // Feed the exact law through the ML estimator: the law-weighted mean of
+  // the ML estimate should track n (asymptotic unbiasedness).
+  const std::size_t n = 3000;
+  const std::size_t ell = 10;
+  const std::size_t m_max = 1500;
+  const auto law = exact_collision_law(n, ell, m_max);
+  double mean_ml = 0.0;
+  double mass = 0.0;
+  for (std::size_t m = ell + 2; m <= m_max; ++m) {
+    if (law[m] <= 0.0) continue;
+    mean_ml += law[m] * sc_ml_estimate(m, ell);
+    mass += law[m];
+  }
+  ASSERT_GT(mass, 0.999);
+  EXPECT_NEAR(mean_ml / n, 1.0, 0.08);
+}
+
+TEST(CollisionLaw, SmallPopulationEdgeCase) {
+  // n = 2, ell = 1: P(C=2) = 1/2, P(C=3) = 1/2 * 1 ... third sample always
+  // collides when both values were seen; compute explicitly:
+  // C=2: second sample equals first (p=1/2).
+  // C=3: second new (1/2), third collides with certainty... p = 1/2 * 1.
+  const auto law = exact_collision_law(2, 1, 10);
+  EXPECT_NEAR(law[2], 0.5, 1e-12);
+  EXPECT_NEAR(law[3], 0.5, 1e-12);
+  EXPECT_NEAR(law[4], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace overcount

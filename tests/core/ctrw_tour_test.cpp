@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random_tour.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+class CtrwTourUnbiased
+    : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(CtrwTourUnbiased, ReturnTimeTimesDegreeIsN) {
+  // Renewal-reward: E[d_i * cycle time of the CTRW] = N.
+  Rng rng(601);
+  const Graph g = largest_component(GetParam().make(rng));
+  const double n = static_cast<double>(g.num_nodes());
+  RunningStats stats;
+  const int tours = 4000;
+  for (int t = 0; t < tours; ++t)
+    stats.add(ctrw_return_time_tour(g, 0, rng).value);
+  const double se = stats.stddev() / std::sqrt(double(tours));
+  EXPECT_NEAR(stats.mean(), n, 5.0 * se + 1e-9) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, CtrwTourUnbiased,
+    ::testing::ValuesIn(testing::estimator_graph_cases()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CtrwTour, SameMessageCostAsDiscreteTour) {
+  // The continuous clock changes the estimate's dispersion, not the number
+  // of messages: step distributions coincide (same embedded chain).
+  Rng rng(602);
+  const Graph g = largest_component(balanced_random_graph(150, rng));
+  RunningStats discrete_steps;
+  RunningStats continuous_steps;
+  for (int t = 0; t < 3000; ++t) {
+    discrete_steps.add(
+        static_cast<double>(random_tour_size(g, 0, rng).steps));
+    continuous_steps.add(
+        static_cast<double>(ctrw_return_time_tour(g, 0, rng).steps));
+  }
+  const double se = std::sqrt(discrete_steps.variance() / 3000.0 +
+                              continuous_steps.variance() / 3000.0);
+  EXPECT_NEAR(discrete_steps.mean(), continuous_steps.mean(),
+              5.0 * se + 1e-9);
+}
+
+TEST(CtrwTour, SojournNoiseAddsExactlyMeanReturnTime) {
+  // On a regular graph, d_i * counter = T (the discrete return time) and
+  // d_i * ctrw time = sum of T iid Exp(1) variables, so by the
+  // compound-sum variance formula
+  //   Var(continuous) = Var(T) + E[T] * Var(Exp(1)) = Var(discrete) + E[T].
+  Rng rng(603);
+  const Graph g = complete(24);
+  RunningStats discrete;
+  RunningStats continuous;
+  const int tours = 60000;
+  for (int t = 0; t < tours; ++t) {
+    discrete.add(random_tour_size(g, 0, rng).value);
+    continuous.add(ctrw_return_time_tour(g, 0, rng).value);
+  }
+  const double expected_gap = 24.0;  // E[T] = N on a complete graph... Kac:
+  // E[T] = 2|E|/d_i = 24 here (n * (n-1) / (n-1)).
+  const double measured_gap = continuous.variance() - discrete.variance();
+  // Variance differences concentrate slowly; accept the right order and
+  // sign rather than tight equality.
+  EXPECT_GT(measured_gap, 0.2 * expected_gap);
+  EXPECT_LT(measured_gap, 5.0 * expected_gap + 30.0);
+}
+
+TEST(CtrwTour, RequiresConnectedOrigin) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  Rng rng(604);
+  EXPECT_THROW(ctrw_return_time_tour(b.build(), 2, rng),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,82 @@
+// Random Tour unbiasedness as a PRODUCT property sweep: graph families x
+// statistic kinds, each combination a distinct invariant (Proposition 1
+// holds for every f simultaneously, so failures localise the broken f).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "core/random_tour.hpp"
+#include "graph/connectivity.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+struct FKind {
+  std::string name;
+  // Builds the statistic for a given graph (so it can reference degrees).
+  std::function<std::function<double(NodeId)>(const Graph&)> make;
+};
+
+std::vector<FKind> f_kinds() {
+  return {
+      {"unit", [](const Graph&) {
+         return [](NodeId) { return 1.0; };
+       }},
+      {"degree", [](const Graph& g) {
+         return [&g](NodeId v) { return static_cast<double>(g.degree(v)); };
+       }},
+      {"inverse_degree", [](const Graph& g) {
+         return [&g](NodeId v) {
+           return 1.0 / static_cast<double>(g.degree(v));
+         };
+       }},
+      {"parity_indicator", [](const Graph&) {
+         return [](NodeId v) { return v % 2 == 0 ? 1.0 : 0.0; };
+       }},
+      {"id_hash_signed", [](const Graph&) {
+         // A signed statistic: unbiasedness must hold for negative f too.
+         return [](NodeId v) { return v % 3 == 0 ? -2.0 : 1.0; };
+       }},
+      {"degree_threshold", [](const Graph& g) {
+         return [&g](NodeId v) { return g.degree(v) >= 4 ? 1.0 : 0.0; };
+       }},
+  };
+}
+
+using SweepParam = std::tuple<testing::GraphCase, int>;
+
+class RandomTourFSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RandomTourFSweep, UnbiasedForEveryStatistic) {
+  const auto& [graph_case, f_index] = GetParam();
+  const FKind kind = f_kinds()[static_cast<std::size_t>(f_index)];
+  Rng rng(701 + static_cast<std::uint64_t>(f_index));
+  const Graph g = largest_component(graph_case.make(rng));
+  const auto f = kind.make(g);
+  double truth = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) truth += f(v);
+
+  RunningStats stats;
+  const int tours = 4000;
+  for (int t = 0; t < tours; ++t) stats.add(random_tour(g, 0, f, rng).value);
+  const double se = stats.stddev() / std::sqrt(double(tours));
+  EXPECT_NEAR(stats.mean(), truth, 5.0 * se + 1e-9)
+      << graph_case.name << " / " << kind.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesTimesStatistics, RandomTourFSweep,
+    ::testing::Combine(
+        ::testing::ValuesIn(testing::estimator_graph_cases()),
+        ::testing::Range(0, 6)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return std::get<0>(info.param).name + "_" +
+             f_kinds()[static_cast<std::size_t>(std::get<1>(info.param))]
+                 .name;
+    });
+
+}  // namespace
+}  // namespace overcount

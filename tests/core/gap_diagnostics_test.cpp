@@ -1,0 +1,110 @@
+#include "core/gap_diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(GapFromTourVariance, IsAnUpperBoundOnExpanders) {
+  Rng rng(1);
+  const Graph g = largest_component(balanced_random_graph(400, rng));
+  const double truth = spectral_gap_exact(largest_component(g));
+  const auto est = gap_upper_bound_from_tour_variance(g, 0, 3000, rng);
+  // Prop 2 is an upper bound; sampling noise gets ~sqrt(2/3000) slack.
+  EXPECT_GT(est.lambda2, 0.8 * truth);
+  EXPECT_GT(est.messages, 0u);
+}
+
+TEST(GapFromTourVariance, CertifiesPoorExpansion) {
+  // On a ring the tour variance blows up, so the upper bound collapses —
+  // a peer can conclude "this overlay mixes slowly" from walks alone.
+  Rng rng(2);
+  const Graph expander = largest_component(k_out_graph(300, 3, rng));
+  const Graph cycle = ring(300);
+  const auto good = gap_upper_bound_from_tour_variance(expander, 0, 800, rng);
+  const auto bad = gap_upper_bound_from_tour_variance(cycle, 0, 800, rng);
+  EXPECT_LT(bad.lambda2, 0.2 * good.lambda2);
+}
+
+TEST(GapFromTourVariance, PreconditionsEnforced) {
+  Rng rng(3);
+  const Graph g = ring(16);
+  EXPECT_THROW(gap_upper_bound_from_tour_variance(g, 0, 5, rng),
+               precondition_error);
+}
+
+TEST(GapFromAutocorrelation, RecoversOrderOfMagnitude) {
+  Rng rng(4);
+  const Graph g = largest_component(balanced_random_graph(300, rng));
+  const double truth = spectral_gap_exact(g);
+  const auto est = gap_from_autocorrelation(g, 0, 1.0, 20000, rng);
+  EXPECT_GT(est.lambda2, truth / 4.0);
+  EXPECT_LT(est.lambda2, truth * 6.0);
+}
+
+TEST(GapFromAutocorrelation, RanksFamiliesCorrectly) {
+  Rng rng(5);
+  const Graph expander = largest_component(k_out_graph(400, 3, rng));
+  const Graph cycle = ring(400);
+  const auto fast =
+      gap_from_autocorrelation(expander, 0, 1.0, 20000, rng);
+  const auto slow = gap_from_autocorrelation(cycle, 0, 20.0, 20000, rng);
+  EXPECT_GT(fast.lambda2, 5.0 * slow.lambda2);
+}
+
+TEST(GapFromAutocorrelation, PreconditionsEnforced) {
+  Rng rng(6);
+  const Graph g = ring(16);
+  EXPECT_THROW(gap_from_autocorrelation(g, 0, 0.0, 1000, rng),
+               precondition_error);
+  EXPECT_THROW(gap_from_autocorrelation(g, 0, 1.0, 10, rng),
+               precondition_error);
+}
+
+TEST(DegreePreservingRewire, DegreesInvariant) {
+  Rng rng(7);
+  const Graph g = barabasi_albert(300, 3, rng);
+  const Graph r = degree_preserving_rewire(g, 5000, rng);
+  ASSERT_EQ(r.num_nodes(), g.num_nodes());
+  ASSERT_EQ(r.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(r.degree(v), g.degree(v)) << "node " << v;
+}
+
+TEST(DegreePreservingRewire, DestroysClustering) {
+  // Watts-Strogatz at beta = 0 has clustering 1/2; rewiring should crush
+  // it toward the configuration-model level while keeping degrees 4.
+  Rng rng(8);
+  const Graph lattice = watts_strogatz(500, 4, 0.0, rng);
+  const double before = average_clustering(lattice);
+  const Graph rewired = degree_preserving_rewire(lattice, 20000, rng);
+  const double after = average_clustering(rewired);
+  EXPECT_LT(after, 0.15 * before);
+}
+
+TEST(DegreePreservingRewire, ActuallyChangesEdges) {
+  Rng rng(9);
+  const Graph g = erdos_renyi_gnm(100, 300, rng);
+  const Graph r = degree_preserving_rewire(g, 3000, rng);
+  std::size_t shared = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (NodeId u : g.neighbors(v))
+      if (v < u && r.has_edge(v, u)) ++shared;
+  EXPECT_LT(shared, g.num_edges() / 2);
+}
+
+TEST(DegreePreservingRewire, PreconditionsEnforced) {
+  Rng rng(10);
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_THROW(degree_preserving_rewire(b.build(), 10, rng),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,108 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+// Synthetic estimate stream: truth * (1 + rel_std * gaussian-ish noise).
+double noisy(double truth, double rel_std, Rng& rng) {
+  // Sum of 12 uniforms - 6 approximates a standard normal.
+  double z = -6.0;
+  for (int i = 0; i < 12; ++i) z += rng.uniform();
+  return truth * (1.0 + rel_std * z);
+}
+
+TEST(SizeMonitor, SmoothsSteadyState) {
+  Rng rng(1);
+  MonitorConfig config;
+  config.window = 50;
+  config.estimate_rel_std = 0.1;
+  SizeMonitor monitor(config);
+  RunningStats raw;
+  RunningStats smoothed;
+  for (int i = 0; i < 500; ++i) {
+    const double e = noisy(10000.0, 0.1, rng);
+    raw.add(e);
+    monitor.feed(e);
+    if (i >= 50) smoothed.add(monitor.value());
+  }
+  EXPECT_NEAR(monitor.value(), 10000.0, 500.0);
+  EXPECT_LT(smoothed.variance(), 0.1 * raw.variance());
+  EXPECT_EQ(monitor.changes_detected(), 0u);
+}
+
+TEST(SizeMonitor, DetectsCatastrophicDrop) {
+  Rng rng(2);
+  MonitorConfig config;
+  config.window = 50;
+  config.estimate_rel_std = 0.1;
+  SizeMonitor monitor(config);
+  for (int i = 0; i < 200; ++i) monitor.feed(noisy(100000.0, 0.1, rng));
+  // Population halves: the monitor must reset within a handful of runs, not
+  // a whole window.
+  int detected_after = -1;
+  for (int i = 0; i < 30; ++i) {
+    if (monitor.feed(noisy(50000.0, 0.1, rng)) && detected_after < 0)
+      detected_after = i + 1;
+  }
+  ASSERT_GT(detected_after, 0);
+  EXPECT_LE(detected_after, 6);
+  EXPECT_NEAR(monitor.value(), 50000.0, 10000.0);
+  EXPECT_EQ(monitor.changes_detected(), 1u);
+}
+
+TEST(SizeMonitor, DetectsFlashCrowd) {
+  // +80% flash crowd: an 8-sigma jump for the default 10% estimator noise.
+  Rng rng(3);
+  SizeMonitor monitor;
+  for (int i = 0; i < 100; ++i) monitor.feed(noisy(10000.0, 0.1, rng));
+  for (int i = 0; i < 10; ++i) monitor.feed(noisy(18000.0, 0.1, rng));
+  EXPECT_EQ(monitor.changes_detected(), 1u);
+  EXPECT_NEAR(monitor.value(), 18000.0, 2000.0);
+}
+
+TEST(SizeMonitor, SingleOutlierDoesNotTrigger) {
+  // The winsorised z (clamped at z_clamp = 3) means one spike contributes
+  // at most z_clamp - k = 2 to the CUSUM — below the threshold of 5.
+  Rng rng(4);
+  SizeMonitor monitor;
+  for (int i = 0; i < 100; ++i) monitor.feed(noisy(10000.0, 0.1, rng));
+  EXPECT_FALSE(monitor.feed(25000.0));  // lone spike
+  for (int i = 0; i < 20; ++i) monitor.feed(noisy(10000.0, 0.1, rng));
+  EXPECT_EQ(monitor.changes_detected(), 0u);
+  EXPECT_NEAR(monitor.value(), 10000.0, 600.0);
+}
+
+TEST(SizeMonitor, TracksGradualDriftWithoutFiring) {
+  // A ramp slower than the detection band should be followed by the window
+  // without a declared "change".
+  Rng rng(5);
+  MonitorConfig config;
+  config.window = 20;
+  config.estimate_rel_std = 0.1;
+  SizeMonitor monitor(config);
+  double truth = 10000.0;
+  for (int i = 0; i < 100; ++i) monitor.feed(noisy(truth, 0.1, rng));
+  for (int i = 0; i < 400; ++i) {
+    truth *= 1.001;  // +0.1% per run
+    monitor.feed(noisy(truth, 0.1, rng));
+  }
+  EXPECT_EQ(monitor.changes_detected(), 0u);
+  EXPECT_NEAR(monitor.value(), truth, 0.1 * truth);
+}
+
+TEST(SizeMonitor, PreconditionsEnforced) {
+  MonitorConfig bad;
+  bad.window = 0;
+  EXPECT_THROW(SizeMonitor{bad}, precondition_error);
+  SizeMonitor monitor;
+  EXPECT_THROW(monitor.feed(0.0), precondition_error);
+  EXPECT_THROW(monitor.value(), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,196 @@
+#include "core/random_tour.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+class RandomTourUnbiased
+    : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(RandomTourUnbiased, SizeEstimateMeanIsN) {
+  Rng rng(101);
+  const Graph g = GetParam().make(rng);
+  const auto n = static_cast<double>(g.num_nodes());
+  RunningStats stats;
+  const int tours = 4000;
+  for (int t = 0; t < tours; ++t)
+    stats.add(random_tour_size(g, 0, rng).value);
+  const double se = stats.stddev() / std::sqrt(double(tours));
+  EXPECT_NEAR(stats.mean(), n, 5.0 * se + 1e-9) << GetParam().name;
+}
+
+TEST_P(RandomTourUnbiased, GeneralFunctionMeanIsSum) {
+  // Estimate the number of nodes with degree >= 3 (Section 3's "counting
+  // peers with given characteristics").
+  Rng rng(102);
+  const Graph g = GetParam().make(rng);
+  double truth = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (g.degree(v) >= 3) truth += 1.0;
+  const auto f = [&g](NodeId v) { return g.degree(v) >= 3 ? 1.0 : 0.0; };
+  RunningStats stats;
+  const int tours = 4000;
+  for (int t = 0; t < tours; ++t) stats.add(random_tour(g, 0, f, rng).value);
+  const double se = stats.stddev() / std::sqrt(double(tours));
+  EXPECT_NEAR(stats.mean(), truth, 5.0 * se + 1e-9) << GetParam().name;
+}
+
+TEST_P(RandomTourUnbiased, TourCostMeanIsKacFormula) {
+  Rng rng(103);
+  const Graph g = GetParam().make(rng);
+  const double expected = static_cast<double>(g.total_degree()) /
+                          static_cast<double>(g.degree(0));
+  RunningStats steps;
+  const int tours = 3000;
+  for (int t = 0; t < tours; ++t)
+    steps.add(static_cast<double>(random_tour_size(g, 0, rng).steps));
+  const double se = steps.stddev() / std::sqrt(double(tours));
+  EXPECT_NEAR(steps.mean(), expected, 5.0 * se + 1e-9) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, RandomTourUnbiased,
+    ::testing::ValuesIn(testing::estimator_graph_cases()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(RandomTour, SumOfDegreesIsExactEveryTour) {
+  // With f(v) = d_v the counter adds exactly 1 per visited node and the
+  // estimate telescopes; its mean is 2|E| and per-tour dispersion is that of
+  // the tour length rescaled — a good smoke test of the arithmetic.
+  Rng rng(7);
+  const Graph g = largest_component(balanced_random_graph(100, rng));
+  const auto f = [&g](NodeId v) { return static_cast<double>(g.degree(v)); };
+  RunningStats stats;
+  for (int t = 0; t < 4000; ++t) stats.add(random_tour(g, 0, f, rng).value);
+  const double truth = static_cast<double>(g.total_degree());
+  const double se = stats.stddev() / std::sqrt(4000.0);
+  EXPECT_NEAR(stats.mean(), truth, 5.0 * se + 1e-9);
+}
+
+TEST(RandomTour, DifferentOriginsSameExpectation) {
+  Rng rng(8);
+  const Graph g = largest_component(barabasi_albert(150, 3, rng));
+  const auto n = static_cast<double>(g.num_nodes());
+  // A hub and a leaf-ish node must both see E[estimate] = n.
+  NodeId hub = 0;
+  NodeId small = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > g.degree(hub)) hub = v;
+    if (g.degree(v) < g.degree(small)) small = v;
+  }
+  for (NodeId origin : {hub, small}) {
+    RunningStats stats;
+    for (int t = 0; t < 5000; ++t)
+      stats.add(random_tour_size(g, origin, rng).value);
+    const double se = stats.stddev() / std::sqrt(5000.0);
+    EXPECT_NEAR(stats.mean(), n, 5.0 * se + 1e-9) << "origin=" << origin;
+  }
+}
+
+TEST(RandomTour, TwoNodeGraphIsExact) {
+  // On K_2 every tour returns in exactly 2 steps and the estimate is
+  // deterministic: d_0 * (f(0)/d_0 + f(1)/d_1) = 2.
+  Rng rng(9);
+  const Graph g = complete(2);
+  for (int t = 0; t < 10; ++t) {
+    const auto e = random_tour_size(g, 0, rng);
+    EXPECT_DOUBLE_EQ(e.value, 2.0);
+    EXPECT_EQ(e.steps, 2u);
+  }
+}
+
+TEST(RandomTour, MaxStepsAborts) {
+  Rng rng(10);
+  const Graph g = ring(1000);
+  // A single step can never return to the origin (no self-loops), so the
+  // cap is hit deterministically.
+  const auto capped = random_tour_size(g, 0, rng, 1);
+  EXPECT_EQ(capped.steps, 1u);
+  // With a generous cap, tours end strictly before it or exactly at it.
+  const auto loose = random_tour_size(g, 0, rng, 50);
+  EXPECT_LE(loose.steps, 50u);
+}
+
+TEST(RandomTour, RequiresConnectedOrigin) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  Rng rng(11);
+  EXPECT_THROW(random_tour_size(g, 2, rng), precondition_error);
+}
+
+TEST(RandomTour, WorksOnDynamicGraph) {
+  Rng rng(12);
+  DynamicGraph d(complete(20));
+  d.remove_node(5);
+  RunningStats stats;
+  for (int t = 0; t < 3000; ++t) stats.add(random_tour_size(d, 0, rng).value);
+  const double se = stats.stddev() / std::sqrt(3000.0);
+  EXPECT_NEAR(stats.mean(), 19.0, 5.0 * se + 1e-9);
+}
+
+TEST(RandomTourEstimator, AccumulatesCost) {
+  Rng rng(13);
+  const Graph g = complete(10);
+  RandomTourEstimator estimator(g, 0, rng.split());
+  const auto first = estimator.estimate_size();
+  EXPECT_EQ(estimator.tours_run(), 1u);
+  EXPECT_EQ(estimator.total_steps(), first.steps);
+  estimator.estimate_size();
+  EXPECT_EQ(estimator.tours_run(), 2u);
+  EXPECT_GE(estimator.total_steps(), first.steps + 2);
+}
+
+TEST(RandomTourEstimator, AveragedEstimateTightens) {
+  Rng rng(14);
+  const Graph g = largest_component(balanced_random_graph(200, rng));
+  RandomTourEstimator estimator(g, 0, rng.split());
+  // Chebyshev-style check: the mean of many tours lands within 20%.
+  const double avg = estimator.averaged_size_estimate(3000);
+  EXPECT_NEAR(avg, static_cast<double>(g.num_nodes()),
+              0.2 * static_cast<double>(g.num_nodes()));
+}
+
+TEST(RandomTour, VarianceWithinProposition2Bound) {
+  // Proposition 2 upper bound, loosened via Var(N_hat) <= N^2 * 2 dbar /
+  // lambda_2 + 2N (we test the empirical variance against it with margin).
+  Rng rng(15);
+  const Graph g = largest_component(balanced_random_graph(150, rng));
+  const double n = static_cast<double>(g.num_nodes());
+  const double gap = spectral_gap_exact(g);
+  const double dbar = g.average_degree();
+  RunningStats stats;
+  for (int t = 0; t < 8000; ++t) stats.add(random_tour_size(g, 0, rng).value);
+  const double bound = n * n * 2.0 * dbar / gap + 2.0 * n;
+  // Empirical variance of ~8000 samples concentrates within ~10% for these
+  // tails; 1.5x margin is generous.
+  EXPECT_LT(stats.variance(), 1.5 * bound);
+  // And the lower-bound side of Prop. 2: Var >= (N-1)^2-ish order N^2 is
+  // about the ratio; check std-dev is at least a third of the mean.
+  EXPECT_GT(stats.stddev(), n / 3.0);
+}
+
+TEST(RunsNeeded, ScalesAsExpected) {
+  const auto base = random_tour_runs_needed(8.0, 1.0, 0.1, 0.1);
+  // eps -> eps/2 quadruples the runs.
+  EXPECT_EQ(random_tour_runs_needed(8.0, 1.0, 0.05, 0.1), 4 * base);
+  // halving the gap doubles the runs.
+  EXPECT_EQ(random_tour_runs_needed(8.0, 0.5, 0.1, 0.1), 2 * base);
+  EXPECT_THROW(random_tour_runs_needed(0.0, 1.0, 0.1, 0.1),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

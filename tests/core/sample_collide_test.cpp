@@ -1,0 +1,213 @@
+#include "core/sample_collide.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+#include "util/tests.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(CollisionTracker, CountsRepeatsIncludingMultiples) {
+  CollisionTracker t;
+  EXPECT_FALSE(t.feed(1));
+  EXPECT_FALSE(t.feed(2));
+  EXPECT_TRUE(t.feed(1));   // first collision
+  EXPECT_TRUE(t.feed(1));   // third occurrence = second collision
+  EXPECT_FALSE(t.feed(3));
+  EXPECT_EQ(t.samples(), 5u);
+  EXPECT_EQ(t.collisions(), 2u);
+  EXPECT_EQ(t.distinct(), 3u);
+  t.reset();
+  EXPECT_EQ(t.samples(), 0u);
+  EXPECT_FALSE(t.feed(1));
+}
+
+TEST(ScScore, SingleSignChangeAtMlRoot) {
+  // The likelihood rises up to the ML root and falls after it: the score is
+  // positive below the root and negative above it (it decays back toward 0
+  // from below, so it is not globally monotone).
+  const std::uint64_t samples = 100;
+  const std::uint64_t collisions = 10;
+  const double ml = sc_ml_estimate(samples, collisions);
+  for (double factor : {0.3, 0.6, 0.9})
+    EXPECT_GT(sc_score(factor * ml, samples, collisions), 0.0) << factor;
+  for (double factor : {1.1, 2.0, 8.0})
+    EXPECT_LT(sc_score(factor * ml, samples, collisions), 0.0) << factor;
+}
+
+TEST(ScScore, ZeroAtMlEstimate) {
+  const std::uint64_t samples = 150;
+  const std::uint64_t collisions = 12;
+  const double ml = sc_ml_estimate(samples, collisions);
+  EXPECT_NEAR(sc_score(ml, samples, collisions), 0.0, 1e-6);
+}
+
+TEST(ScLogLikelihood, MaximisedAtMl) {
+  const std::uint64_t samples = 80;
+  const std::uint64_t collisions = 6;
+  const double ml = sc_ml_estimate(samples, collisions);
+  const double at_ml = sc_log_likelihood(ml, samples, collisions);
+  EXPECT_GT(at_ml, sc_log_likelihood(ml * 0.7, samples, collisions));
+  EXPECT_GT(at_ml, sc_log_likelihood(ml * 1.4, samples, collisions));
+}
+
+TEST(ScBracket, ContainsMlAndIsTight) {
+  for (std::uint64_t samples : {50u, 200u, 1000u, 5000u}) {
+    for (std::uint64_t collisions : {1u, 5u, 20u}) {
+      if (samples <= collisions + 1) continue;
+      const auto b = sc_bracket(samples, collisions);
+      const double ml = sc_ml_estimate(samples, collisions);
+      EXPECT_LE(b.n_minus, ml + 1e-6)
+          << "C=" << samples << " l=" << collisions;
+      EXPECT_GE(b.n_plus, ml - 1e-6)
+          << "C=" << samples << " l=" << collisions;
+      // The brackets differ by exactly (D-1)/2 where D = C - l: relative to
+      // N ~ C^2/(2l) this is O(sqrt(l/N)) -> 0 (Remark 2).
+      const double spread = b.n_plus - b.n_minus;
+      const double d = static_cast<double>(samples - collisions);
+      if (b.n_minus > d + 1e-9) {  // away from the clamp at N = D
+        EXPECT_NEAR(spread, (d - 1.0) / 2.0, 1e-6);
+      }
+    }
+  }
+}
+
+TEST(ScSimpleEstimate, ClosedForm) {
+  EXPECT_DOUBLE_EQ(sc_simple_estimate(100, 2), 2500.0);
+  EXPECT_DOUBLE_EQ(sc_simple_estimate(10, 1), 50.0);
+  EXPECT_THROW(sc_simple_estimate(10, 0), precondition_error);
+}
+
+TEST(ScSimpleEstimate, CloseToMlForLargeSamples) {
+  // Remark 2: C^2/(2l) and the ML estimate differ by O(sqrt(N)).
+  const std::uint64_t samples = 4000;
+  const std::uint64_t collisions = 40;
+  const double ml = sc_ml_estimate(samples, collisions);
+  const double simple = sc_simple_estimate(samples, collisions);
+  EXPECT_NEAR(simple / ml, 1.0, 0.05);
+}
+
+TEST(ScMlEstimate, DegenerateAllCollisions) {
+  // Two samples, one collision: D = 1; the likelihood n^{-2}(n) = 1/n is
+  // decreasing, so the ML sits at the smallest admissible population.
+  EXPECT_DOUBLE_EQ(sc_ml_estimate(2, 1), 1.0);
+}
+
+TEST(ScMlEstimate, PreconditionsEnforced) {
+  EXPECT_THROW(sc_ml_estimate(5, 0), precondition_error);
+  EXPECT_THROW(sc_ml_estimate(5, 5), precondition_error);
+  EXPECT_THROW(sc_score(0.5, 10, 2), precondition_error);
+}
+
+// Feeds exact uniform samples (no CTRW error) through the collision logic
+// and checks the statistical claims of Section 4.2-4.3.
+class IdealisedSampleCollide : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static std::uint64_t run_until_collisions(std::size_t n, std::size_t ell,
+                                            Rng& rng) {
+    CollisionTracker t;
+    while (t.collisions() < ell)
+      t.feed(static_cast<NodeId>(rng.uniform_below(n)));
+    return t.samples();
+  }
+};
+
+TEST_P(IdealisedSampleCollide, RelativeMseNearOneOverTwoEll) {
+  const std::size_t ell = GetParam();
+  const std::size_t n = 20000;
+  Rng rng(1000 + ell);
+  RunningStats rel_err_sq;
+  const int trials = ell >= 50 ? 150 : 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto c = run_until_collisions(n, ell, rng);
+    const double est = sc_simple_estimate(c, ell);
+    const double rel = est / static_cast<double>(n) - 1.0;
+    rel_err_sq.add(rel * rel);
+  }
+  // Prop. 3: N_hat/N => (E_1+...+E_ell)/ell, so the relative MSE tends to
+  // Var(Erlang(ell,1))/ell^2 = 1/ell (matching Table 1: 0.1 at ell=10 and
+  // 0.01 at ell=100).
+  const double predicted = 1.0 / static_cast<double>(ell);
+  // MSE concentrates slowly; accept within a factor [0.5, 2].
+  EXPECT_GT(rel_err_sq.mean(), 0.5 * predicted) << "ell=" << ell;
+  EXPECT_LT(rel_err_sq.mean(), 2.0 * predicted) << "ell=" << ell;
+}
+
+TEST_P(IdealisedSampleCollide, CollisionCountMatchesProposition3Law) {
+  // Prop. 3: C_ell / sqrt(N) converges to sqrt(2 Gamma(ell)) where
+  // Gamma(ell) is Erlang(ell, 1); P(C/sqrt(N) <= x) = P(Gamma <= x^2/2).
+  const std::size_t ell = GetParam();
+  if (ell > 20) GTEST_SKIP() << "law check only needs small ell";
+  const std::size_t n = 40000;
+  Rng rng(2000 + ell);
+  std::vector<double> normalised;
+  for (int trial = 0; trial < 400; ++trial)
+    normalised.push_back(run_until_collisions(n, ell, rng) /
+                         std::sqrt(static_cast<double>(n)));
+  const auto ks = ks_test(std::move(normalised), [ell](double x) {
+    return x <= 0.0 ? 0.0
+                    : gamma_p(static_cast<double>(ell), x * x / 2.0);
+  });
+  EXPECT_GT(ks.p_value, 1e-4) << "ell=" << ell << " D=" << ks.statistic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ells, IdealisedSampleCollide,
+                         ::testing::Values(1, 5, 10, 100));
+
+TEST(SampleCollideEstimator, EstimatesSizeOnBalancedGraph) {
+  Rng rng(3001);
+  const Graph g = largest_component(balanced_random_graph(5000, rng));
+  const double n = static_cast<double>(g.num_nodes());
+  SampleCollideEstimator estimator(g, 0, 10.0, 10, rng.split());
+  RunningStats values;
+  for (int trial = 0; trial < 30; ++trial)
+    values.add(estimator.estimate().simple);
+  // Relative std ~ 1/sqrt(2*10) ~ 0.22; mean of 30 trials within ~3 se.
+  EXPECT_NEAR(values.mean(), n, 4.0 * values.stddev() / std::sqrt(30.0));
+}
+
+TEST(SampleCollideEstimator, MlAndBracketsConsistentPerRun) {
+  Rng rng(3002);
+  const Graph g = largest_component(balanced_random_graph(2000, rng));
+  SampleCollideEstimator estimator(g, 0, 8.0, 5, rng.split());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto e = estimator.estimate();
+    EXPECT_LE(e.n_minus, e.ml + 1e-6);
+    EXPECT_GE(e.n_plus, e.ml - 1e-6);
+    EXPECT_GT(e.samples, 5u);
+    EXPECT_GT(e.hops, 0u);
+    EXPECT_EQ(e.replies, e.samples);
+  }
+}
+
+TEST(SampleCollideEstimator, CostScalesAsSqrtEll) {
+  // Section 4.3 / Table 1: E[C_ell] ~ sqrt(2 ell N); going from ell=10 to
+  // ell=100 multiplies the per-run cost by ~sqrt(10) ~ 3.16 (paper: 3.27).
+  Rng rng(3003);
+  const Graph g = largest_component(balanced_random_graph(4000, rng));
+  RunningStats cost10;
+  RunningStats cost100;
+  SampleCollideEstimator e10(g, 0, 8.0, 10, rng.split());
+  SampleCollideEstimator e100(g, 0, 8.0, 100, rng.split());
+  for (int trial = 0; trial < 12; ++trial) {
+    cost10.add(static_cast<double>(e10.estimate().samples));
+    cost100.add(static_cast<double>(e100.estimate().samples));
+  }
+  const double ratio = cost100.mean() / cost10.mean();
+  EXPECT_GT(ratio, 2.4);
+  EXPECT_LT(ratio, 4.2);
+}
+
+TEST(ScExpectedMessages, Formula) {
+  EXPECT_NEAR(sc_expected_messages(10000, 2, 3.0, 8.0),
+              std::sqrt(2.0 * 2 * 10000) * 3.0 * 8.0, 1e-9);
+  EXPECT_THROW(sc_expected_messages(0.0, 2, 3.0, 8.0), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,119 @@
+#include "core/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+#include "test_helpers.hpp"
+#include "util/tests.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(RecommendedTimer, Formula) {
+  EXPECT_NEAR(recommended_ctrw_timer(100000.0, 2.3),
+              1.5 * std::log(100000.0) / 2.3, 1e-12);
+  EXPECT_THROW(recommended_ctrw_timer(1.0, 2.3), precondition_error);
+  EXPECT_THROW(recommended_ctrw_timer(100.0, 0.0), precondition_error);
+}
+
+class CtrwUniformity : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(CtrwUniformity, SamplesPassChiSquare) {
+  // The headline property of Section 4.1: CTRW samples are uniform over the
+  // peers, regardless of degree heterogeneity. The timer is budgeted from
+  // the graph's actual spectral gap (Lemma 1), which is what makes the same
+  // test pass on fast-mixing expanders and slow-mixing rings alike.
+  Rng rng(201);
+  const Graph g = largest_component(GetParam().make(rng));
+  const std::size_t n = g.num_nodes();
+  const double gap = spectral_gap_lanczos(g, n - 1);
+  const double timer =
+      recommended_ctrw_timer(static_cast<double>(n), gap, 2.0);
+  CtrwSampler sampler(g, timer, rng.split());
+  std::vector<std::size_t> counts(n, 0);
+  const std::size_t draws = 40 * n;
+  for (std::size_t i = 0; i < draws; ++i) ++counts[sampler.sample(0).node];
+  const auto result = chi_square_uniform(counts);
+  EXPECT_GT(result.p_value, 1e-4)
+      << GetParam().name << " stat=" << result.statistic
+      << " dof=" << result.dof;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, CtrwUniformity,
+    ::testing::ValuesIn(testing::estimator_graph_cases()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CtrwSampler, ShortTimerIsBiasedTowardOrigin) {
+  // Sanity check of the quality/complexity trade-off: an under-budgeted
+  // timer yields samples visibly biased toward the origin.
+  Rng rng(202);
+  const Graph g = ring(64);
+  CtrwSampler sampler(g, 0.5, rng.split());
+  std::size_t near_origin = 0;
+  const int draws = 2000;
+  for (int i = 0; i < draws; ++i) {
+    const NodeId s = sampler.sample(0).node;
+    const std::size_t dist = std::min<std::size_t>(s, 64 - s);
+    if (dist <= 4) ++near_origin;
+  }
+  // Uniform would put ~9/64 ~ 14% within distance 4; the biased walk puts
+  // the vast majority there.
+  EXPECT_GT(near_origin, draws / 2);
+}
+
+TEST(CtrwSampler, TracksCost) {
+  Rng rng(203);
+  const Graph g = complete(16);
+  CtrwSampler sampler(g, 2.0, rng.split());
+  EXPECT_EQ(sampler.total_hops(), 0u);
+  sampler.sample(0);
+  sampler.sample(0);
+  EXPECT_EQ(sampler.samples_drawn(), 2u);
+  EXPECT_GT(sampler.total_hops(), 0u);
+}
+
+TEST(DtrwSampler, BiasedTowardHighDegreeNodes) {
+  // The prior-art baseline (fixed-step DTRW) lands on the star hub about
+  // half the time instead of 1/n — the bias the paper's sampler removes.
+  Rng rng(204);
+  const Graph g = star(21);
+  DtrwSampler sampler(g, 101, rng.split());  // odd -> can end on hub or leaf
+  std::size_t hub = 0;
+  const int draws = 4000;
+  for (int i = 0; i < draws; ++i)
+    if (sampler.sample(1).node == 0) ++hub;
+  const double hub_rate = static_cast<double>(hub) / draws;
+  EXPECT_GT(hub_rate, 0.4);  // stationary puts 1/2 on the hub
+}
+
+TEST(CtrwVsDtrw, CtrwFixesTheStarBias) {
+  Rng rng(205);
+  const Graph g = star(21);
+  CtrwSampler sampler(g, 25.0, rng.split());
+  std::size_t hub = 0;
+  const int draws = 4000;
+  for (int i = 0; i < draws; ++i)
+    if (sampler.sample(1).node == 0) ++hub;
+  const double hub_rate = static_cast<double>(hub) / draws;
+  EXPECT_LT(hub_rate, 0.10);  // uniform would be 1/21 ~ 4.8%
+}
+
+TEST(Samplers, PreconditionsEnforced) {
+  Rng rng(206);
+  const Graph g = ring(8);
+  EXPECT_THROW(CtrwSampler(g, 0.0, rng.split()), precondition_error);
+  EXPECT_THROW(DtrwSampler(g, 0, rng.split()), precondition_error);
+  CtrwSampler s(g, 1.0, rng.split());
+  EXPECT_THROW(s.set_timer(-1.0), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

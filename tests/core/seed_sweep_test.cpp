@@ -1,0 +1,96 @@
+// End-to-end robustness sweeps: the complete pipelines (generate overlay ->
+// measure gap -> budget timer -> estimate) across independent seeds, plus
+// coverage of the Sample & Collide confidence intervals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/overcount.hpp"
+
+namespace overcount {
+namespace {
+
+class EndToEndSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EndToEndSeedSweep, SampleCollidePipelineLandsNearTruth) {
+  Rng rng(GetParam());
+  const Graph g = largest_component(balanced_random_graph(4000, rng));
+  const double n = static_cast<double>(g.num_nodes());
+  const double gap = spectral_gap_lanczos(g, 100, GetParam());
+  ASSERT_GT(gap, 0.05);
+  const double timer = recommended_ctrw_timer(n, gap);
+  SampleCollideEstimator estimator(g, 0, timer, 25, rng.split());
+  RunningStats values;
+  for (int trial = 0; trial < 12; ++trial)
+    values.add(estimator.estimate().simple);
+  // Relative std 1/sqrt(25) = 20%; the mean of 12 is within ~6% (1 se).
+  EXPECT_NEAR(values.mean(), n, 4.0 * values.stddev() / std::sqrt(12.0))
+      << "seed " << GetParam();
+}
+
+TEST_P(EndToEndSeedSweep, RandomTourPipelineLandsNearTruth) {
+  Rng rng(GetParam() + 1000);
+  const Graph g = largest_component(barabasi_albert(3000, 3, rng));
+  const double n = static_cast<double>(g.num_nodes());
+  RandomTourEstimator estimator(g, 0, rng.split());
+  const double avg = estimator.averaged_size_estimate(800);
+  EXPECT_NEAR(avg, n, 0.25 * n) << "seed " << GetParam();
+}
+
+TEST_P(EndToEndSeedSweep, AdaptiveBootstrapNeedsNoPriors) {
+  Rng rng(GetParam() + 2000);
+  const Graph g = largest_component(k_out_graph(3000, 3, rng));
+  const auto r = adaptive_sample_collide(g, 0, 25, rng, 0.25, 0.25);
+  EXPECT_TRUE(r.converged) << "seed " << GetParam();
+  EXPECT_NEAR(r.estimate, static_cast<double>(g.num_nodes()),
+              0.5 * static_cast<double>(g.num_nodes()))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndSeedSweep,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+TEST(ScConfidenceInterval, ContainsMlAndScalesWithEll) {
+  const auto narrow = sc_confidence_interval(4000, 100);
+  const auto wide = sc_confidence_interval(400, 4);
+  EXPECT_LT(narrow.lower, narrow.estimate);
+  EXPECT_GT(narrow.upper, narrow.estimate);
+  const double narrow_rel =
+      (narrow.upper - narrow.lower) / narrow.estimate;
+  const double wide_rel = (wide.upper - wide.lower) / wide.estimate;
+  EXPECT_LT(narrow_rel, 0.5 * wide_rel);
+  // Half width = z/sqrt(ell) on each side.
+  EXPECT_NEAR(narrow_rel, 2.0 * 1.96 / std::sqrt(100.0), 1e-9);
+}
+
+TEST(ScConfidenceInterval, EmpiricalCoverageNearNominal) {
+  // With ideal uniform samples the 95% interval should cover the truth in
+  // the vast majority of repetitions (asymptotics + small-ell skew cost a
+  // few points of coverage).
+  Rng rng(9);
+  const std::size_t n = 10000;
+  const std::size_t ell = 30;
+  int covered = 0;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    CollisionTracker tracker;
+    while (tracker.collisions() < ell)
+      tracker.feed(static_cast<NodeId>(rng.uniform_below(n)));
+    const auto ci = sc_confidence_interval(tracker.samples(), ell);
+    if (ci.lower <= static_cast<double>(n) &&
+        static_cast<double>(n) <= ci.upper)
+      ++covered;
+  }
+  EXPECT_GT(covered, trials * 85 / 100);
+  EXPECT_LE(covered, trials);
+}
+
+TEST(ScConfidenceInterval, LowerBoundClampedAtDistinct) {
+  // Tiny ell: the z/sqrt(ell) band would go below the number of distinct
+  // peers actually observed, which is a hard lower bound on N.
+  const auto ci = sc_confidence_interval(12, 1, 10.0);
+  EXPECT_GE(ci.lower, 11.0);
+}
+
+}  // namespace
+}  // namespace overcount

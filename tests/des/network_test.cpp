@@ -1,0 +1,129 @@
+#include "des/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace overcount {
+namespace {
+
+struct Delivery {
+  NodeId to;
+  NodeId from;
+  std::string body;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : graph_(ring(6)), net_(sim_, graph_, {1.0, 0.0}, 0.0, Rng(1)) {
+    net_.set_handler([this](NodeId to, NodeId from, const std::any& p) {
+      deliveries_.push_back({to, from, std::any_cast<std::string>(p)});
+    });
+  }
+
+  Simulator sim_;
+  DynamicGraph graph_;
+  Network net_;
+  std::vector<Delivery> deliveries_;
+};
+
+TEST_F(NetworkTest, DeliversAfterLatency) {
+  net_.send(0, 1, std::string("hello"));
+  EXPECT_TRUE(deliveries_.empty());
+  sim_.run();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].to, 1u);
+  EXPECT_EQ(deliveries_[0].from, 0u);
+  EXPECT_EQ(deliveries_[0].body, "hello");
+  EXPECT_DOUBLE_EQ(sim_.now(), 1.0);
+  EXPECT_EQ(net_.messages_sent(), 1u);
+  EXPECT_EQ(net_.messages_delivered(), 1u);
+}
+
+TEST_F(NetworkTest, DeadRecipientDropsMessage) {
+  graph_.remove_node(1);
+  net_.send(0, 1, std::string("to the void"));
+  sim_.run();
+  EXPECT_TRUE(deliveries_.empty());
+  EXPECT_EQ(net_.messages_sent(), 1u);
+  EXPECT_EQ(net_.messages_lost(), 1u);
+}
+
+TEST_F(NetworkTest, RecipientDyingMidFlightDropsMessage) {
+  net_.send(0, 1, std::string("late"));
+  // Node 1 departs before the message lands.
+  sim_.schedule_at(0.5, [this] { graph_.remove_node(1); });
+  sim_.run();
+  EXPECT_TRUE(deliveries_.empty());
+  EXPECT_EQ(net_.messages_lost(), 1u);
+}
+
+TEST_F(NetworkTest, DeadSenderRejected) {
+  graph_.remove_node(0);
+  EXPECT_THROW(net_.send(0, 1, std::string("x")), precondition_error);
+}
+
+TEST(NetworkLoss, DropRateMatchesModel) {
+  Simulator sim;
+  DynamicGraph graph(complete(4));
+  Network net(sim, graph, {0.1, 0.0}, 0.25, Rng(7));
+  std::size_t delivered = 0;
+  net.set_handler([&](NodeId, NodeId, const std::any&) { ++delivered; });
+  const std::size_t sent = 20000;
+  for (std::size_t i = 0; i < sent; ++i) net.send(0, 1, 0);
+  sim.run();
+  const double loss_rate =
+      static_cast<double>(net.messages_lost()) / static_cast<double>(sent);
+  EXPECT_NEAR(loss_rate, 0.25, 0.02);
+  EXPECT_EQ(delivered, net.messages_delivered());
+}
+
+TEST(NetworkLatency, JitterStaysInRange) {
+  Simulator sim;
+  DynamicGraph graph(complete(3));
+  Network net(sim, graph, {2.0, 1.0}, 0.0, Rng(9));
+  std::vector<double> arrivals;
+  net.set_handler([&](NodeId, NodeId, const std::any&) {
+    arrivals.push_back(sim.now());
+  });
+  for (int i = 0; i < 1000; ++i) net.send(0, 1, 0);
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 1000u);
+  for (double t : arrivals) {
+    EXPECT_GE(t, 2.0);
+    EXPECT_LT(t, 3.0);
+  }
+}
+
+TEST(Network, RejectsInvalidLossProbability) {
+  Simulator sim;
+  DynamicGraph graph(complete(3));
+  EXPECT_THROW(Network(sim, graph, {1.0, 0.0}, 1.0, Rng(1)),
+               precondition_error);
+  EXPECT_THROW(Network(sim, graph, {1.0, 0.0}, -0.1, Rng(1)),
+               precondition_error);
+}
+
+TEST(Network, DeterministicUnderFixedSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    DynamicGraph graph(ring(8));
+    Network net(sim, graph, {1.0, 0.5}, 0.1, Rng(seed));
+    std::vector<std::pair<NodeId, double>> log;
+    net.set_handler([&](NodeId to, NodeId, const std::any&) {
+      log.emplace_back(to, sim.now());
+    });
+    for (NodeId v = 0; v < 8; ++v) net.send(v, (v + 1) % 8, 0);
+    sim.run();
+    return log;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace overcount

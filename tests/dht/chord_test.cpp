@@ -1,0 +1,142 @@
+#include "dht/chord.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random_tour.hpp"
+#include "core/sample_collide.hpp"
+#include "graph/connectivity.hpp"
+#include "spectral/laplacian.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(ChordRing, IdsSortedAndDistinct) {
+  Rng rng(1);
+  const ChordRing ring(500, rng);
+  for (std::size_t i = 1; i < ring.size(); ++i)
+    EXPECT_LT(ring.id_of(i - 1), ring.id_of(i));
+}
+
+TEST(ChordRing, SuccessorOfFindsOwner) {
+  Rng rng(2);
+  const ChordRing ring(100, rng);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    // A key equal to a peer's id is owned by that peer.
+    EXPECT_EQ(ring.successor_of(ring.id_of(i)), i);
+    // A key one above peer i's id is owned by the next peer.
+    const std::size_t next = (i + 1) % ring.size();
+    EXPECT_EQ(ring.successor_of(ring.id_of(i) + 1), next);
+  }
+}
+
+TEST(ChordRing, LookupReachesResponsiblePeer) {
+  Rng rng(3);
+  const ChordRing ring(1000, rng);
+  Rng keys(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    const ChordId key = keys.next();
+    const auto from = static_cast<std::size_t>(keys.uniform_below(1000));
+    const auto result = ring.lookup(from, key);
+    EXPECT_EQ(result.responsible, ring.successor_of(key));
+    EXPECT_EQ(result.path.front(), from);
+    EXPECT_EQ(result.path.back(), result.responsible);
+  }
+}
+
+TEST(ChordRing, LookupIsLogarithmic) {
+  Rng rng(5);
+  Rng keys(6);
+  RunningStats hops_small;
+  RunningStats hops_large;
+  const ChordRing small(500, rng);
+  const ChordRing large(8000, rng);
+  for (int trial = 0; trial < 400; ++trial) {
+    hops_small.add(static_cast<double>(
+        small.lookup(keys.uniform_below(500), keys.next()).hops));
+    hops_large.add(static_cast<double>(
+        large.lookup(keys.uniform_below(8000), keys.next()).hops));
+  }
+  // ~ (1/2) log2 N expected hops: 16x more peers adds ~2 hops, not 16x.
+  EXPECT_LT(hops_large.mean(), hops_small.mean() + 4.0);
+  EXPECT_LT(hops_large.mean(), 0.9 * std::log2(8000.0));
+}
+
+TEST(ChordRing, FingersAreLogarithmicallyMany) {
+  Rng rng(7);
+  const ChordRing ring(2000, rng);
+  const double fingers = ring.average_distinct_fingers();
+  EXPECT_GT(fingers, 0.5 * std::log2(2000.0));
+  EXPECT_LT(fingers, 2.0 * std::log2(2000.0));
+}
+
+TEST(ChordRing, DensityEstimateUnbiased) {
+  Rng rng(8);
+  RunningStats stats;
+  for (int trial = 0; trial < 50; ++trial) {
+    const ChordRing ring(3000, rng);
+    stats.add(ring.estimate_size_density(trial % 3000, 64));
+  }
+  const double se = stats.stddev() / std::sqrt(50.0);
+  EXPECT_NEAR(stats.mean(), 3000.0, 5.0 * se + 100.0);
+}
+
+TEST(ChordRing, OverlayGraphIsConnectedExpander) {
+  Rng rng(9);
+  const ChordRing ring(1500, rng);
+  const Graph g = ring.to_overlay_graph();
+  EXPECT_EQ(g.num_nodes(), 1500u);
+  EXPECT_TRUE(is_connected(g));
+  // Chord's finger structure yields good expansion.
+  EXPECT_GT(spectral_gap_lanczos(g, 120), 0.3);
+}
+
+TEST(ChordRing, GenericEstimatorsRunOnTheDht) {
+  // The paper's point: generic methods work on ANY overlay, including
+  // structured ones. Random Tour + Sample & Collide on the Chord topology.
+  Rng rng(10);
+  const ChordRing ring(2000, rng);
+  const Graph g = ring.to_overlay_graph();
+  const double n = static_cast<double>(g.num_nodes());
+
+  Rng walk_rng(11);
+  RunningStats tours;
+  for (int t = 0; t < 1500; ++t)
+    tours.add(random_tour_size(g, 0, walk_rng).value);
+  const double se = tours.stddev() / std::sqrt(1500.0);
+  EXPECT_NEAR(tours.mean(), n, 5.0 * se + 1e-9);
+
+  SampleCollideEstimator sc(g, 0, 6.0, 20, walk_rng.split());
+  RunningStats estimates;
+  for (int t = 0; t < 10; ++t) estimates.add(sc.estimate().simple);
+  EXPECT_NEAR(estimates.mean(), n,
+              4.0 * estimates.stddev() / std::sqrt(10.0));
+}
+
+TEST(ChordRing, DensityBeatsWalksOnItsHomeTurf) {
+  // ...but where the DHT structure exists, the density estimator costs
+  // O(k) instead of O(sqrt(l N) T dbar): the paper's Section 2.1 trade-off.
+  Rng rng(12);
+  const ChordRing ring(4000, rng);
+  const std::size_t k = 64;
+  const double density_cost = static_cast<double>(k);  // k successor reads
+  const Graph g = ring.to_overlay_graph();
+  SampleCollideEstimator sc(g, 0, 6.0, 20, rng.split());
+  const auto e = sc.estimate();
+  EXPECT_GT(static_cast<double>(e.hops), 20.0 * density_cost);
+}
+
+TEST(ChordRing, PreconditionsEnforced) {
+  Rng rng(13);
+  EXPECT_THROW(ChordRing(1, rng), precondition_error);
+  EXPECT_THROW(ChordRing(10, rng, 0), precondition_error);
+  EXPECT_THROW(ChordRing(10, rng, 10), precondition_error);
+  const ChordRing ring(10, rng);
+  EXPECT_THROW(ring.lookup(10, 0), precondition_error);
+  EXPECT_THROW(ring.estimate_size_density(0, 10), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

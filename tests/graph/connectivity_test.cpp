@@ -1,0 +1,89 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace overcount {
+namespace {
+
+Graph two_triangles() {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  return b.build();
+}
+
+TEST(ConnectedComponents, SingleComponent) {
+  const auto labels = connected_components(ring(10));
+  EXPECT_EQ(labels.num_components, 1u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(labels.label[v], 0u);
+}
+
+TEST(ConnectedComponents, TwoComponents) {
+  const auto labels = connected_components(two_triangles());
+  EXPECT_EQ(labels.num_components, 2u);
+  EXPECT_EQ(labels.label[0], labels.label[2]);
+  EXPECT_NE(labels.label[0], labels.label[3]);
+}
+
+TEST(ConnectedComponents, IsolatedNodesAreComponents) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const auto labels = connected_components(b.build());
+  EXPECT_EQ(labels.num_components, 3u);
+}
+
+TEST(IsConnected, Cases) {
+  EXPECT_TRUE(is_connected(complete(5)));
+  EXPECT_FALSE(is_connected(two_triangles()));
+  EXPECT_FALSE(is_connected(Graph{}));
+}
+
+TEST(ComponentSize, MatchesBfs) {
+  const Graph g = two_triangles();
+  EXPECT_EQ(component_size(g, 0), 3u);
+  EXPECT_EQ(component_size(g, 4), 3u);
+}
+
+TEST(LargestComponent, ExtractsInducedSubgraph) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);  // small comp
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(5, 2);
+  b.add_edge(2, 4);  // big comp: 2,3,4,5 with 5 edges
+  std::vector<NodeId> back;
+  const Graph big = largest_component(b.build(), &back);
+  EXPECT_EQ(big.num_nodes(), 4u);
+  EXPECT_EQ(big.num_edges(), 5u);
+  ASSERT_EQ(back.size(), 4u);
+  EXPECT_EQ(back[0], 2u);  // original ids preserved in order
+}
+
+TEST(BfsDistances, PathDistances) {
+  const auto dist = bfs_distances(path_graph(6), 0);
+  for (std::size_t v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsDistances, UnreachableIsMax) {
+  const auto dist = bfs_distances(two_triangles(), 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[4], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(BfsDistances, TorusIsSymmetric) {
+  const Graph g = grid_2d(5, 5, true);
+  const auto dist = bfs_distances(g, 0);
+  // Farthest point on a 5x5 torus is at distance 2+2.
+  const auto furthest = *std::max_element(dist.begin(), dist.end());
+  EXPECT_EQ(furthest, 4u);
+}
+
+}  // namespace
+}  // namespace overcount

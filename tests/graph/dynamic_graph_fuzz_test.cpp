@@ -1,0 +1,137 @@
+// Differential test: DynamicGraph against a trivially correct reference
+// model (map of sets) under long random operation sequences.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+
+namespace overcount {
+namespace {
+
+class ReferenceGraph {
+ public:
+  NodeId add_node(const std::vector<NodeId>& targets) {
+    const NodeId v = next_id_++;
+    adjacency_[v];
+    for (NodeId t : targets) {
+      adjacency_[v].insert(t);
+      adjacency_[t].insert(v);
+    }
+    return v;
+  }
+
+  void remove_node(NodeId v) {
+    for (NodeId u : adjacency_[v]) adjacency_[u].erase(v);
+    adjacency_.erase(v);
+  }
+
+  void add_edge(NodeId u, NodeId v) {
+    adjacency_[u].insert(v);
+    adjacency_[v].insert(u);
+  }
+
+  void remove_edge(NodeId u, NodeId v) {
+    adjacency_[u].erase(v);
+    adjacency_[v].erase(u);
+  }
+
+  bool alive(NodeId v) const { return adjacency_.contains(v); }
+  std::size_t num_alive() const { return adjacency_.size(); }
+  std::size_t degree(NodeId v) const { return adjacency_.at(v).size(); }
+  bool has_edge(NodeId u, NodeId v) const {
+    return alive(u) && adjacency_.at(u).contains(v);
+  }
+  std::size_t num_edges() const {
+    std::size_t total = 0;
+    for (const auto& [v, nbrs] : adjacency_) total += nbrs.size();
+    return total / 2;
+  }
+  std::vector<NodeId> alive_ids() const {
+    std::vector<NodeId> out;
+    for (const auto& [v, nbrs] : adjacency_) out.push_back(v);
+    return out;
+  }
+
+  void seed(const Graph& g) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) adjacency_[v];
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      for (NodeId u : g.neighbors(v))
+        if (v < u) add_edge(v, u);
+    next_id_ = static_cast<NodeId>(g.num_nodes());
+  }
+
+ private:
+  std::map<NodeId, std::set<NodeId>> adjacency_;
+  NodeId next_id_ = 0;
+};
+
+class DynamicGraphFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicGraphFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  const Graph seed_graph = erdos_renyi_gnm(40, 100, rng);
+  DynamicGraph dut(seed_graph);
+  ReferenceGraph ref;
+  ref.seed(seed_graph);
+
+  for (int op = 0; op < 2000; ++op) {
+    const auto alive = ref.alive_ids();
+    const double roll = rng.uniform();
+    if (roll < 0.25 && alive.size() > 5) {
+      const NodeId victim = alive[rng.uniform_below(alive.size())];
+      dut.remove_node(victim);
+      ref.remove_node(victim);
+    } else if (roll < 0.5) {
+      // Join with up to 3 distinct alive targets.
+      std::vector<NodeId> targets;
+      for (int t = 0; t < 3 && !alive.empty(); ++t) {
+        const NodeId cand = alive[rng.uniform_below(alive.size())];
+        if (std::find(targets.begin(), targets.end(), cand) ==
+            targets.end())
+          targets.push_back(cand);
+      }
+      const NodeId a = dut.add_node(targets);
+      const NodeId b = ref.add_node(targets);
+      ASSERT_EQ(a, b);
+    } else if (roll < 0.75 && alive.size() >= 2) {
+      const NodeId u = alive[rng.uniform_below(alive.size())];
+      const NodeId v = alive[rng.uniform_below(alive.size())];
+      if (u != v && !ref.has_edge(u, v)) {
+        dut.add_edge(u, v);
+        ref.add_edge(u, v);
+      }
+    } else if (alive.size() >= 2) {
+      const NodeId u = alive[rng.uniform_below(alive.size())];
+      if (ref.degree(u) > 0) {
+        // Remove a random incident edge.
+        const auto nbrs = dut.neighbors(u);
+        const NodeId v = nbrs[rng.uniform_below(nbrs.size())];
+        dut.remove_edge(u, v);
+        ref.remove_edge(u, v);
+      }
+    }
+
+    // Cross-check the full visible state every few operations.
+    if (op % 50 == 0) {
+      ASSERT_EQ(dut.num_alive(), ref.num_alive());
+      ASSERT_EQ(dut.num_edges(), ref.num_edges());
+      for (NodeId v : ref.alive_ids()) {
+        ASSERT_TRUE(dut.alive(v));
+        ASSERT_EQ(dut.degree(v), ref.degree(v)) << "node " << v;
+        for (NodeId u : dut.neighbors(v))
+          ASSERT_TRUE(ref.has_edge(v, u));
+      }
+      ASSERT_TRUE(dut.check_invariants());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicGraphFuzz,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,145 @@
+#include "graph/dynamic_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(DynamicGraph, CopiesStaticGraph) {
+  Rng rng(1);
+  const Graph g = balanced_random_graph(100, rng);
+  const DynamicGraph d(g);
+  EXPECT_EQ(d.num_alive(), g.num_nodes());
+  EXPECT_EQ(d.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(d.alive(v));
+    EXPECT_EQ(d.degree(v), g.degree(v));
+  }
+  EXPECT_TRUE(d.check_invariants());
+}
+
+TEST(DynamicGraph, AddNodeWithTargets) {
+  DynamicGraph d(ring(5));
+  const std::vector<NodeId> targets{0, 2};
+  const NodeId v = d.add_node(targets);
+  EXPECT_EQ(v, 5u);
+  EXPECT_EQ(d.num_alive(), 6u);
+  EXPECT_EQ(d.degree(v), 2u);
+  EXPECT_TRUE(d.has_edge(v, 0));
+  EXPECT_TRUE(d.has_edge(v, 2));
+  EXPECT_TRUE(d.check_invariants());
+}
+
+TEST(DynamicGraph, AddIsolatedNode) {
+  DynamicGraph d(ring(4));
+  const NodeId v = d.add_node({});
+  EXPECT_EQ(d.degree(v), 0u);
+  EXPECT_TRUE(d.alive(v));
+  EXPECT_TRUE(d.check_invariants());
+}
+
+TEST(DynamicGraph, RemoveNodeTakesEdges) {
+  DynamicGraph d(complete(4));
+  d.remove_node(2);
+  EXPECT_FALSE(d.alive(2));
+  EXPECT_EQ(d.num_alive(), 3u);
+  EXPECT_EQ(d.num_edges(), 3u);  // K4 minus a node = K3
+  EXPECT_EQ(d.degree(2), 0u);
+  for (NodeId v : {0u, 1u, 3u}) EXPECT_EQ(d.degree(v), 2u);
+  EXPECT_TRUE(d.check_invariants());
+}
+
+TEST(DynamicGraph, RemoveRejectsDeadNode) {
+  DynamicGraph d(ring(4));
+  d.remove_node(1);
+  EXPECT_THROW(d.remove_node(1), precondition_error);
+}
+
+TEST(DynamicGraph, SlotsNeverReused) {
+  DynamicGraph d(ring(4));
+  d.remove_node(0);
+  const NodeId v = d.add_node({});
+  EXPECT_EQ(v, 4u);  // not the freed slot 0
+  EXPECT_FALSE(d.alive(0));
+}
+
+TEST(DynamicGraph, EdgeAddRemove) {
+  DynamicGraph d(path_graph(4));
+  d.add_edge(0, 3);
+  EXPECT_TRUE(d.has_edge(0, 3));
+  EXPECT_THROW(d.add_edge(0, 3), precondition_error);
+  d.remove_edge(0, 3);
+  EXPECT_FALSE(d.has_edge(0, 3));
+  EXPECT_THROW(d.remove_edge(0, 3), precondition_error);
+  EXPECT_TRUE(d.check_invariants());
+}
+
+TEST(DynamicGraph, RandomAliveNodeOnlyReturnsAlive) {
+  Rng rng(3);
+  DynamicGraph d(complete(10));
+  for (NodeId v = 0; v < 5; ++v) d.remove_node(v);
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId v = d.random_alive_node(rng);
+    EXPECT_TRUE(d.alive(v));
+    EXPECT_GE(v, 5u);
+  }
+}
+
+TEST(DynamicGraph, ComponentSizeAfterSplit) {
+  // Path 0-1-2-3-4; removing 2 splits into {0,1} and {3,4}.
+  DynamicGraph d(path_graph(5));
+  d.remove_node(2);
+  EXPECT_EQ(d.component_size(0), 2u);
+  EXPECT_EQ(d.component_size(4), 2u);
+  const auto comp = d.component_nodes(3);
+  EXPECT_EQ(comp.size(), 2u);
+  EXPECT_NE(std::find(comp.begin(), comp.end(), 4u), comp.end());
+}
+
+TEST(DynamicGraph, SnapshotCompactsIds) {
+  DynamicGraph d(ring(6));
+  d.remove_node(0);
+  d.remove_node(3);
+  std::vector<NodeId> map;
+  const Graph snap = d.snapshot(&map);
+  EXPECT_EQ(snap.num_nodes(), 4u);
+  EXPECT_EQ(snap.num_edges(), d.num_edges());
+  // Edge 1-2 survives; check it maps over.
+  EXPECT_TRUE(snap.has_edge(map[1], map[2]));
+}
+
+TEST(DynamicGraph, RandomChurnPreservesInvariants) {
+  Rng rng(77);
+  DynamicGraph d(balanced_random_graph(200, rng));
+  for (int op = 0; op < 500; ++op) {
+    const double roll = rng.uniform();
+    if (roll < 0.45 && d.num_alive() > 10) {
+      d.remove_node(d.random_alive_node(rng));
+    } else {
+      // Join with up to 3 random alive targets.
+      std::vector<NodeId> targets;
+      for (int t = 0; t < 3; ++t) {
+        const NodeId cand = d.random_alive_node(rng);
+        if (std::find(targets.begin(), targets.end(), cand) == targets.end())
+          targets.push_back(cand);
+      }
+      d.add_node(targets);
+    }
+    ASSERT_TRUE(d.check_invariants()) << "after op " << op;
+  }
+}
+
+TEST(DynamicGraph, AddNodeRejectsDeadTarget) {
+  DynamicGraph d(ring(4));
+  d.remove_node(1);
+  const std::vector<NodeId> targets{1};
+  EXPECT_THROW(d.add_node(targets), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,105 @@
+// Tests for the second wave of overlay families: Watts-Strogatz small
+// worlds and configuration-model regular graphs.
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(WattsStrogatz, BetaZeroIsTheRingLattice) {
+  Rng rng(1);
+  const Graph g = watts_strogatz(50, 4, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 100u);
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(g.degree(v), 4u);
+    EXPECT_TRUE(g.has_edge(v, (v + 1) % 50));
+    EXPECT_TRUE(g.has_edge(v, (v + 2) % 50));
+  }
+}
+
+TEST(WattsStrogatz, EdgeCountPreservedUnderRewiring) {
+  Rng rng(2);
+  for (double beta : {0.1, 0.5, 1.0}) {
+    const Graph g = watts_strogatz(200, 6, beta, rng);
+    // Rewiring can occasionally fail and fall back to (or drop) a lattice
+    // edge; allow a tiny deficit.
+    EXPECT_LE(g.num_edges(), 600u);
+    EXPECT_GE(g.num_edges(), 590u);
+  }
+}
+
+TEST(WattsStrogatz, SmallWorldRegime) {
+  // beta = 0.1: clustering stays near the lattice's, distances collapse.
+  Rng rng(3);
+  const Graph lattice = watts_strogatz(600, 6, 0.0, rng);
+  const Graph small_world = watts_strogatz(600, 6, 0.1, rng);
+  EXPECT_GT(average_clustering(small_world),
+            0.3 * average_clustering(lattice));
+  Rng d_rng(4);
+  const auto lat_dist = distance_stats(largest_component(lattice), 6, d_rng);
+  const auto sw_dist =
+      distance_stats(largest_component(small_world), 6, d_rng);
+  EXPECT_LT(sw_dist.average, 0.4 * lat_dist.average);
+}
+
+TEST(WattsStrogatz, RewiringImprovesSpectralGap) {
+  Rng rng(5);
+  const Graph lattice = watts_strogatz(400, 4, 0.0, rng);
+  const Graph rewired = watts_strogatz(400, 4, 0.3, rng);
+  const Graph rewired_big = largest_component(rewired);
+  EXPECT_GT(spectral_gap_lanczos(rewired_big, 150),
+            3.0 * spectral_gap_lanczos(lattice, 150));
+}
+
+TEST(WattsStrogatz, PreconditionsEnforced) {
+  Rng rng(6);
+  EXPECT_THROW(watts_strogatz(50, 3, 0.1, rng), precondition_error);   // odd k
+  EXPECT_THROW(watts_strogatz(50, 0, 0.1, rng), precondition_error);
+  EXPECT_THROW(watts_strogatz(50, 4, 1.5, rng), precondition_error);
+  EXPECT_THROW(watts_strogatz(4, 4, 0.1, rng), precondition_error);    // k >= n-1
+}
+
+TEST(RandomRegular, ExactDegrees) {
+  Rng rng(7);
+  for (std::size_t d : {2u, 3u, 4u, 7u}) {
+    const std::size_t n = d % 2 == 0 ? 101 : 100;  // keep n*d even
+    const Graph g = random_regular(n, d, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), n * d / 2);
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d) << "d=" << d;
+  }
+}
+
+TEST(RandomRegular, CubicGraphsAreExpanders) {
+  // Random 3-regular graphs are expanders whp: gap bounded away from 0.
+  Rng rng(8);
+  const Graph g = random_regular(500, 3, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GT(spectral_gap_lanczos(g, 150), 0.1);
+}
+
+TEST(RandomRegular, PreconditionsEnforced) {
+  Rng rng(9);
+  EXPECT_THROW(random_regular(5, 3, rng), precondition_error);   // n*d odd
+  EXPECT_THROW(random_regular(4, 4, rng), precondition_error);   // d >= n
+  EXPECT_THROW(random_regular(10, 0, rng), precondition_error);
+}
+
+TEST(RandomRegular, DeterministicUnderSeed) {
+  Rng a(10);
+  Rng b(10);
+  const Graph ga = random_regular(60, 4, a);
+  const Graph gb = random_regular(60, 4, b);
+  for (NodeId v = 0; v < 60; ++v) {
+    const auto na = ga.neighbors(v);
+    const auto nb = gb.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,210 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(BalancedRandomGraph, DegreesWithinBounds) {
+  Rng rng(1);
+  const Graph g = balanced_random_graph(2000, rng);
+  EXPECT_EQ(g.num_nodes(), 2000u);
+  EXPECT_GE(g.min_degree(), 1u);
+  EXPECT_LE(g.max_degree(), 10u);
+}
+
+TEST(BalancedRandomGraph, AverageDegreeMatchesPaper) {
+  // Paper Section 5.1: "The resulting average degree is between 7 and 8."
+  Rng rng(2);
+  const Graph g = balanced_random_graph(5000, rng);
+  EXPECT_GE(g.average_degree(), 6.5);
+  EXPECT_LE(g.average_degree(), 8.5);
+}
+
+TEST(BalancedRandomGraph, CustomDegreeCapRespected) {
+  Rng rng(3);
+  const Graph g = balanced_random_graph(500, rng, 5);
+  EXPECT_LE(g.max_degree(), 5u);
+  EXPECT_GE(g.min_degree(), 1u);
+}
+
+TEST(BalancedRandomGraph, LargelyConnected) {
+  Rng rng(4);
+  const Graph g = balanced_random_graph(2000, rng);
+  const Graph big = largest_component(g);
+  EXPECT_GE(big.num_nodes(), g.num_nodes() * 99 / 100);
+}
+
+TEST(BarabasiAlbert, NodeAndEdgeCounts) {
+  Rng rng(5);
+  const std::size_t n = 1000;
+  const std::size_t m = 3;
+  const Graph g = barabasi_albert(n, m, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  // Seed clique of m+1 nodes has m(m+1)/2 edges; each later node adds m.
+  EXPECT_EQ(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(BarabasiAlbert, MinDegreeIsAttachment) {
+  Rng rng(6);
+  const Graph g = barabasi_albert(500, 4, rng);
+  EXPECT_GE(g.min_degree(), 4u);
+}
+
+TEST(BarabasiAlbert, HeavyTailPresent) {
+  Rng rng(7);
+  const Graph g = barabasi_albert(3000, 3, rng);
+  // A scale-free graph has hubs far above the average degree (~6).
+  EXPECT_GE(g.max_degree(), 40u);
+}
+
+TEST(BarabasiAlbert, RejectsBadParameters) {
+  Rng rng(8);
+  EXPECT_THROW(barabasi_albert(3, 3, rng), precondition_error);
+  EXPECT_THROW(barabasi_albert(10, 0, rng), precondition_error);
+}
+
+TEST(ErdosRenyiGnp, EdgeCountNearExpectation) {
+  Rng rng(9);
+  const std::size_t n = 1000;
+  const double p = 0.01;
+  const Graph g = erdos_renyi_gnp(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  const double sd = std::sqrt(expected * (1 - p));
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 6 * sd);
+}
+
+TEST(ErdosRenyiGnp, EdgeCasesEmptyAndComplete) {
+  Rng rng(10);
+  EXPECT_EQ(erdos_renyi_gnp(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi_gnp(50, 1.0, rng).num_edges(), 50u * 49 / 2);
+}
+
+TEST(ErdosRenyiGnm, ExactEdgeCount) {
+  Rng rng(11);
+  const Graph g = erdos_renyi_gnm(200, 700, rng);
+  EXPECT_EQ(g.num_edges(), 700u);
+  EXPECT_EQ(g.num_nodes(), 200u);
+}
+
+TEST(KOutGraph, DegreeAtLeastK) {
+  Rng rng(12);
+  const std::size_t k = 3;
+  const Graph g = k_out_graph(500, k, rng);
+  EXPECT_GE(g.min_degree(), k);
+  // Average degree is below 2k only because of duplicate selections.
+  EXPECT_LE(g.average_degree(), 2.0 * k + 0.5);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(DeterministicFamilies, RingPathCompleteStar) {
+  const Graph r = ring(10);
+  EXPECT_EQ(r.num_edges(), 10u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(r.degree(v), 2u);
+
+  const Graph p = path_graph(10);
+  EXPECT_EQ(p.num_edges(), 9u);
+  EXPECT_EQ(p.degree(0), 1u);
+  EXPECT_EQ(p.degree(5), 2u);
+
+  const Graph k = complete(7);
+  EXPECT_EQ(k.num_edges(), 21u);
+  EXPECT_EQ(k.min_degree(), 6u);
+
+  const Graph s = star(8);
+  EXPECT_EQ(s.degree(0), 7u);
+  EXPECT_EQ(s.degree(3), 1u);
+}
+
+TEST(Grid2d, PlaneAndTorusDegrees) {
+  const Graph plane = grid_2d(4, 5);
+  EXPECT_EQ(plane.num_nodes(), 20u);
+  EXPECT_EQ(plane.degree(0), 2u);        // corner
+  EXPECT_EQ(plane.num_edges(), 4u * 4 + 5u * 3);
+
+  const Graph torus = grid_2d(4, 5, true);
+  for (NodeId v = 0; v < torus.num_nodes(); ++v)
+    EXPECT_EQ(torus.degree(v), 4u);
+  EXPECT_EQ(torus.num_edges(), 2u * 20);
+}
+
+TEST(CompleteBipartite, StructureCorrect) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 4u);
+  for (NodeId v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+TEST(BipartiteRegular, IsRegularAndBipartite) {
+  Rng rng(13);
+  const std::size_t half = 50;
+  const std::size_t d = 4;
+  const Graph g = bipartite_regular(half, d, rng);
+  EXPECT_EQ(g.num_nodes(), 2 * half);
+  EXPECT_EQ(g.num_edges(), half * d);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), d);
+  // All edges cross the bipartition.
+  for (NodeId v = 0; v < half; ++v)
+    for (NodeId u : g.neighbors(v)) EXPECT_GE(u, half);
+}
+
+TEST(BipartiteRegular, FullDegreeIsCompleteBipartite) {
+  Rng rng(14);
+  const Graph g = bipartite_regular(5, 5, rng);
+  EXPECT_EQ(g.num_edges(), 25u);
+}
+
+TEST(RandomGeometric, EdgesRespectRadius) {
+  Rng rng(15);
+  const Graph g = random_geometric(300, 0.12, rng);
+  EXPECT_EQ(g.num_nodes(), 300u);
+  EXPECT_GT(g.num_edges(), 0u);
+  // Expected edges ~ n^2/2 * pi r^2 (boundary effects lower it).
+  const double expected = 300.0 * 299.0 / 2 * 3.14159 * 0.12 * 0.12;
+  EXPECT_LT(static_cast<double>(g.num_edges()), 1.2 * expected);
+  EXPECT_GT(static_cast<double>(g.num_edges()), 0.4 * expected);
+}
+
+TEST(Generators, PreconditionsEnforced) {
+  Rng rng(16);
+  EXPECT_THROW(ring(2), precondition_error);
+  EXPECT_THROW(path_graph(1), precondition_error);
+  EXPECT_THROW(complete(1), precondition_error);
+  EXPECT_THROW(star(1), precondition_error);
+  EXPECT_THROW(grid_2d(1, 5), precondition_error);
+  EXPECT_THROW(k_out_graph(3, 3, rng), precondition_error);
+  EXPECT_THROW(erdos_renyi_gnp(10, 1.5, rng), precondition_error);
+  EXPECT_THROW(bipartite_regular(3, 4, rng), precondition_error);
+  EXPECT_THROW(random_geometric(10, 0.0, rng), precondition_error);
+}
+
+class GeneratorReproducibility
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorReproducibility, SameSeedSameGraph) {
+  Rng rng1(GetParam());
+  Rng rng2(GetParam());
+  const Graph a = balanced_random_graph(300, rng1);
+  const Graph b = balanced_random_graph(300, rng2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorReproducibility,
+                         ::testing::Values(1, 42, 12345, 999999));
+
+}  // namespace
+}  // namespace overcount

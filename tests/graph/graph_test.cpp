@@ -1,0 +1,105 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace overcount {
+namespace {
+
+TEST(GraphBuilder, BuildsTriangle) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.total_degree(), 6u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(1, 1), precondition_error);
+}
+
+TEST(GraphBuilder, RejectsDuplicateEdge) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_THROW(b.add_edge(0, 1), precondition_error);
+  EXPECT_THROW(b.add_edge(1, 0), precondition_error);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), precondition_error);
+  EXPECT_THROW(b.add_edge(5, 0), precondition_error);
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g1 = b.build();
+  b.add_edge(2, 3);
+  const Graph g2 = b.build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  GraphBuilder b(5);
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(2, 1);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(Graph, EmptyGraphProperties) {
+  const Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_EQ(g.min_degree(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Graph, IsolatedNodesAllowed) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_EQ(g.min_degree(), 0u);
+  EXPECT_EQ(g.max_degree(), 1u);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+TEST(Graph, HasEdgePreconditions) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_THROW(g.has_edge(0, 2), precondition_error);
+  EXPECT_THROW((void)g.degree(2), precondition_error);
+  EXPECT_THROW((void)g.neighbors(7), precondition_error);
+}
+
+TEST(Graph, DegreeStatistics) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const Graph g = b.build();  // star on 4 nodes
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);
+}
+
+}  // namespace
+}  // namespace overcount

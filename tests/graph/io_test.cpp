@@ -1,0 +1,110 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace overcount {
+namespace {
+
+bool graphs_equal(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges())
+    return false;
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+      return false;
+  }
+  return true;
+}
+
+TEST(GraphIo, RoundTripThroughStreams) {
+  Rng rng(1);
+  const Graph g = balanced_random_graph(200, rng);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph back = read_edge_list(ss);
+  EXPECT_TRUE(graphs_equal(g, back));
+}
+
+TEST(GraphIo, RoundTripWithIsolatedNodes) {
+  GraphBuilder b(5);
+  b.add_edge(0, 3);
+  const Graph g = b.build();
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph back = read_edge_list(ss);
+  EXPECT_TRUE(graphs_equal(g, back));
+  EXPECT_EQ(back.degree(4), 0u);
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss("# header comment\n\nnodes 3\n# mid comment\n0 1\n\n1 2\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  {
+    std::stringstream ss("0 1\n");  // no header
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("nodes 2\n0 5\n");  // out of range
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("nodes 3\n1 1\n");  // self loop
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("nodes 3\n0 1\n1 0\n");  // duplicate
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("vertices 3\n");  // wrong keyword
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Rng rng(2);
+  const Graph g = erdos_renyi_gnm(50, 120, rng);
+  const std::string path = ::testing::TempDir() + "/overcount_io_test.txt";
+  save_graph(path, g);
+  const Graph back = load_graph(path);
+  EXPECT_TRUE(graphs_equal(g, back));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_graph("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, DotOutputContainsEdgesOnce) {
+  const Graph g = ring(4);
+  std::stringstream ss;
+  write_dot(ss, g, "ring4");
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("graph ring4 {"), std::string::npos);
+  EXPECT_NE(out.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(out.find("0 -- 3;"), std::string::npos);
+  EXPECT_EQ(out.find("1 -- 0;"), std::string::npos);
+}
+
+TEST(GraphIo, DotListsIsolatedNodes) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  std::stringstream ss;
+  write_dot(ss, b.build());
+  EXPECT_NE(ss.str().find("  2;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace overcount

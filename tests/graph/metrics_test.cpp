@@ -1,0 +1,110 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(DegreeHistogram, CountsMatch) {
+  const Graph g = star(6);  // hub degree 5, five leaves degree 1
+  const auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 6u);
+  EXPECT_EQ(hist[1], 5u);
+  EXPECT_EQ(hist[5], 1u);
+  EXPECT_EQ(hist[0], 0u);
+}
+
+TEST(PowerLawExponent, NearThreeForBarabasiAlbert) {
+  Rng rng(1);
+  const Graph g = barabasi_albert(20000, 3, rng);
+  const double alpha = power_law_exponent(g, 5);
+  // BA degree distribution ~ d^-3; the Hill estimator lands near 3.
+  EXPECT_GT(alpha, 2.3);
+  EXPECT_LT(alpha, 3.8);
+}
+
+TEST(PowerLawExponent, ZeroWhenTooFewQualify) {
+  EXPECT_DOUBLE_EQ(power_law_exponent(ring(20), 5), 0.0);
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+  const Graph g = complete(6);
+  for (NodeId v = 0; v < 6; ++v)
+    EXPECT_DOUBLE_EQ(local_clustering(g, v), 1.0);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 1.0);
+}
+
+TEST(Clustering, TreeIsZero) {
+  EXPECT_DOUBLE_EQ(average_clustering(star(8)), 0.0);
+  EXPECT_DOUBLE_EQ(average_clustering(path_graph(8)), 0.0);
+}
+
+TEST(Clustering, TriangleWithTail) {
+  // 0-1-2 triangle + edge 2-3: c(0)=c(1)=1, c(2)=1/3, c(3)=0.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  EXPECT_DOUBLE_EQ(local_clustering(g, 0), 1.0);
+  EXPECT_NEAR(local_clustering(g, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(local_clustering(g, 3), 0.0);
+}
+
+TEST(TriangleCount, KnownValues) {
+  EXPECT_EQ(triangle_count(complete(5)), 10u);  // C(5,3)
+  EXPECT_EQ(triangle_count(ring(6)), 0u);
+  EXPECT_EQ(triangle_count(star(10)), 0u);
+  EXPECT_EQ(triangle_count(complete_bipartite(3, 4)), 0u);
+}
+
+TEST(DistanceStats, PathGraphExhaustive) {
+  Rng rng(2);
+  const Graph g = path_graph(5);
+  const auto stats = distance_stats(g, 5, rng);  // exhaustive
+  EXPECT_EQ(stats.diameter, 4u);
+  EXPECT_EQ(stats.sources, 5u);
+  // Sum over ordered pairs of |i-j| = 2*(4*1+3*2+2*3+1*4) = 40; pairs = 20.
+  EXPECT_NEAR(stats.average, 2.0, 1e-12);
+}
+
+TEST(DistanceStats, SampledOnExpanderIsLogarithmic) {
+  Rng rng(3);
+  const Graph g = k_out_graph(5000, 3, rng);
+  const auto stats = distance_stats(g, 8, rng);
+  EXPECT_LT(stats.average, 8.0);
+  EXPECT_GE(stats.diameter, 4u);
+}
+
+TEST(Assortativity, StarIsFullyDisassortative) {
+  EXPECT_NEAR(degree_assortativity(star(10)), -1.0, 1e-9);
+}
+
+TEST(Assortativity, RegularGraphReportsZero) {
+  EXPECT_DOUBLE_EQ(degree_assortativity(ring(10)), 0.0);
+  EXPECT_DOUBLE_EQ(degree_assortativity(complete(6)), 0.0);
+}
+
+TEST(Assortativity, BarabasiAlbertIsMildlyDisassortative) {
+  Rng rng(4);
+  const Graph g = barabasi_albert(5000, 3, rng);
+  const double r = degree_assortativity(g);
+  EXPECT_LT(r, 0.05);
+  EXPECT_GT(r, -0.5);
+}
+
+TEST(Metrics, PreconditionsEnforced) {
+  Rng rng(5);
+  const Graph empty_edges = [] {
+    GraphBuilder b(3);
+    return b.build();
+  }();
+  EXPECT_THROW(degree_assortativity(empty_edges), precondition_error);
+  EXPECT_THROW(power_law_exponent(ring(5), 0), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

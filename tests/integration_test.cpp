@@ -1,0 +1,178 @@
+// Cross-subsystem integration: each test strings several modules together
+// the way a downstream user would, so interface drift between layers breaks
+// loudly here even when every unit suite passes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/gap_diagnostics.hpp"
+#include "core/monitor.hpp"
+#include "core/overcount.hpp"
+#include "protocols/sampling_protocol.hpp"
+#include "sim/attributes.hpp"
+#include "sim/scenario.hpp"
+#include "sim/trace.hpp"
+#include "util/tests.hpp"
+#include "walk/exact.hpp"
+#include "walk/hitting.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(Integration, SaveLoadThenEstimate) {
+  // Generate -> serialise -> reload -> the reloaded overlay yields the same
+  // deterministic estimates as the original.
+  Rng rng(1);
+  const Graph g = largest_component(balanced_random_graph(600, rng));
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph loaded = read_edge_list(ss);
+
+  Rng walk_a(99);
+  Rng walk_b(99);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_DOUBLE_EQ(random_tour_size(g, 0, walk_a).value,
+                     random_tour_size(loaded, 0, walk_b).value);
+  }
+}
+
+TEST(Integration, SpectralPipelineConsistency) {
+  // Lanczos gap vs sweep-cut conductance vs Cheeger, on a fresh overlay.
+  Rng rng(2);
+  const Graph g = largest_component(balanced_random_graph(1500, rng));
+  const double gap = spectral_gap_lanczos(g, 150);
+  const auto sweep = sweep_cut(g, fiedler_vector(g, 150));
+  // The sweep cut's expansion upper-bounds the true h, and Cheeger's upper
+  // bound with the TRUE h must cover lambda_2; with sweep-h >= h the bound
+  // can only be looser, so it must hold:
+  EXPECT_LE(gap, 2.0 * sweep.expansion + 1e-9);
+  // The walk-side upper bound from tour variance covers the true gap too.
+  Rng walk_rng(3);
+  const auto diag = gap_upper_bound_from_tour_variance(g, 0, 1500, walk_rng);
+  EXPECT_GE(diag.lambda2, 0.8 * gap);
+}
+
+TEST(Integration, TimerBudgetFeedsSamplingQuality) {
+  // gap -> timer -> S&C: the full recipe from the README, checked end to
+  // end against the true size.
+  Rng rng(4);
+  const Graph g = largest_component(k_out_graph(3000, 3, rng));
+  const double n = static_cast<double>(g.num_nodes());
+  const double timer = recommended_ctrw_timer(n, spectral_gap_lanczos(g, 120));
+  SampleCollideEstimator sc(g, 0, timer, 30, rng.split());
+  RunningStats values;
+  for (int trial = 0; trial < 10; ++trial) values.add(sc.estimate().simple);
+  EXPECT_NEAR(values.mean(), n, 4.0 * values.stddev() / std::sqrt(10.0));
+}
+
+TEST(Integration, ScenarioToCsvToMonitor) {
+  // Run a catastrophic scenario, persist it, reload it, and replay the raw
+  // estimates through the SizeMonitor: the change detector must fire for
+  // each sudden event and track the new levels.
+  auto spec = catastrophic_spec(3000, 90, TopologyKind::kBalanced);
+  spec.actual_size_every = 1;
+  const auto result =
+      run_scenario(spec, sample_collide_estimate_fn(8.0, 50), 1, 77);
+
+  std::stringstream ss;
+  write_scenario_csv(ss, result);
+  const auto reloaded = read_scenario_csv(ss);
+  ASSERT_EQ(reloaded.points.size(), result.points.size());
+
+  MonitorConfig config;
+  config.window = 30;
+  config.estimate_rel_std = 1.0 / std::sqrt(50.0);
+  SizeMonitor monitor(config);
+  for (const auto& p : reloaded.points) monitor.feed(p.estimate);
+  // Three sudden events (-25%, -25%, +33%-of-current); each is a >= 2 sigma
+  // shift for l=50 noise, so the CUSUM should flag at least two and the
+  // final level should be tracked.
+  EXPECT_GE(monitor.changes_detected(), 2u);
+  EXPECT_NEAR(monitor.value(), reloaded.points.back().actual_size,
+              0.25 * reloaded.points.back().actual_size);
+}
+
+TEST(Integration, ProtocolAndDirectPathsAgree) {
+  // The DES-based sampling protocol and the direct CtrwSampler must induce
+  // statistically identical collision processes; compare their S&C
+  // estimate distributions with a KS test.
+  Rng rng(5);
+  DynamicGraph graph(largest_component(balanced_random_graph(500, rng)));
+  const Graph snapshot = graph.snapshot();
+
+  std::vector<double> direct;
+  SampleCollideEstimator est(snapshot, 0, 8.0, 8, rng.split());
+  for (int trial = 0; trial < 40; ++trial)
+    direct.push_back(est.estimate().simple);
+
+  std::vector<double> protocol;
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.0, rng.split());
+  SampleCollideProtocol proto(net, 8.0, 8, rng.split());
+  int remaining = 40;
+  std::function<void(const SampleCollideProtocol::Result&)> on_done =
+      [&](const SampleCollideProtocol::Result& r) {
+        protocol.push_back(r.estimate.simple);
+        if (--remaining > 0) proto.start(0, on_done);
+      };
+  proto.start(0, on_done);
+  sim.run();
+
+  const Ecdf a(std::move(direct));
+  const Ecdf b(std::move(protocol));
+  // Two-sample KS at n = m = 40: reject only blatant mismatches.
+  EXPECT_LT(a.ks_distance(b), 0.35);
+}
+
+TEST(Integration, AttributeAggregationThroughChurn) {
+  // Attributes stay consistent under churn because they are a pure
+  // function of the node id; estimate a class count mid-churn.
+  Rng rng(6);
+  DynamicGraph g(largest_component(balanced_random_graph(800, rng)));
+  const PeerAttributes attrs(55);
+  Rng churn_rng = rng.split();
+  for (int k = 0; k < 200; ++k) churn_leave(g, churn_rng);
+  for (int k = 0; k < 100; ++k)
+    churn_join(g, TopologyKind::kBalanced, churn_rng, 3, 10);
+
+  // Ground truth over the probing node's component.
+  NodeId probe = g.random_alive_node(churn_rng);
+  while (g.degree(probe) == 0) probe = g.random_alive_node(churn_rng);
+  double truth = 0.0;
+  for (NodeId v : g.component_nodes(probe))
+    if (attrs.of(v).link != LinkClass::kDialup) truth += 1.0;
+
+  Rng est_rng = rng.split();
+  const auto est = estimate_count(
+      g, probe,
+      [&attrs](NodeId v) {
+        return attrs.of(v).link != LinkClass::kDialup;
+      },
+      4000, est_rng);
+  EXPECT_NEAR(est.value, truth, 5.0 * est.standard_error + 1e-9);
+}
+
+TEST(Integration, ExactMachineryValidatesMonteCarlo) {
+  // The exact tour moments (linear solve), the exact CTRW distribution
+  // (uniformisation), and the simulated walks must agree on one graph.
+  Rng rng(7);
+  const Graph g = largest_component(erdos_renyi_gnp(35, 0.2, rng));
+  const auto moments = exact_tour_moments(g, 0);
+  EXPECT_NEAR(moments.mean, static_cast<double>(g.num_nodes()), 1e-6);
+
+  const double t = 3.0;
+  const auto dist = ctrw_distribution(g, 0, t);
+  std::vector<std::size_t> counts(g.num_nodes(), 0);
+  const int draws = 30000;
+  for (int i = 0; i < draws; ++i) ++counts[ctrw_sample(g, 0, t, rng).node];
+  std::vector<double> observed(counts.begin(), counts.end());
+  std::vector<double> expected(g.num_nodes());
+  for (std::size_t v = 0; v < expected.size(); ++v)
+    expected[v] = dist[v] * draws;
+  const auto chi = chi_square_test(observed, expected);
+  EXPECT_GT(chi.p_value, 1e-4) << "stat=" << chi.statistic;
+}
+
+}  // namespace
+}  // namespace overcount

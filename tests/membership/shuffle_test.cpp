@@ -1,0 +1,172 @@
+#include "membership/shuffle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/random_tour.hpp"
+#include "core/sample_collide.hpp"
+#include "graph/connectivity.hpp"
+#include "spectral/laplacian.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(ShuffleMembership, BootstrapInvariants) {
+  ShuffleMembership m(200, 8, Rng(1));
+  EXPECT_EQ(m.num_peers(), 200u);
+  EXPECT_TRUE(m.check_invariants());
+  for (NodeId v = 0; v < 200; ++v)
+    EXPECT_EQ(m.view_of(v).size(), 8u);
+}
+
+TEST(ShuffleMembership, OverlayStaysConnectedAcrossRounds) {
+  ShuffleMembership m(500, 8, Rng(2));
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    m.run_rounds(5);
+    EXPECT_TRUE(m.check_invariants()) << "epoch " << epoch;
+    EXPECT_TRUE(is_connected(m.overlay())) << "epoch " << epoch;
+  }
+}
+
+TEST(ShuffleMembership, ShufflingRandomisesTheSeedRing) {
+  ShuffleMembership m(400, 6, Rng(3));
+  m.run_rounds(30);
+  // After shuffling, only a small fraction of peers should still hold
+  // their original ring successor.
+  std::size_t still_ring = 0;
+  for (NodeId v = 0; v < 400; ++v) {
+    const auto& view = m.view_of(v);
+    if (std::find(view.begin(), view.end(),
+                  static_cast<NodeId>((v + 1) % 400)) != view.end())
+      ++still_ring;
+  }
+  EXPECT_LT(still_ring, 60u);
+}
+
+TEST(ShuffleMembership, InDegreeConcentrates) {
+  ShuffleMembership m(600, 8, Rng(4));
+  m.run_rounds(30);
+  const auto in_degree = m.in_degree_histogram();
+  RunningStats stats;
+  for (std::size_t d : in_degree) stats.add(static_cast<double>(d));
+  EXPECT_NEAR(stats.mean(), 8.0, 0.01);  // conservation of view slots
+  EXPECT_LT(stats.stddev(), 4.0);        // no hubs, no starvation
+  EXPECT_GE(stats.min(), 1.0);
+}
+
+TEST(ShuffleMembership, OverlayIsAnExpander) {
+  // The whole point of this maintenance style (paper Section 5.1): the
+  // resulting overlay has a healthy spectral gap.
+  ShuffleMembership m(1000, 8, Rng(5));
+  m.run_rounds(20);
+  const Graph g = m.overlay();
+  EXPECT_GE(g.min_degree(), 4u);
+  EXPECT_GT(spectral_gap_lanczos(g, 120), 0.5);
+}
+
+TEST(ShuffleMembership, EstimatorsRunOnTheMaintainedOverlay) {
+  // Close the loop: maintain an overlay, then measure its size with both
+  // of the paper's estimators.
+  ShuffleMembership m(1500, 8, Rng(6));
+  m.run_rounds(15);
+  const Graph g = m.overlay();
+  const double n = static_cast<double>(g.num_nodes());
+  Rng rng(7);
+  RunningStats tours;
+  for (int t = 0; t < 1500; ++t)
+    tours.add(random_tour_size(g, 0, rng).value);
+  EXPECT_NEAR(tours.mean(), n, 5.0 * tours.stddev() / std::sqrt(1500.0));
+
+  SampleCollideEstimator sc(g, 0, 6.0, 20, rng.split());
+  RunningStats estimates;
+  for (int t = 0; t < 10; ++t) estimates.add(sc.estimate().simple);
+  EXPECT_NEAR(estimates.mean(), n,
+              4.0 * estimates.stddev() / std::sqrt(10.0));
+}
+
+TEST(ShuffleMembership, JoinIntegratesNewPeer) {
+  ShuffleMembership m(300, 8, Rng(8));
+  m.run_rounds(10);
+  const NodeId newcomer = m.join(5);
+  EXPECT_EQ(newcomer, 300u);
+  EXPECT_TRUE(m.check_invariants());
+  EXPECT_GE(m.view_of(newcomer).size(), 2u);
+  // The newcomer is reachable: someone's view contains it.
+  const auto in_degree = m.in_degree_histogram();
+  EXPECT_GE(in_degree[newcomer], 1u);
+  // And after a few rounds it is fully woven into a connected overlay.
+  m.run_rounds(5);
+  EXPECT_TRUE(is_connected(m.overlay()));
+}
+
+TEST(ShuffleMembership, ManyJoinsKeepInvariants) {
+  ShuffleMembership m(100, 6, Rng(9));
+  for (int i = 0; i < 100; ++i) {
+    const NodeId contact =
+        static_cast<NodeId>(Rng(i).uniform_below(m.num_peers()));
+    m.join(contact);
+    if (i % 10 == 0) m.run_rounds(2);
+  }
+  EXPECT_EQ(m.num_peers(), 200u);
+  EXPECT_TRUE(m.check_invariants());
+  m.run_rounds(10);
+  EXPECT_TRUE(is_connected(m.overlay()));
+}
+
+TEST(ShuffleMembership, LeavePurgesAllReferences) {
+  ShuffleMembership m(200, 6, Rng(10));
+  m.run_rounds(10);
+  m.leave(17);
+  EXPECT_FALSE(m.participating(17));
+  EXPECT_TRUE(m.check_invariants());
+  const auto in_degree = m.in_degree_histogram();
+  EXPECT_EQ(in_degree[17], 0u);
+  EXPECT_TRUE(m.view_of(17).empty());
+  // Survivors repair their views over subsequent rounds and the overlay of
+  // the remaining peers stays connected.
+  m.run_rounds(5);
+  const Graph g = m.overlay();
+  EXPECT_EQ(component_size(g, 0), 199u);
+}
+
+TEST(ShuffleMembership, MassDeparturesSurvive) {
+  ShuffleMembership m(300, 8, Rng(11));
+  m.run_rounds(10);
+  Rng pick(12);
+  std::size_t departed = 0;
+  while (departed < 100) {
+    const auto v = static_cast<NodeId>(pick.uniform_below(300));
+    if (!m.participating(v)) continue;
+    m.leave(v);
+    ++departed;
+    if (departed % 20 == 0) m.run_rounds(2);
+  }
+  EXPECT_TRUE(m.check_invariants());
+  m.run_rounds(5);
+  // Find a surviving peer and check its component spans all survivors.
+  const Graph g = m.overlay();
+  NodeId survivor = 0;
+  while (!m.participating(survivor)) ++survivor;
+  EXPECT_EQ(component_size(g, survivor), 200u);
+}
+
+TEST(ShuffleMembership, LeaveTwiceRejected) {
+  ShuffleMembership m(50, 4, Rng(13));
+  m.leave(3);
+  EXPECT_THROW(m.leave(3), precondition_error);
+  EXPECT_THROW(m.join(3), precondition_error);
+}
+
+TEST(ShuffleMembership, PreconditionsEnforced) {
+  EXPECT_THROW(ShuffleMembership(5, 8, Rng(1)), precondition_error);
+  EXPECT_THROW(ShuffleMembership(10, 1, Rng(1)), precondition_error);
+  ShuffleMembership m(50, 4, Rng(1));
+  EXPECT_THROW(m.view_of(50), precondition_error);
+  EXPECT_THROW(m.join(50), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

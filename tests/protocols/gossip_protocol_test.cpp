@@ -1,0 +1,103 @@
+#include "protocols/gossip_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(GossipProtocol, ConvergesToReciprocalSizeWithoutLoss) {
+  Rng rng(1);
+  DynamicGraph graph(largest_component(balanced_random_graph(200, rng)));
+  Simulator sim;
+  Network net(sim, graph, {0.05, 0.02}, 0.0, rng.split());
+  GossipAveragingProtocol gossip(net, 0, rng.split());
+  gossip.run_until(120.0);  // ~120 exchange rounds per node
+  const double n = static_cast<double>(graph.num_alive());
+  for (NodeId v : graph.alive_nodes())
+    EXPECT_NEAR(gossip.estimate_at(v), n, 0.05 * n) << "node " << v;
+}
+
+TEST(GossipProtocol, MassConservedWithoutLoss) {
+  Rng rng(2);
+  DynamicGraph graph(largest_component(balanced_random_graph(150, rng)));
+  Simulator sim;
+  Network net(sim, graph, {0.05, 0.0}, 0.0, rng.split());
+  GossipAveragingProtocol gossip(net, 0, rng.split());
+  gossip.run_until(40.0);
+  // Exchanges in flight can hold up to spread/2 of transient imbalance.
+  EXPECT_NEAR(gossip.total_mass(), 1.0, gossip.value_spread() + 1e-9);
+}
+
+TEST(GossipProtocol, SpreadShrinksOverTime) {
+  Rng rng(3);
+  DynamicGraph graph(largest_component(balanced_random_graph(150, rng)));
+  Simulator sim;
+  Network net(sim, graph, {0.05, 0.0}, 0.0, rng.split());
+  GossipAveragingProtocol gossip(net, 0, rng.split());
+  gossip.run_until(5.0);
+  const double early = gossip.value_spread();
+  gossip.run_until(60.0);
+  const double late = gossip.value_spread();
+  EXPECT_LT(late, 0.2 * early);
+}
+
+TEST(GossipProtocol, DriftStaysBoundedUnderModestLoss) {
+  Rng rng(4);
+  DynamicGraph graph(largest_component(balanced_random_graph(150, rng)));
+  Simulator sim;
+  Network net(sim, graph, {0.05, 0.0}, 0.01, rng.split());
+  GossipAveragingProtocol gossip(net, 0, rng.split());
+  gossip.run_until(80.0);
+  // Lost replies leak mass; 1% loss keeps the leak within a factor ~2 in
+  // either direction (the estimate is 1/value, so mass drift maps directly
+  // to estimate drift).
+  EXPECT_GT(gossip.total_mass(), 0.4);
+  EXPECT_LT(gossip.total_mass(), 2.0);
+  const double n = static_cast<double>(graph.num_alive());
+  EXPECT_NEAR(gossip.estimate_at(0), n, 0.8 * n);
+}
+
+TEST(GossipProtocol, SurvivesDepartures) {
+  Rng rng(5);
+  DynamicGraph graph(largest_component(balanced_random_graph(200, rng)));
+  Simulator sim;
+  Network net(sim, graph, {0.05, 0.0}, 0.0, rng.split());
+  GossipAveragingProtocol gossip(net, 0, rng.split());
+  Rng churn_rng = rng.split();
+  // Remove 30 peers (never node 0, which holds most early mass) mid-run.
+  std::function<void()> churn = [&] {
+    if (graph.num_alive() > 170) {
+      const NodeId victim = graph.random_alive_node(churn_rng);
+      if (victim != 0) graph.remove_node(victim);
+      sim.schedule_after(0.5, churn);
+    }
+  };
+  sim.schedule_after(1.0, churn);
+  gossip.run_until(100.0);
+  // Mass on departed nodes is lost; estimates inflate accordingly but the
+  // protocol itself must not wedge or crash, and survivors still agree.
+  RunningStats ests;
+  for (NodeId v : graph.alive_nodes()) ests.add(gossip.estimate_at(v));
+  EXPECT_LT(ests.stddev() / ests.mean(), 0.2);
+}
+
+TEST(GossipProtocol, ExchangesAccounted) {
+  Rng rng(6);
+  DynamicGraph graph(complete(20));
+  Simulator sim;
+  Network net(sim, graph, {0.05, 0.0}, 0.0, rng.split());
+  GossipAveragingProtocol gossip(net, 3, rng.split());
+  gossip.run_until(10.0);
+  EXPECT_GT(gossip.exchanges_started(), 100u);
+  // Each completed exchange = push + reply.
+  EXPECT_LE(net.messages_sent(), 2 * gossip.exchanges_started());
+}
+
+}  // namespace
+}  // namespace overcount

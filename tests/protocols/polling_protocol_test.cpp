@@ -1,0 +1,93 @@
+#include "protocols/polling_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+PollingProtocol::Result run_poll(DynamicGraph& graph, double p,
+                                 std::uint64_t seed, double loss = 0.0) {
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.5}, loss, Rng(seed));
+  PollingProtocol proto(net, p, Rng(seed + 1));
+  std::optional<PollingProtocol::Result> result;
+  proto.start(0, [&](const auto& r) { result = r; });
+  sim.run();
+  EXPECT_TRUE(result.has_value());
+  return result.value_or(PollingProtocol::Result{});
+}
+
+TEST(PollingProtocol, CertainRepliesCountEveryone) {
+  DynamicGraph graph(complete(30));
+  const auto r = run_poll(graph, 1.0, 1);
+  EXPECT_EQ(r.replies, 29u);
+  EXPECT_DOUBLE_EQ(r.estimate, 30.0);
+  // Flood: every reached node forwards over all incident edges.
+  EXPECT_GE(r.flood_messages, 2u * graph.num_edges() - graph.degree(0));
+}
+
+TEST(PollingProtocol, UnbiasedOverRepeats) {
+  Rng rng(2);
+  DynamicGraph graph(largest_component(balanced_random_graph(300, rng)));
+  RunningStats stats;
+  for (std::uint64_t seed = 0; seed < 40; ++seed)
+    stats.add(run_poll(graph, 0.25, seed).estimate);
+  const double n = static_cast<double>(graph.num_alive());
+  const double se = stats.stddev() / std::sqrt(40.0);
+  EXPECT_NEAR(stats.mean(), n, 5.0 * se + 1e-9);
+}
+
+TEST(PollingProtocol, AckImplosionVisibleInTimeDomain) {
+  // Flood depth is only a few hops, so hundreds of replies land within a
+  // couple of latency units of each other — the burst metric captures it.
+  Rng rng(3);
+  DynamicGraph graph(largest_component(balanced_random_graph(800, rng)));
+  const auto r = run_poll(graph, 0.5, 7);
+  EXPECT_GT(r.replies, 300u);
+  EXPECT_GT(r.peak_reply_burst, r.replies / 10);
+}
+
+TEST(PollingProtocol, RestrictedToComponent) {
+  GraphBuilder b(10);
+  for (NodeId v = 0; v + 1 < 5; ++v) b.add_edge(v, v + 1);
+  for (NodeId v = 5; v + 1 < 10; ++v) b.add_edge(v, v + 1);
+  DynamicGraph graph(b.build());
+  const auto r = run_poll(graph, 1.0, 4);
+  EXPECT_DOUBLE_EQ(r.estimate, 5.0);  // only the initiator's path of 5
+}
+
+TEST(PollingProtocol, LossDeflatesTheEstimate) {
+  // No retransmission in the classic scheme: lost queries prune subtrees
+  // and lost replies vanish, so the estimate under loss is biased LOW —
+  // one more robustness contrast with the walk methods' timeout recovery.
+  Rng rng(5);
+  DynamicGraph graph(largest_component(balanced_random_graph(400, rng)));
+  RunningStats lossless;
+  RunningStats lossy;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    lossless.add(run_poll(graph, 0.5, seed).estimate);
+    lossy.add(run_poll(graph, 0.5, seed + 100, 0.05).estimate);
+  }
+  EXPECT_LT(lossy.mean(), 0.95 * lossless.mean());
+}
+
+TEST(PollingProtocol, PreconditionsEnforced) {
+  DynamicGraph graph(ring(5));
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.0, Rng(1));
+  EXPECT_THROW(PollingProtocol(net, 0.0, Rng(2)), precondition_error);
+  EXPECT_THROW(PollingProtocol(net, 1.5, Rng(2)), precondition_error);
+  PollingProtocol proto(net, 0.5, Rng(2));
+  proto.start(0, [](const auto&) {});
+  EXPECT_THROW(proto.start(1, [](const auto&) {}), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,154 @@
+#include "protocols/random_tour_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+// Runs `tours` protocol-level Random Tours back to back and returns the
+// estimate statistics.
+RunningStats run_protocol_tours(Network& net, RandomTourProtocol& proto,
+                                Simulator& sim, NodeId initiator,
+                                int tours) {
+  RunningStats stats;
+  std::function<void(const RandomTourProtocol::Result&)> on_done;
+  int remaining = tours;
+  on_done = [&](const RandomTourProtocol::Result& r) {
+    stats.add(r.estimate);
+    if (--remaining > 0) proto.start(initiator, on_done);
+  };
+  proto.start(initiator, on_done);
+  sim.run();
+  (void)net;
+  return stats;
+}
+
+TEST(RandomTourProtocol, UnbiasedWithoutLoss) {
+  Rng rng(1);
+  DynamicGraph graph(largest_component(balanced_random_graph(150, rng)));
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.2}, 0.0, rng.split());
+  RandomTourProtocol proto(net, rng.split());
+  // No loss: timeouts must never truncate a tour, or the recorded tours
+  // would be conditioned on being short and the estimate biased low.
+  proto.set_timeout_policy(1e6, 1e12);
+  const auto stats = run_protocol_tours(net, proto, sim, 0, 2500);
+  const double n = static_cast<double>(graph.num_alive());
+  const double se = stats.stddev() / std::sqrt(2500.0);
+  EXPECT_NEAR(stats.mean(), n, 5.0 * se + 1e-9);
+}
+
+TEST(RandomTourProtocol, HopsMatchMessageAccounting) {
+  Rng rng(2);
+  DynamicGraph graph(complete(10));
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.0, rng.split());
+  RandomTourProtocol proto(net, rng.split());
+  std::optional<RandomTourProtocol::Result> result;
+  proto.start(0, [&](const auto& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->hops, net.messages_sent());
+  EXPECT_EQ(result->retries, 0u);
+  // With unit latency, trip time == hops.
+  EXPECT_DOUBLE_EQ(result->trip_time, static_cast<double>(result->hops));
+}
+
+TEST(RandomTourProtocol, GeneralStatisticAggregation) {
+  // Count high-degree peers through the protocol path.
+  Rng rng(3);
+  DynamicGraph graph(largest_component(barabasi_albert(120, 3, rng)));
+  double truth = 0.0;
+  for (NodeId v : graph.alive_nodes())
+    if (graph.degree(v) >= 6) truth += 1.0;
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.0, rng.split());
+  RandomTourProtocol proto(net, rng.split(), [&graph](NodeId v) {
+    return graph.degree(v) >= 6 ? 1.0 : 0.0;
+  });
+  proto.set_timeout_policy(1e6, 1e12);
+  const auto stats = run_protocol_tours(net, proto, sim, 0, 3000);
+  const double se = stats.stddev() / std::sqrt(3000.0);
+  EXPECT_NEAR(stats.mean(), truth, 5.0 * se + 1e-9);
+}
+
+TEST(RandomTourProtocol, RecoversFromMessageLossViaTimeout) {
+  Rng rng(4);
+  DynamicGraph graph(complete(12));
+  Simulator sim;
+  // 2% loss: most tours complete, lost ones must be retried.
+  Network net(sim, graph, {1.0, 0.0}, 0.02, rng.split());
+  RandomTourProtocol proto(net, rng.split());
+  proto.set_timeout_policy(4.0, 500.0);
+  int completed = 0;
+  std::uint64_t total_retries = 0;
+  std::function<void(const RandomTourProtocol::Result&)> on_done;
+  int remaining = 300;
+  on_done = [&](const RandomTourProtocol::Result& r) {
+    ++completed;
+    total_retries += r.retries;
+    if (--remaining > 0) proto.start(0, on_done);
+  };
+  proto.start(0, on_done);
+  sim.run();
+  EXPECT_EQ(completed, 300);
+  // Tour length ~ 12 hops at 2% loss => ~20% of tours lose their probe.
+  EXPECT_GT(total_retries, 10u);
+  EXPECT_GT(proto.tours_completed(), 0u);
+}
+
+TEST(RandomTourProtocol, AdaptiveTimeoutTightensAfterHistory) {
+  // After enough completed tours the timeout is mean + 4 sd of trip times,
+  // which is far smaller than the initial guess; losses then recover fast.
+  Rng rng(5);
+  DynamicGraph graph(complete(8));
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.05, rng.split());
+  RandomTourProtocol proto(net, rng.split());
+  proto.set_timeout_policy(4.0, 1e5);
+  int completed = 0;
+  std::function<void(const RandomTourProtocol::Result&)> on_done;
+  int remaining = 200;
+  on_done = [&](const RandomTourProtocol::Result&) {
+    ++completed;
+    if (--remaining > 0) proto.start(0, on_done);
+  };
+  proto.start(0, on_done);
+  sim.run();
+  EXPECT_EQ(completed, 200);
+  // ~1/3 of the 200 tours lose their probe. If the timeout never adapted,
+  // each loss would cost >= 1e5 (total >= 6e6); adaptation keeps it around
+  // the trip-time scale after the first few completions.
+  EXPECT_LT(sim.now(), 2e6);
+}
+
+TEST(RandomTourProtocol, RejectsIsolatedInitiator) {
+  Rng rng(6);
+  DynamicGraph graph(ring(5));
+  graph.remove_node(1);
+  graph.remove_node(4);  // node 0 now isolated
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.0, rng.split());
+  RandomTourProtocol proto(net, rng.split());
+  EXPECT_THROW(proto.start(0, [](const auto&) {}), precondition_error);
+}
+
+TEST(RandomTourProtocol, OnlyOneTourInFlight) {
+  Rng rng(7);
+  DynamicGraph graph(complete(5));
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.0, rng.split());
+  RandomTourProtocol proto(net, rng.split());
+  proto.start(0, [](const auto&) {});
+  EXPECT_THROW(proto.start(0, [](const auto&) {}), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,154 @@
+#include "protocols/sampling_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+#include "util/tests.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(CtrwSampleProtocol, SamplesAreUniform) {
+  Rng rng(1);
+  DynamicGraph graph(largest_component(balanced_random_graph(60, rng)));
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.0, rng.split());
+  CtrwSampleProtocol proto(net, 14.0, rng.split());
+
+  std::vector<std::size_t> counts(graph.num_slots(), 0);
+  std::function<void(const CtrwSampleProtocol::Sample&)> on_sample;
+  int remaining = static_cast<int>(40 * graph.num_alive());
+  on_sample = [&](const CtrwSampleProtocol::Sample& s) {
+    ++counts[s.node];
+    if (--remaining > 0) proto.request(0, on_sample);
+  };
+  proto.request(0, on_sample);
+  sim.run();
+  const auto result = chi_square_uniform(counts);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(CtrwSampleProtocol, TimerDyingAtOriginCostsNothing) {
+  Rng rng(2);
+  DynamicGraph graph(ring(10));
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.0, rng.split());
+  CtrwSampleProtocol proto(net, 1e-9, rng.split());
+  std::optional<CtrwSampleProtocol::Sample> sample;
+  proto.request(3, [&](const auto& s) { sample = s; });
+  sim.run();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->node, 3u);
+  EXPECT_EQ(sample->hops, 0u);
+  EXPECT_EQ(net.messages_sent(), 0u);
+}
+
+TEST(CtrwSampleProtocol, RecoversFromLoss) {
+  Rng rng(3);
+  DynamicGraph graph(complete(10));
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.05, rng.split());
+  CtrwSampleProtocol proto(net, 3.0, rng.split());
+  proto.set_timeout_policy(4.0, 200.0);
+  int completed = 0;
+  std::uint64_t retries = 0;
+  std::function<void(const CtrwSampleProtocol::Sample&)> on_sample;
+  int remaining = 500;
+  on_sample = [&](const CtrwSampleProtocol::Sample& s) {
+    ++completed;
+    retries += s.retries;
+    if (--remaining > 0) proto.request(0, on_sample);
+  };
+  proto.request(0, on_sample);
+  sim.run();
+  EXPECT_EQ(completed, 500);
+  EXPECT_GT(retries, 0u);
+}
+
+TEST(CtrwSampleProtocol, IsolatedHolderReportsItself) {
+  // A probe can never leave an isolated origin: the sample is the origin.
+  Rng rng(4);
+  DynamicGraph graph(ring(5));
+  graph.remove_node(1);
+  graph.remove_node(4);  // node 0 isolated
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.0, rng.split());
+  CtrwSampleProtocol proto(net, 5.0, rng.split());
+  std::optional<CtrwSampleProtocol::Sample> sample;
+  proto.request(0, [&](const auto& s) { sample = s; });
+  sim.run();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->node, 0u);
+}
+
+TEST(SampleCollideProtocol, EstimateMatchesTruthOnAverage) {
+  Rng rng(5);
+  DynamicGraph graph(largest_component(balanced_random_graph(800, rng)));
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.0, rng.split());
+  SampleCollideProtocol proto(net, 8.0, 10, rng.split());
+
+  RunningStats values;
+  std::function<void(const SampleCollideProtocol::Result&)> on_done;
+  int remaining = 25;
+  on_done = [&](const SampleCollideProtocol::Result& r) {
+    values.add(r.estimate.simple);
+    EXPECT_LE(r.estimate.n_minus, r.estimate.ml + 1e-6);
+    EXPECT_GE(r.estimate.n_plus, r.estimate.ml - 1e-6);
+    if (--remaining > 0) proto.start(0, on_done);
+  };
+  proto.start(0, on_done);
+  sim.run();
+  const double n = static_cast<double>(graph.num_alive());
+  EXPECT_NEAR(values.mean(), n, 4.0 * values.stddev() / std::sqrt(25.0));
+}
+
+TEST(SampleCollideProtocol, MessageCostDominatedByWalkHops) {
+  Rng rng(6);
+  DynamicGraph graph(largest_component(balanced_random_graph(400, rng)));
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.0, rng.split());
+  SampleCollideProtocol proto(net, 6.0, 5, rng.split());
+  std::optional<SampleCollideProtocol::Result> result;
+  proto.start(0, [&](const auto& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  // network messages = walk hops + one reply per sample (replies that
+  // travelled zero hops are delivered locally and unsent).
+  EXPECT_GE(net.messages_sent(), result->estimate.hops);
+  EXPECT_LE(net.messages_sent(),
+            result->estimate.hops + result->estimate.samples);
+}
+
+TEST(SampleCollideProtocol, SurvivesChurnDuringMeasurement) {
+  Rng rng(7);
+  DynamicGraph graph(largest_component(balanced_random_graph(500, rng)));
+  Simulator sim;
+  Network net(sim, graph, {1.0, 0.0}, 0.0, rng.split());
+  SampleCollideProtocol proto(net, 6.0, 8, rng.split());
+  // Remove a node every 50 time units while the measurement runs.
+  Rng churn_rng = rng.split();
+  std::function<void()> churn = [&] {
+    if (graph.num_alive() > 400) {
+      NodeId victim = graph.random_alive_node(churn_rng);
+      if (victim != 0) graph.remove_node(victim);
+      sim.schedule_after(50.0, churn);
+    }
+  };
+  sim.schedule_after(50.0, churn);
+
+  std::optional<SampleCollideProtocol::Result> result;
+  proto.start(0, [&](const auto& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->estimate.simple, 100.0);
+}
+
+}  // namespace
+}  // namespace overcount

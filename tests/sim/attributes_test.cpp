@@ -1,0 +1,114 @@
+#include "sim/attributes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aggregate.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(PeerAttributes, DeterministicPerNode) {
+  const PeerAttributes attrs(42);
+  for (NodeId v = 0; v < 50; ++v) {
+    const auto a = attrs.of(v);
+    const auto b = attrs.of(v);
+    EXPECT_EQ(a.link, b.link);
+    EXPECT_DOUBLE_EQ(a.upload_mbps, b.upload_mbps);
+    EXPECT_DOUBLE_EQ(a.uptime_hours, b.uptime_hours);
+    EXPECT_EQ(a.region, b.region);
+  }
+}
+
+TEST(PeerAttributes, SeedsProduceDifferentPopulations) {
+  // Compare a continuous attribute: upload_mbps coincides whenever both
+  // seeds classify a node as dial-up (fixed 0.05), which is expected.
+  const PeerAttributes a(1);
+  const PeerAttributes b(2);
+  int differing = 0;
+  for (NodeId v = 0; v < 100; ++v)
+    if (a.of(v).uptime_hours != b.of(v).uptime_hours) ++differing;
+  EXPECT_EQ(differing, 100);
+}
+
+TEST(PeerAttributes, MixFractionsRespected) {
+  const PeerAttributes attrs(7);
+  std::size_t dialup = 0;
+  std::size_t dsl = 0;
+  std::size_t fibre = 0;
+  const std::size_t n = 20000;
+  for (NodeId v = 0; v < n; ++v) {
+    switch (attrs.of(v).link) {
+      case LinkClass::kDialup: ++dialup; break;
+      case LinkClass::kDsl: ++dsl; break;
+      case LinkClass::kFibre: ++fibre; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(dialup) / n, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(dsl) / n, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(fibre) / n, 0.2, 0.02);
+}
+
+TEST(PeerAttributes, BandwidthRangesPerClass) {
+  const PeerAttributes attrs(9);
+  for (NodeId v = 0; v < 2000; ++v) {
+    const auto p = attrs.of(v);
+    switch (p.link) {
+      case LinkClass::kDialup:
+        EXPECT_DOUBLE_EQ(p.upload_mbps, 0.05);
+        break;
+      case LinkClass::kDsl:
+        EXPECT_GE(p.upload_mbps, 1.0);
+        EXPECT_LE(p.upload_mbps, 10.0);
+        break;
+      case LinkClass::kFibre:
+        EXPECT_GE(p.upload_mbps, 20.0);
+        EXPECT_LE(p.upload_mbps, 100.0);
+        break;
+    }
+    EXPECT_GE(p.uptime_hours, 0.0);
+    EXPECT_LT(p.region, 4);
+  }
+}
+
+TEST(PeerAttributes, RegionsRoughlyUniform) {
+  const PeerAttributes attrs(11);
+  std::vector<std::size_t> counts(4, 0);
+  for (NodeId v = 0; v < 8000; ++v) ++counts[attrs.of(v).region];
+  for (std::size_t r = 0; r < 4; ++r)
+    EXPECT_NEAR(static_cast<double>(counts[r]) / 8000.0, 0.25, 0.03);
+}
+
+TEST(PeerAttributes, DrivesRandomTourAggregation) {
+  // End-to-end: count fibre peers in region 2 via Random Tours.
+  Rng rng(13);
+  const Graph g = largest_component(balanced_random_graph(400, rng));
+  const PeerAttributes attrs(21);
+  double truth = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto p = attrs.of(v);
+    if (p.link == LinkClass::kFibre && p.region == 2) truth += 1.0;
+  }
+  const auto est = estimate_count(
+      g, 0,
+      [&attrs](NodeId v) {
+        const auto p = attrs.of(v);
+        return p.link == LinkClass::kFibre && p.region == 2;
+      },
+      4000, rng);
+  EXPECT_NEAR(est.value, truth, 5.0 * est.standard_error + 1e-9);
+}
+
+TEST(PeerAttributes, PreconditionsEnforced) {
+  PeerAttributes::Mix bad;
+  bad.dialup_fraction = 0.8;
+  bad.dsl_fraction = 0.5;
+  EXPECT_THROW(PeerAttributes(1, bad), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,160 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(ChurnJoin, BalancedRespectsDegreeCapOnTargets) {
+  Rng rng(1);
+  DynamicGraph g(balanced_random_graph(200, rng));
+  for (int i = 0; i < 200; ++i)
+    churn_join(g, TopologyKind::kBalanced, rng, 3, 10);
+  EXPECT_EQ(g.num_alive(), 400u);
+  EXPECT_TRUE(g.check_invariants());
+  // Pre-existing nodes gained links only while below the cap; joiners add
+  // at most 10 of their own.
+  for (NodeId v : g.alive_nodes()) EXPECT_LE(g.degree(v), 11u);
+}
+
+TEST(ChurnJoin, ScaleFreePrefersHighDegree) {
+  Rng rng(2);
+  DynamicGraph g(barabasi_albert(300, 3, rng));
+  NodeId hub = g.alive_nodes()[0];
+  for (NodeId v : g.alive_nodes())
+    if (g.degree(v) > g.degree(hub)) hub = v;
+  const auto hub_degree_before = g.degree(hub);
+  for (int i = 0; i < 300; ++i)
+    churn_join(g, TopologyKind::kScaleFree, rng, 3, 10);
+  // The hub keeps attracting new links at a super-uniform rate.
+  const double hub_gain =
+      static_cast<double>(g.degree(hub) - hub_degree_before);
+  const double uniform_expectation = 300.0 * 3.0 / 300.0;  // = 3 links
+  EXPECT_GT(hub_gain, 2.0 * uniform_expectation);
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(ChurnLeave, RemovesExactlyOneAliveNode) {
+  Rng rng(3);
+  DynamicGraph g(complete(10));
+  churn_leave(g, rng);
+  EXPECT_EQ(g.num_alive(), 9u);
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(ScenarioSpecs, GradualDeltasMatchPaperShape) {
+  const auto dec = gradual_decrease_spec(1000, 100, TopologyKind::kBalanced);
+  ASSERT_EQ(dec.gradual.size(), 1u);
+  EXPECT_EQ(dec.gradual[0].from_run, 30u);
+  EXPECT_EQ(dec.gradual[0].to_run, 80u);
+  EXPECT_EQ(dec.gradual[0].delta, -500);
+
+  const auto inc = gradual_increase_spec(1000, 100, TopologyKind::kBalanced);
+  EXPECT_EQ(inc.gradual[0].delta, 500);
+
+  const auto cat = catastrophic_spec(1000, 100, TopologyKind::kBalanced);
+  ASSERT_EQ(cat.sudden.size(), 3u);
+  EXPECT_EQ(cat.sudden[0].at_run, 10u);
+  EXPECT_EQ(cat.sudden[0].delta, -250);
+  EXPECT_EQ(cat.sudden[2].delta, 250);
+}
+
+TEST(RunScenario, StaticScenarioTracksTruth) {
+  ScenarioSpec spec;
+  spec.initial_nodes = 400;
+  spec.runs = 60;
+  spec.topology = TopologyKind::kBalanced;
+  const auto result =
+      run_scenario(spec, sample_collide_estimate_fn(8.0, 10), 5, 42);
+  ASSERT_EQ(result.points.size(), 60u);
+  // After the window warms up, the windowed estimate stays within ~40% of
+  // truth (relative std of a 5-window of l=10 estimates ~ 14%).
+  for (std::size_t i = 10; i < result.points.size(); ++i) {
+    const auto& p = result.points[i];
+    EXPECT_NEAR(p.windowed, p.actual_size, 0.4 * p.actual_size)
+        << "run " << i;
+  }
+  EXPECT_GT(result.total_messages, 0u);
+}
+
+TEST(RunScenario, GradualDecreaseEndsAtHalfPopulation) {
+  auto spec = gradual_decrease_spec(600, 50, TopologyKind::kBalanced);
+  spec.actual_size_every = 1;
+  const auto result =
+      run_scenario(spec, random_tour_estimate_fn(), 10, 7);
+  // Population: 600 at run 0, 300 after run 40 (modulo component effects).
+  EXPECT_GT(result.points[5].actual_size, 550.0);
+  EXPECT_LT(result.points.back().actual_size, 330.0);
+  EXPECT_GT(result.points.back().actual_size, 200.0);
+}
+
+TEST(RunScenario, GradualIncreaseEndsAtThreeHalves) {
+  auto spec = gradual_increase_spec(400, 50, TopologyKind::kScaleFree);
+  spec.actual_size_every = 1;
+  const auto result =
+      run_scenario(spec, random_tour_estimate_fn(), 10, 8);
+  EXPECT_NEAR(result.points.back().actual_size, 600.0, 30.0);
+}
+
+TEST(RunScenario, CatastrophicAppliesSuddenSteps) {
+  auto spec = catastrophic_spec(800, 40, TopologyKind::kBalanced);
+  spec.actual_size_every = 1;
+  const auto result =
+      run_scenario(spec, random_tour_estimate_fn(), 1, 9);
+  // After run 4: -200; after run 20: -200; after run 28: +200.
+  EXPECT_GT(result.points[2].actual_size, 700.0);
+  EXPECT_LT(result.points[10].actual_size, 650.0);
+  EXPECT_LT(result.points[24].actual_size, 480.0);
+  EXPECT_GT(result.points[35].actual_size, 520.0);
+}
+
+TEST(RunScenario, WindowedSeriesIsSmootherThanRaw) {
+  ScenarioSpec spec;
+  spec.initial_nodes = 300;
+  spec.runs = 80;
+  spec.topology = TopologyKind::kBalanced;
+  const auto result =
+      run_scenario(spec, random_tour_estimate_fn(), 20, 10);
+  double raw_var = 0.0;
+  double win_var = 0.0;
+  const double n = 300.0;
+  for (std::size_t i = 20; i < result.points.size(); ++i) {
+    raw_var += std::pow(result.points[i].estimate - n, 2);
+    win_var += std::pow(result.points[i].windowed - n, 2);
+  }
+  EXPECT_LT(win_var, raw_var);
+}
+
+TEST(RunScenario, DeterministicForFixedSeed) {
+  ScenarioSpec spec;
+  spec.initial_nodes = 200;
+  spec.runs = 20;
+  spec.topology = TopologyKind::kScaleFree;
+  const auto a = run_scenario(spec, random_tour_estimate_fn(), 5, 11);
+  const auto b = run_scenario(spec, random_tour_estimate_fn(), 5, 11);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].estimate, b.points[i].estimate);
+    EXPECT_DOUBLE_EQ(a.points[i].actual_size, b.points[i].actual_size);
+  }
+  EXPECT_EQ(a.total_messages, b.total_messages);
+}
+
+TEST(RunScenario, PreconditionsEnforced) {
+  ScenarioSpec spec;
+  spec.initial_nodes = 1;
+  spec.runs = 10;
+  EXPECT_THROW(run_scenario(spec, random_tour_estimate_fn(), 1, 1),
+               precondition_error);
+  spec.initial_nodes = 100;
+  spec.runs = 0;
+  EXPECT_THROW(run_scenario(spec, random_tour_estimate_fn(), 1, 1),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,68 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace overcount {
+namespace {
+
+ScenarioResult sample_result() {
+  ScenarioResult r;
+  r.points.push_back({0, 100.0, 95.5, 95.5, 1200});
+  r.points.push_back({1, 100.0, 104.25, 99.875, 1100});
+  r.points.push_back({2, 99.0, 101.0, 100.25, 1300});
+  r.total_messages = 3600;
+  return r;
+}
+
+TEST(ScenarioCsv, RoundTripThroughStreams) {
+  const auto original = sample_result();
+  std::stringstream ss;
+  write_scenario_csv(ss, original);
+  const auto back = read_scenario_csv(ss);
+  ASSERT_EQ(back.points.size(), original.points.size());
+  for (std::size_t i = 0; i < back.points.size(); ++i) {
+    EXPECT_EQ(back.points[i].run, original.points[i].run);
+    EXPECT_DOUBLE_EQ(back.points[i].actual_size,
+                     original.points[i].actual_size);
+    EXPECT_DOUBLE_EQ(back.points[i].estimate, original.points[i].estimate);
+    EXPECT_DOUBLE_EQ(back.points[i].windowed, original.points[i].windowed);
+    EXPECT_EQ(back.points[i].messages, original.points[i].messages);
+  }
+  EXPECT_EQ(back.total_messages, original.total_messages);
+}
+
+TEST(ScenarioCsv, HeaderIsMandatory) {
+  std::stringstream ss("1,2,3,4,5\n");
+  EXPECT_THROW(read_scenario_csv(ss), std::runtime_error);
+}
+
+TEST(ScenarioCsv, MalformedRowThrows) {
+  std::stringstream ss(
+      "run,actual_size,estimate,windowed,messages\n1,2,3\n");
+  EXPECT_THROW(read_scenario_csv(ss), std::runtime_error);
+}
+
+TEST(ScenarioCsv, EmptyBodyIsValid) {
+  std::stringstream ss("run,actual_size,estimate,windowed,messages\n");
+  const auto r = read_scenario_csv(ss);
+  EXPECT_TRUE(r.points.empty());
+  EXPECT_EQ(r.total_messages, 0u);
+}
+
+TEST(ScenarioCsv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/overcount_trace.csv";
+  save_scenario_csv(path, sample_result());
+  const auto back = load_scenario_csv(path);
+  EXPECT_EQ(back.points.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioCsv, MissingFileThrows) {
+  EXPECT_THROW(load_scenario_csv("/no/such/dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,137 @@
+#include "spectral/conductance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+#include "test_helpers.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(IsoperimetricExact, RingCutsInHalf) {
+  // C_n: best cut is an arc of n/2 nodes with 2 crossing edges.
+  const std::size_t n = 12;
+  const auto cut = isoperimetric_exact(ring(n));
+  EXPECT_NEAR(cut.expansion, 2.0 / (n / 2), 1e-12);
+  EXPECT_EQ(cut.cut_edges, 2u);
+  EXPECT_EQ(cut.side.size(), n / 2);
+}
+
+TEST(IsoperimetricExact, CompleteGraph) {
+  // K_n: any cut S has |S| * (n - |S|) edges; expansion minimised at
+  // |S| = floor(n/2), value n - floor(n/2) = ceil(n/2).
+  const auto even = isoperimetric_exact(complete(8));
+  EXPECT_NEAR(even.expansion, 4.0, 1e-12);
+  const auto odd = isoperimetric_exact(complete(9));
+  EXPECT_NEAR(odd.expansion, 5.0, 1e-12);
+}
+
+TEST(IsoperimetricExact, StarGraph) {
+  // Star on n nodes: best cut takes floor(n/2) leaves; expansion 1.
+  const auto cut = isoperimetric_exact(star(9));
+  EXPECT_NEAR(cut.expansion, 1.0, 1e-12);
+}
+
+TEST(IsoperimetricExact, PathHasWeakestExpansion) {
+  // P_n: cut the middle edge -> 1 / floor(n/2).
+  const std::size_t n = 10;
+  const auto cut = isoperimetric_exact(path_graph(n));
+  EXPECT_NEAR(cut.expansion, 1.0 / (n / 2), 1e-12);
+  EXPECT_EQ(cut.cut_edges, 1u);
+}
+
+TEST(IsoperimetricExact, RejectsOversizedGraph) {
+  Rng rng(1);
+  EXPECT_THROW(isoperimetric_exact(ring(30)), precondition_error);
+}
+
+TEST(CutExpansion, MatchesManualCount) {
+  const Graph g = ring(6);
+  std::vector<bool> in_s(6, false);
+  in_s[0] = in_s[1] = in_s[2] = true;
+  EXPECT_NEAR(cut_expansion(g, in_s), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CutExpansion, RejectsTrivialCuts) {
+  const Graph g = ring(4);
+  std::vector<bool> all(4, true);
+  EXPECT_THROW(cut_expansion(g, all), precondition_error);
+  std::vector<bool> none(4, false);
+  EXPECT_THROW(cut_expansion(g, none), precondition_error);
+}
+
+class CheegerSweep : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(CheegerSweep, InequalityHolds) {
+  Rng rng(99);
+  const Graph g = GetParam().make(rng);
+  if (g.num_nodes() > 24) GTEST_SKIP() << "exact enumeration infeasible";
+  const double h = isoperimetric_exact(g).expansion;
+  const double gap = spectral_gap_exact(g);
+  const auto bounds = cheeger_bounds(h, g.max_degree());
+  EXPECT_LE(bounds.lower, gap + 1e-9)
+      << "h=" << h << " gap=" << gap;
+  EXPECT_GE(bounds.upper, gap - 1e-9)
+      << "h=" << h << " gap=" << gap;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExactFamilies, CheegerSweep,
+    ::testing::ValuesIn(testing::exact_graph_cases()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(SweepCut, UpperBoundsExactIsoperimetric) {
+  Rng rng(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = largest_component(erdos_renyi_gnp(18, 0.25, rng));
+    if (g.num_nodes() < 4) continue;
+    const auto exact = isoperimetric_exact(g);
+    const auto fiedler = fiedler_vector(g, g.num_nodes() - 1);
+    const auto sweep = sweep_cut(g, fiedler);
+    EXPECT_GE(sweep.expansion, exact.expansion - 1e-9);
+    // On such small graphs the Fiedler sweep is usually near-optimal.
+    EXPECT_LE(sweep.expansion, 3.0 * exact.expansion + 1e-9);
+  }
+}
+
+TEST(SweepCut, FindsObviousBottleneck) {
+  // Two K_6 cliques joined by a single edge: the sweep must find a cut with
+  // expansion 1/6.
+  GraphBuilder b(12);
+  for (NodeId u = 0; u < 6; ++u)
+    for (NodeId v = u + 1; v < 6; ++v) b.add_edge(u, v);
+  for (NodeId u = 6; u < 12; ++u)
+    for (NodeId v = u + 1; v < 12; ++v) b.add_edge(u, v);
+  b.add_edge(0, 6);
+  const Graph g = b.build();
+  const auto sweep = sweep_cut(g, fiedler_vector(g, 11));
+  EXPECT_NEAR(sweep.expansion, 1.0 / 6.0, 1e-9);
+  EXPECT_EQ(sweep.cut_edges, 1u);
+  EXPECT_EQ(sweep.side.size(), 6u);
+}
+
+TEST(CheegerBounds, Formula) {
+  const auto b = cheeger_bounds(0.5, 8);
+  EXPECT_DOUBLE_EQ(b.lower, 0.25 / 16.0);
+  EXPECT_DOUBLE_EQ(b.upper, 1.0);
+  EXPECT_THROW(cheeger_bounds(-0.1, 3), precondition_error);
+  EXPECT_THROW(cheeger_bounds(0.5, 0), precondition_error);
+}
+
+TEST(Expansion, ExpanderBeatsRingAtSameSize) {
+  // The property the paper leans on: random graphs expand, rings do not.
+  Rng rng(5);
+  const Graph expander = largest_component(k_out_graph(20, 3, rng));
+  if (expander.num_nodes() >= 16 && expander.num_nodes() <= 24) {
+    const double h_expander = isoperimetric_exact(expander).expansion;
+    const double h_ring = isoperimetric_exact(ring(20)).expansion;
+    EXPECT_GT(h_expander, h_ring);
+  }
+}
+
+}  // namespace
+}  // namespace overcount

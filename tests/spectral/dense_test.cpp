@@ -1,0 +1,125 @@
+#include "spectral/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(Jacobi, DiagonalMatrixEigenvalues) {
+  DenseSymMatrix m(3);
+  m.set(0, 0, 3.0);
+  m.set(1, 1, 1.0);
+  m.set(2, 2, 2.0);
+  const auto vals = jacobi_eigenvalues(m);
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_NEAR(vals[0], 1.0, 1e-10);
+  EXPECT_NEAR(vals[1], 2.0, 1e-10);
+  EXPECT_NEAR(vals[2], 3.0, 1e-10);
+}
+
+TEST(Jacobi, TwoByTwoKnownSpectrum) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  DenseSymMatrix m(2);
+  m.set(0, 0, 2.0);
+  m.set(1, 1, 2.0);
+  m.set(0, 1, 1.0);
+  const auto vals = jacobi_eigenvalues(m);
+  EXPECT_NEAR(vals[0], 1.0, 1e-10);
+  EXPECT_NEAR(vals[1], 3.0, 1e-10);
+}
+
+TEST(Jacobi, TraceAndDeterminantPreserved) {
+  Rng rng(5);
+  const std::size_t n = 12;
+  DenseSymMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j)
+      m.set(i, j, rng.uniform() * 2.0 - 1.0);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += m(i, i);
+  const auto vals = jacobi_eigenvalues(m);
+  double sum = 0.0;
+  for (double v : vals) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-9);
+}
+
+TEST(JacobiEigensystem, VectorsSatisfyDefinition) {
+  Rng rng(6);
+  const std::size_t n = 8;
+  DenseSymMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) m.set(i, j, rng.uniform());
+  const auto es = jacobi_eigensystem(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    // || M v - lambda v || should be tiny.
+    double err = 0.0;
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double mv = 0.0;
+      for (std::size_t j = 0; j < n; ++j) mv += m(i, j) * es.vectors[k][j];
+      const double r = mv - es.values[k] * es.vectors[k][i];
+      err += r * r;
+      norm += es.vectors[k][i] * es.vectors[k][i];
+    }
+    EXPECT_LT(std::sqrt(err), 1e-8);
+    EXPECT_NEAR(norm, 1.0, 1e-8);
+  }
+}
+
+TEST(JacobiEigensystem, VectorsAreOrthogonal) {
+  Rng rng(7);
+  const std::size_t n = 6;
+  DenseSymMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) m.set(i, j, rng.uniform());
+  const auto es = jacobi_eigensystem(m);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        dot += es.vectors[a][i] * es.vectors[b][i];
+      EXPECT_NEAR(dot, 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Tridiagonal, MatchesJacobiOnSameMatrix) {
+  Rng rng(8);
+  const std::size_t n = 15;
+  std::vector<double> diag(n);
+  std::vector<double> off(n - 1);
+  for (auto& d : diag) d = rng.uniform() * 4.0 - 2.0;
+  for (auto& o : off) o = rng.uniform() * 2.0 - 1.0;
+  DenseSymMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.set(i, i, diag[i]);
+    if (i + 1 < n) m.set(i, i + 1, off[i]);
+  }
+  const auto via_jacobi = jacobi_eigenvalues(m);
+  const auto via_sturm = tridiagonal_eigenvalues(diag, off);
+  ASSERT_EQ(via_sturm.size(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(via_sturm[i], via_jacobi[i], 1e-8);
+}
+
+TEST(Tridiagonal, SingleElement) {
+  const auto vals = tridiagonal_eigenvalues({4.2}, {});
+  ASSERT_EQ(vals.size(), 1u);
+  EXPECT_NEAR(vals[0], 4.2, 1e-10);
+}
+
+TEST(DenseSymMatrix, SetMirrors) {
+  DenseSymMatrix m(3);
+  m.set(0, 2, 5.0);
+  EXPECT_DOUBLE_EQ(m(2, 0), 5.0);
+  m.add(0, 2, 1.0);
+  EXPECT_DOUBLE_EQ(m(2, 0), 6.0);
+  EXPECT_THROW(m(3, 0), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

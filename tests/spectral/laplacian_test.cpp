@@ -1,0 +1,146 @@
+#include "spectral/laplacian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(Laplacian, RowSumsAreZero) {
+  Rng rng(1);
+  const Graph g = balanced_random_graph(30, rng);
+  const auto m = dense_laplacian(g);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < m.size(); ++j) row += m(i, j);
+    EXPECT_NEAR(row, 0.0, 1e-12);
+  }
+}
+
+TEST(Laplacian, ApplyMatchesDense) {
+  Rng rng(2);
+  const Graph g = erdos_renyi_gnp(25, 0.2, rng);
+  const auto m = dense_laplacian(g);
+  std::vector<double> x(g.num_nodes());
+  for (auto& v : x) v = rng.uniform() - 0.5;
+  std::vector<double> y(g.num_nodes());
+  laplacian_apply(g, x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double expected = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) expected += m(i, j) * x[j];
+    EXPECT_NEAR(y[i], expected, 1e-10);
+  }
+}
+
+TEST(LaplacianSpectrum, CompleteGraph) {
+  // K_n: eigenvalues 0 (once) and n (n-1 times).
+  const std::size_t n = 9;
+  const auto spec = laplacian_spectrum(complete(n));
+  EXPECT_NEAR(spec[0], 0.0, 1e-9);
+  for (std::size_t i = 1; i < n; ++i)
+    EXPECT_NEAR(spec[i], static_cast<double>(n), 1e-9);
+}
+
+TEST(LaplacianSpectrum, StarGraph) {
+  // Star on n nodes: eigenvalues 0, 1 (n-2 times), n.
+  const std::size_t n = 8;
+  const auto spec = laplacian_spectrum(star(n));
+  EXPECT_NEAR(spec[0], 0.0, 1e-9);
+  for (std::size_t i = 1; i + 1 < n; ++i) EXPECT_NEAR(spec[i], 1.0, 1e-9);
+  EXPECT_NEAR(spec[n - 1], static_cast<double>(n), 1e-9);
+}
+
+TEST(LaplacianSpectrum, CycleFormula) {
+  // C_n: eigenvalues 2 - 2 cos(2 pi k / n).
+  const std::size_t n = 12;
+  const auto spec = laplacian_spectrum(ring(n));
+  std::vector<double> expected;
+  for (std::size_t k = 0; k < n; ++k)
+    expected.push_back(
+        2.0 - 2.0 * std::cos(2.0 * std::numbers::pi * k / n));
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(spec[i], expected[i], 1e-9);
+}
+
+TEST(LaplacianSpectrum, PathFormula) {
+  // P_n: eigenvalues 2 - 2 cos(pi k / n), k = 0..n-1.
+  const std::size_t n = 10;
+  const auto spec = laplacian_spectrum(path_graph(n));
+  std::vector<double> expected;
+  for (std::size_t k = 0; k < n; ++k)
+    expected.push_back(2.0 - 2.0 * std::cos(std::numbers::pi * k / n));
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(spec[i], expected[i], 1e-9);
+}
+
+TEST(SpectralGap, CompleteBipartite) {
+  // K_{a,b} (a <= b): lambda_2 = a.
+  EXPECT_NEAR(spectral_gap_exact(complete_bipartite(3, 6)), 3.0, 1e-9);
+  EXPECT_NEAR(spectral_gap_exact(complete_bipartite(5, 5)), 5.0, 1e-9);
+}
+
+TEST(SpectralGap, DisconnectedGraphHasZeroGap) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_NEAR(spectral_gap_exact(b.build()), 0.0, 1e-9);
+}
+
+class LanczosVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LanczosVsExact, AgreesWithDenseSolver) {
+  Rng rng(GetParam());
+  const Graph g = largest_component(erdos_renyi_gnp(60, 0.12, rng));
+  const double exact = spectral_gap_exact(g);
+  const double lanczos = spectral_gap_lanczos(g, 59, GetParam());
+  EXPECT_NEAR(lanczos, exact, 1e-6 * std::max(1.0, exact));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LanczosVsExact,
+                         ::testing::Values(3, 17, 23, 91));
+
+TEST(Lanczos, KnownGapsRecovered) {
+  EXPECT_NEAR(spectral_gap_lanczos(complete(40)), 40.0, 1e-6);
+  EXPECT_NEAR(spectral_gap_lanczos(star(40)), 1.0, 1e-6);
+  const std::size_t n = 24;
+  EXPECT_NEAR(spectral_gap_lanczos(ring(n)),
+              2.0 - 2.0 * std::cos(2.0 * std::numbers::pi / n), 1e-8);
+}
+
+TEST(Lanczos, LargeSparseGraphRuns) {
+  Rng rng(5);
+  const Graph g = largest_component(balanced_random_graph(3000, rng));
+  const double gap = spectral_gap_lanczos(g, 120);
+  EXPECT_GT(gap, 0.5);   // balanced random graphs are good expanders
+  EXPECT_LT(gap, 11.0);  // gap <= n/(n-1) * min cut-ish; sanity ceiling
+}
+
+TEST(FiedlerVector, RayleighQuotientNearGap) {
+  Rng rng(6);
+  const Graph g = largest_component(erdos_renyi_gnp(50, 0.15, rng));
+  const auto v = fiedler_vector(g, 49);
+  // Rayleigh quotient v'Lv / v'v should approximate lambda_2, and v should
+  // be orthogonal to the constant vector.
+  std::vector<double> lv(g.num_nodes());
+  laplacian_apply(g, v, lv);
+  double num = 0.0;
+  double den = 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    num += v[i] * lv[i];
+    den += v[i] * v[i];
+    sum += v[i];
+  }
+  EXPECT_NEAR(num / den, spectral_gap_exact(g), 1e-5);
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace overcount

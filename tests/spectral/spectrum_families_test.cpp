@@ -1,0 +1,97 @@
+// Exactly solvable spectra beyond the basics: hypercubes (binomial
+// multiplicities), tori (sums of cycle eigenvalues), and grids (sums of
+// path eigenvalues) — product-graph identities that stress the eigensolvers
+// on structured degeneracies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(Hypercube, StructureIsCorrect) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);  // n * d / 2 = 16*4/2
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.has_edge(0b0000, 0b0001));
+  EXPECT_FALSE(g.has_edge(0b0000, 0b0011));
+}
+
+TEST(Hypercube, SpectrumIsBinomial) {
+  // Laplacian eigenvalues of Q_d: 2k with multiplicity C(d, k).
+  const std::size_t d = 4;
+  const auto spec = laplacian_spectrum(hypercube(d));
+  std::vector<double> expected;
+  for (std::size_t k = 0; k <= d; ++k) {
+    // C(4,k) copies of 2k.
+    const std::size_t binom[] = {1, 4, 6, 4, 1};
+    for (std::size_t m = 0; m < binom[k]; ++m)
+      expected.push_back(2.0 * static_cast<double>(k));
+  }
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(spec.size(), expected.size());
+  for (std::size_t i = 0; i < spec.size(); ++i)
+    EXPECT_NEAR(spec[i], expected[i], 1e-8);
+}
+
+TEST(Hypercube, GapIsTwoAtEveryDimension) {
+  for (std::size_t d : {2u, 3u, 5u}) {
+    EXPECT_NEAR(spectral_gap_exact(hypercube(d)), 2.0, 1e-8) << "d=" << d;
+  }
+  // Lanczos path agrees at a size the dense solver can't touch.
+  EXPECT_NEAR(spectral_gap_lanczos(hypercube(10), 200), 2.0, 1e-6);
+}
+
+TEST(Torus, SpectrumIsCycleSum) {
+  // L(C_a x C_b) eigenvalues: (2-2cos(2pi i/a)) + (2-2cos(2pi j/b)).
+  const std::size_t a = 4;
+  const std::size_t b = 5;
+  const auto spec = laplacian_spectrum(grid_2d(a, b, true));
+  std::vector<double> expected;
+  for (std::size_t i = 0; i < a; ++i)
+    for (std::size_t j = 0; j < b; ++j)
+      expected.push_back(
+          4.0 - 2.0 * std::cos(2.0 * std::numbers::pi * i / a) -
+          2.0 * std::cos(2.0 * std::numbers::pi * j / b));
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(spec.size(), expected.size());
+  for (std::size_t i = 0; i < spec.size(); ++i)
+    EXPECT_NEAR(spec[i], expected[i], 1e-8);
+}
+
+TEST(Grid, SpectrumIsPathSum) {
+  // L(P_a x P_b) eigenvalues: (2-2cos(pi i/a)) + (2-2cos(pi j/b)).
+  const std::size_t a = 3;
+  const std::size_t b = 4;
+  const auto spec = laplacian_spectrum(grid_2d(a, b, false));
+  std::vector<double> expected;
+  for (std::size_t i = 0; i < a; ++i)
+    for (std::size_t j = 0; j < b; ++j)
+      expected.push_back(2.0 - 2.0 * std::cos(std::numbers::pi * i / a) +
+                         2.0 - 2.0 * std::cos(std::numbers::pi * j / b));
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(spec.size(), expected.size());
+  for (std::size_t i = 0; i < spec.size(); ++i)
+    EXPECT_NEAR(spec[i], expected[i], 1e-8);
+}
+
+TEST(Hypercube, PreconditionsEnforced) {
+  EXPECT_THROW(hypercube(0), precondition_error);
+  EXPECT_THROW(hypercube(21), precondition_error);
+}
+
+TEST(LanczosDegenerateEigenvalues, HypercubeDoesNotConfuseIt) {
+  // Q_6 has eigenvalue 2 with multiplicity 6; Lanczos with full
+  // reorthogonalisation must still isolate lambda_2 = 2 exactly.
+  EXPECT_NEAR(spectral_gap_lanczos(hypercube(6), 63), 2.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,59 @@
+// Shared fixtures for the test suites: a catalogue of named graph families
+// used by the TEST_P property sweeps.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace overcount::testing {
+
+struct GraphCase {
+  std::string name;
+  std::function<Graph(Rng&)> make;
+  std::size_t expected_nodes = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const GraphCase& c) {
+  return os << c.name;
+}
+
+/// Families used by the estimator property sweeps: connected, varied
+/// expansion and degree heterogeneity, small enough for statistical tests.
+inline std::vector<GraphCase> estimator_graph_cases() {
+  return {
+      {"complete_32", [](Rng&) { return complete(32); }, 32},
+      {"ring_64", [](Rng&) { return ring(64); }, 64},
+      {"star_50", [](Rng&) { return star(50); }, 50},
+      {"grid_8x8", [](Rng&) { return grid_2d(8, 8); }, 64},
+      {"torus_6x6", [](Rng&) { return grid_2d(6, 6, true); }, 36},
+      {"balanced_200",
+       [](Rng& rng) { return balanced_random_graph(200, rng); }, 200},
+      {"scale_free_200",
+       [](Rng& rng) { return barabasi_albert(200, 3, rng); }, 200},
+      {"k_out_150", [](Rng& rng) { return k_out_graph(150, 3, rng); }, 150},
+      {"er_gnp_150",
+       [](Rng& rng) { return erdos_renyi_gnp(150, 0.05, rng); }, 150},
+      {"bipartite_regular_30",
+       [](Rng& rng) { return bipartite_regular(30, 4, rng); }, 60},
+  };
+}
+
+/// Small graphs with exactly known spectra/conductance.
+inline std::vector<GraphCase> exact_graph_cases() {
+  return {
+      {"complete_8", [](Rng&) { return complete(8); }, 8},
+      {"ring_10", [](Rng&) { return ring(10); }, 10},
+      {"star_9", [](Rng&) { return star(9); }, 9},
+      {"path_8", [](Rng&) { return path_graph(8); }, 8},
+      {"grid_3x4", [](Rng&) { return grid_2d(3, 4); }, 12},
+      {"complete_bipartite_3_5",
+       [](Rng&) { return complete_bipartite(3, 5); }, 8},
+  };
+}
+
+}  // namespace overcount::testing

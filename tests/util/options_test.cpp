@@ -1,0 +1,99 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+namespace {
+
+Options make_standard() {
+  Options opts;
+  opts.add("nodes", "1000", "overlay size");
+  opts.add("timer", "2.5", "sampling timer");
+  opts.add_flag("verbose", "chatty output");
+  return opts;
+}
+
+TEST(Options, DefaultsApplyWhenUnset) {
+  Options opts = make_standard();
+  const std::array<const char*, 1> argv{"prog"};
+  opts.parse(1, argv.data());
+  EXPECT_EQ(opts.get("nodes"), "1000");
+  EXPECT_EQ(opts.get_int("nodes"), 1000);
+  EXPECT_DOUBLE_EQ(opts.get_double("timer"), 2.5);
+  EXPECT_FALSE(opts.get_flag("verbose"));
+  EXPECT_FALSE(opts.has("nodes"));
+}
+
+TEST(Options, EqualsAndSpaceSyntax) {
+  Options opts = make_standard();
+  const std::array<const char*, 4> argv{"prog", "--nodes=42", "--timer",
+                                        "7.5"};
+  opts.parse(4, argv.data());
+  EXPECT_EQ(opts.get_int("nodes"), 42);
+  EXPECT_DOUBLE_EQ(opts.get_double("timer"), 7.5);
+  EXPECT_TRUE(opts.has("nodes"));
+}
+
+TEST(Options, FlagsAndPositionals) {
+  Options opts = make_standard();
+  const std::array<const char*, 4> argv{"prog", "graph.txt", "--verbose",
+                                        "out.csv"};
+  opts.parse(4, argv.data());
+  EXPECT_TRUE(opts.get_flag("verbose"));
+  ASSERT_EQ(opts.positional().size(), 2u);
+  EXPECT_EQ(opts.positional()[0], "graph.txt");
+  EXPECT_EQ(opts.positional()[1], "out.csv");
+}
+
+TEST(Options, UnknownOptionThrows) {
+  Options opts = make_standard();
+  const std::array<const char*, 2> argv{"prog", "--typo=3"};
+  EXPECT_THROW(opts.parse(2, argv.data()), std::runtime_error);
+}
+
+TEST(Options, MissingValueThrows) {
+  Options opts = make_standard();
+  const std::array<const char*, 2> argv{"prog", "--nodes"};
+  EXPECT_THROW(opts.parse(2, argv.data()), std::runtime_error);
+}
+
+TEST(Options, FlagWithValueThrows) {
+  Options opts = make_standard();
+  const std::array<const char*, 2> argv{"prog", "--verbose=yes"};
+  EXPECT_THROW(opts.parse(2, argv.data()), std::runtime_error);
+}
+
+TEST(Options, BadNumericValueThrows) {
+  Options opts = make_standard();
+  const std::array<const char*, 2> argv{"prog", "--nodes=12abc"};
+  opts.parse(2, argv.data());
+  EXPECT_THROW(opts.get_int("nodes"), std::runtime_error);
+}
+
+TEST(Options, DuplicateDeclarationRejected) {
+  Options opts;
+  opts.add("x", "1", "first");
+  EXPECT_THROW(opts.add("x", "2", "again"), precondition_error);
+}
+
+TEST(Options, UndeclaredAccessRejected) {
+  Options opts = make_standard();
+  EXPECT_THROW(opts.get("nope"), precondition_error);
+  EXPECT_THROW(opts.get_flag("nodes"), precondition_error);  // not a flag
+}
+
+TEST(Options, UsageListsEverything) {
+  Options opts = make_standard();
+  const std::string usage = opts.usage("demo");
+  EXPECT_NE(usage.find("usage: demo"), std::string::npos);
+  EXPECT_NE(usage.find("--nodes=<1000>"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("overlay size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,136 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/tests.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformPositiveNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) ASSERT_GT(rng.uniform_positive(), 0.0);
+}
+
+TEST(Rng, UniformBelowRespectsBound) {
+  Rng rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.uniform_below(bound), bound);
+  }
+}
+
+TEST(Rng, UniformBelowIsUniformChiSquare) {
+  Rng rng(13);
+  std::vector<std::size_t> counts(16, 0);
+  for (int i = 0; i < 160000; ++i) ++counts[rng.uniform_below(16)];
+  const auto result = chi_square_uniform(counts);
+  EXPECT_GT(result.p_value, 1e-4) << "statistic=" << result.statistic;
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), precondition_error);
+}
+
+TEST(Rng, ExponentialHasCorrectDistribution) {
+  Rng rng(19);
+  const double rate = 2.5;
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = rng.exponential(rate);
+  const auto ks = ks_test(std::move(samples), [rate](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-rate * x);
+  });
+  EXPECT_GT(ks.p_value, 1e-4) << "D=" << ks.statistic;
+}
+
+TEST(Rng, ExponentialRequiresPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), precondition_error);
+  EXPECT_THROW(rng.exponential(-1.0), precondition_error);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  const double p_hat = static_cast<double>(hits) / n;
+  EXPECT_NEAR(p_hat, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(99);
+  Rng parent2(99);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1.next(), child2.next());
+
+  // Child and parent sequences should not collide.
+  Rng parent(99);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (parent.next() == child.next()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SuccessiveSplitsDiffer) {
+  Rng parent(5);
+  Rng a = parent.split();
+  Rng b = parent.split();
+  EXPECT_NE(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace overcount

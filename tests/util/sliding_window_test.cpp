@@ -1,0 +1,58 @@
+#include "util/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace overcount {
+namespace {
+
+TEST(SlidingWindowMean, PartialWindowAveragesWhatItHas) {
+  SlidingWindowMean w(4);
+  w.push(2.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.push(4.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_FALSE(w.full());
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(SlidingWindowMean, EvictsOldestWhenFull) {
+  SlidingWindowMean w(3);
+  for (double x : {1.0, 2.0, 3.0}) w.push(x);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.push(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(SlidingWindowMean, WindowOfOneTracksLastValue) {
+  SlidingWindowMean w(1);
+  w.push(5.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  w.push(-7.0);
+  EXPECT_DOUBLE_EQ(w.mean(), -7.0);
+}
+
+TEST(SlidingWindowMean, ClearResets) {
+  SlidingWindowMean w(2);
+  w.push(1.0);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_THROW(w.mean(), precondition_error);
+}
+
+TEST(SlidingWindowMean, PreconditionsEnforced) {
+  EXPECT_THROW(SlidingWindowMean(0), precondition_error);
+  SlidingWindowMean w(2);
+  EXPECT_THROW(w.mean(), precondition_error);
+}
+
+TEST(SlidingWindowMean, LongStreamStaysAccurate) {
+  SlidingWindowMean w(100);
+  for (int i = 0; i < 100000; ++i) w.push(static_cast<double>(i));
+  // Last 100 values: 99900..99999, mean 99949.5.
+  EXPECT_NEAR(w.mean(), 99949.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,155 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 4.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.5);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(3);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10 - 5;
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Ecdf, StepFunctionValues) {
+  Ecdf e({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(e(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e(1.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(e(1.5), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(e(2.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(e(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(e(99.0), 1.0);
+}
+
+TEST(Ecdf, RejectsEmpty) {
+  EXPECT_THROW(Ecdf(std::vector<double>{}), precondition_error);
+}
+
+TEST(Ecdf, QuantileInterpolates) {
+  Ecdf e({0.0, 1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.125), 0.5);
+}
+
+TEST(Ecdf, KsDistanceOfIdenticalSamplesIsZero) {
+  Ecdf a({1.0, 2.0, 3.0});
+  Ecdf b({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.ks_distance(b), 0.0);
+}
+
+TEST(Ecdf, KsDistanceDetectsShift) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(i + 50);
+  }
+  Ecdf a(xs);
+  Ecdf b(ys);
+  EXPECT_GT(a.ks_distance(b), 0.45);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 4
+  h.add(5.0);   // bin 2
+  h.add(-3.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), precondition_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), precondition_error);
+}
+
+TEST(SpanStats, MeanAndVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_NEAR(variance_of(xs), 5.0 / 3.0, 1e-12);
+}
+
+TEST(SpanStats, PreconditionsEnforced) {
+  const std::vector<double> empty;
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(mean_of(empty), precondition_error);
+  EXPECT_THROW(variance_of(one), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "123456"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("| name  | value  |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1      |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 123456 |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), precondition_error);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5), "-0.5000");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Series, AddAccumulates) {
+  Series s{"test", {}, {}};
+  s.add(1.0, 10.0);
+  s.add(2.0, 20.0);
+  ASSERT_EQ(s.xs.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.ys[1], 20.0);
+}
+
+TEST(PrintSeries, EmitsHeaderAndPoints) {
+  Series s{"rt", {1.0, 2.0}, {0.9, 1.1}};
+  std::ostringstream ss;
+  print_series(ss, "fig-test", {s});
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("# figure: fig-test"), std::string::npos);
+  EXPECT_NE(out.find("# series: rt (2 points)"), std::string::npos);
+  EXPECT_NE(out.find("rt 1.000000 0.900000"), std::string::npos);
+}
+
+TEST(AsciiPlot, ProducesCanvasOfRequestedSize) {
+  Series s{"plot", {}, {}};
+  for (int i = 0; i < 50; ++i) s.add(i, i * i);
+  std::ostringstream ss;
+  ascii_plot(ss, s, 40, 10);
+  std::string line;
+  std::istringstream in(ss.str());
+  int rows = 0;
+  while (std::getline(in, line))
+    if (!line.empty() && line.front() == '|') ++rows;
+  EXPECT_EQ(rows, 10);
+}
+
+TEST(AsciiPlot, HandlesConstantSeries) {
+  Series s{"flat", {0.0, 1.0}, {5.0, 5.0}};
+  std::ostringstream ss;
+  ascii_plot(ss, s);
+  EXPECT_FALSE(ss.str().empty());
+}
+
+}  // namespace
+}  // namespace overcount

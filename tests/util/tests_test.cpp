@@ -1,0 +1,93 @@
+#include "util/tests.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(GammaP, KnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0})
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0})
+    EXPECT_NEAR(gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-9);
+  EXPECT_DOUBLE_EQ(gamma_p(3.0, 0.0), 0.0);
+  EXPECT_NEAR(gamma_p(3.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(ErlangCdf, MatchesGammaIdentity) {
+  // Erlang(2, 1): CDF = 1 - e^{-x}(1 + x).
+  for (double x : {0.5, 1.0, 2.0, 4.0})
+    EXPECT_NEAR(erlang_cdf(2, 1.0, x), 1.0 - std::exp(-x) * (1.0 + x), 1e-10);
+  EXPECT_DOUBLE_EQ(erlang_cdf(3, 2.0, 0.0), 0.0);
+  EXPECT_THROW(erlang_cdf(0, 1.0, 1.0), precondition_error);
+}
+
+TEST(NormalCdf, Symmetry) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96) + normal_cdf(1.96), 1.0, 1e-12);
+}
+
+TEST(ChiSquare, AcceptsFairCounts) {
+  Rng rng(31);
+  std::vector<std::size_t> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.uniform_below(10)];
+  const auto r = chi_square_uniform(counts);
+  EXPECT_GT(r.p_value, 1e-4);
+  EXPECT_DOUBLE_EQ(r.dof, 9.0);
+}
+
+TEST(ChiSquare, RejectsBiasedCounts) {
+  // Severely skewed counts must yield a tiny p-value.
+  std::vector<std::size_t> counts{500, 100, 100, 100, 100, 100};
+  const auto r = chi_square_uniform(counts);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ChiSquare, AgainstExplicitExpectation) {
+  const std::vector<double> observed{52, 48};
+  const std::vector<double> expected{50, 50};
+  const auto r = chi_square_test(observed, expected);
+  EXPECT_NEAR(r.statistic, 4.0 / 50.0 + 4.0 / 50.0, 1e-12);
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(ChiSquare, PreconditionsEnforced) {
+  const std::vector<double> obs{1.0};
+  const std::vector<double> expected_wrong_size{1.0, 2.0};
+  EXPECT_THROW(chi_square_test(obs, expected_wrong_size), precondition_error);
+  const std::vector<double> zero_expected{0.0};
+  EXPECT_THROW(chi_square_test(obs, zero_expected), precondition_error);
+}
+
+TEST(KsTest, AcceptsMatchingDistribution) {
+  Rng rng(37);
+  std::vector<double> samples(5000);
+  for (auto& s : samples) s = rng.uniform();
+  const auto r = ks_test(std::move(samples),
+                         [](double x) { return std::clamp(x, 0.0, 1.0); });
+  EXPECT_GT(r.p_value, 1e-4);
+}
+
+TEST(KsTest, RejectsWrongDistribution) {
+  Rng rng(41);
+  std::vector<double> samples(5000);
+  for (auto& s : samples) s = rng.uniform() * 0.5;  // actually U[0, 0.5]
+  const auto r = ks_test(std::move(samples),
+                         [](double x) { return std::clamp(x, 0.0, 1.0); });
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, RequiresSamples) {
+  EXPECT_THROW(ks_test({}, [](double) { return 0.5; }), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

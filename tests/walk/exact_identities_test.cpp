@@ -1,0 +1,138 @@
+// Deeper exact-distribution identities: Chapman-Kolmogorov / semigroup
+// structure, detailed balance, vertex-transitivity symmetries, and
+// small-time Taylor behaviour of the CTRW semigroup — the algebra behind
+// every mixing claim the estimators rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "walk/exact.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(ExactIdentities, CtrwSemigroupProperty) {
+  // exp(-(s+t)L) = exp(-sL) exp(-tL): evolving to s+t equals evolving the
+  // time-s distribution for another t. We check it via total variation on
+  // the row started at node 0 (evolving a distribution = mixing the rows).
+  Rng rng(1);
+  const Graph g = largest_component(erdos_renyi_gnp(20, 0.3, rng));
+  const double s = 0.7;
+  const double t = 1.3;
+  const auto direct = ctrw_distribution(g, 0, s + t);
+  // Compose: sum_k p_s(0,k) p_t(k, .)
+  const auto p_s = ctrw_distribution(g, 0, s);
+  std::vector<double> composed(g.num_nodes(), 0.0);
+  for (NodeId k = 0; k < g.num_nodes(); ++k) {
+    if (p_s[k] == 0.0) continue;
+    const auto p_t = ctrw_distribution(g, k, t);
+    for (NodeId j = 0; j < g.num_nodes(); ++j)
+      composed[j] += p_s[k] * p_t[j];
+  }
+  EXPECT_LT(variation_distance(direct, composed), 1e-8);
+}
+
+TEST(ExactIdentities, DtrwChapmanKolmogorov) {
+  Rng rng(2);
+  const Graph g = largest_component(erdos_renyi_gnp(18, 0.3, rng));
+  const auto direct = dtrw_distribution(g, 0, 9);
+  const auto p5 = dtrw_distribution(g, 0, 5);
+  std::vector<double> composed(g.num_nodes(), 0.0);
+  for (NodeId k = 0; k < g.num_nodes(); ++k) {
+    if (p5[k] == 0.0) continue;
+    const auto p4 = dtrw_distribution(g, k, 4);
+    for (NodeId j = 0; j < g.num_nodes(); ++j)
+      composed[j] += p5[k] * p4[j];
+  }
+  EXPECT_LT(variation_distance(direct, composed), 1e-12);
+}
+
+TEST(ExactIdentities, DtrwDetailedBalance) {
+  // pi_u P^t(u, v) = pi_v P^t(v, u): reversibility wrt the degree-biased
+  // stationary distribution, the keystone of the Prop. 1 proof.
+  Rng rng(3);
+  const Graph g = largest_component(erdos_renyi_gnp(16, 0.35, rng));
+  const auto pi = dtrw_stationary(g);
+  const std::size_t t = 6;
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    const auto from_u = dtrw_distribution(g, u, t);
+    for (NodeId v = 0; v < g.num_nodes(); v += 5) {
+      const auto from_v = dtrw_distribution(g, v, t);
+      EXPECT_NEAR(pi[u] * from_u[v], pi[v] * from_v[u], 1e-12)
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(ExactIdentities, CtrwSymmetricKernel) {
+  // L is symmetric, so exp(-tL) is symmetric: p_t(u, v) = p_t(v, u) — the
+  // CTRW's uniform stationarity in kernel form.
+  Rng rng(4);
+  const Graph g = largest_component(erdos_renyi_gnp(15, 0.35, rng));
+  const double t = 1.1;
+  for (NodeId u = 0; u < g.num_nodes(); u += 2) {
+    const auto from_u = ctrw_distribution(g, u, t);
+    for (NodeId v = 0; v < g.num_nodes(); v += 3) {
+      const auto from_v = ctrw_distribution(g, v, t);
+      EXPECT_NEAR(from_u[v], from_v[u], 1e-9);
+    }
+  }
+}
+
+TEST(ExactIdentities, VertexTransitivitySymmetry) {
+  // On a cycle, the distribution from any origin is a rotation of the
+  // distribution from 0.
+  const Graph g = ring(12);
+  const double t = 2.0;
+  const auto from_0 = ctrw_distribution(g, 0, t);
+  const auto from_5 = ctrw_distribution(g, 5, t);
+  for (NodeId v = 0; v < 12; ++v)
+    EXPECT_NEAR(from_5[(v + 5) % 12], from_0[v], 1e-9);
+}
+
+TEST(ExactIdentities, SmallTimeTaylor) {
+  // p_t(v, v) = 1 - d_v t + O(t^2) and p_t(v, u) = t + O(t^2) per edge.
+  const Graph g = star(6);
+  const double t = 1e-4;
+  const auto from_hub = ctrw_distribution(g, 0, t);
+  EXPECT_NEAR(from_hub[0], 1.0 - 5.0 * t, 5e-7);
+  for (NodeId leaf = 1; leaf < 6; ++leaf)
+    EXPECT_NEAR(from_hub[leaf], t, 5e-7);
+  const auto from_leaf = ctrw_distribution(g, 3, t);
+  EXPECT_NEAR(from_leaf[3], 1.0 - t, 5e-7);
+  EXPECT_NEAR(from_leaf[0], t, 5e-7);
+}
+
+TEST(ExactIdentities, UniformIsExactFixedPoint) {
+  // Evolving the uniform distribution leaves it invariant: check by
+  // symmetry (column sums of the kernel are 1).
+  Rng rng(5);
+  const Graph g = largest_component(erdos_renyi_gnp(14, 0.4, rng));
+  const double t = 0.9;
+  std::vector<double> evolved(g.num_nodes(), 0.0);
+  const double u = 1.0 / static_cast<double>(g.num_nodes());
+  for (NodeId k = 0; k < g.num_nodes(); ++k) {
+    const auto row = ctrw_distribution(g, k, t);
+    for (NodeId j = 0; j < g.num_nodes(); ++j) evolved[j] += u * row[j];
+  }
+  for (NodeId j = 0; j < g.num_nodes(); ++j)
+    EXPECT_NEAR(evolved[j], u, 1e-9);
+}
+
+TEST(ExactIdentities, DegreeBiasedIsDtrwFixedPoint) {
+  Rng rng(6);
+  const Graph g = largest_component(erdos_renyi_gnp(14, 0.4, rng));
+  const auto pi = dtrw_stationary(g);
+  std::vector<double> evolved(g.num_nodes(), 0.0);
+  for (NodeId k = 0; k < g.num_nodes(); ++k) {
+    const auto row = dtrw_distribution(g, k, 1);
+    for (NodeId j = 0; j < g.num_nodes(); ++j) evolved[j] += pi[k] * row[j];
+  }
+  for (NodeId j = 0; j < g.num_nodes(); ++j)
+    EXPECT_NEAR(evolved[j], pi[j], 1e-12);
+}
+
+}  // namespace
+}  // namespace overcount

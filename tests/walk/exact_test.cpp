@@ -1,0 +1,169 @@
+#include "walk/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+#include "test_helpers.hpp"
+
+namespace overcount {
+namespace {
+
+double total_mass(const std::vector<double>& p) {
+  double s = 0.0;
+  for (double x : p) s += x;
+  return s;
+}
+
+TEST(DtrwDistribution, IsAProbabilityDistribution) {
+  Rng rng(1);
+  const Graph g = largest_component(balanced_random_graph(40, rng));
+  for (std::size_t steps : {0u, 1u, 5u, 20u}) {
+    const auto p = dtrw_distribution(g, 0, steps);
+    EXPECT_NEAR(total_mass(p), 1.0, 1e-12);
+    for (double x : p) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(DtrwDistribution, StepZeroIsPointMass) {
+  const auto p = dtrw_distribution(ring(5), 3, 0);
+  EXPECT_DOUBLE_EQ(p[3], 1.0);
+}
+
+TEST(DtrwDistribution, ConvergesToDegreeBiasedStationary) {
+  // Aperiodic example: star plus an extra edge to break bipartiteness.
+  GraphBuilder b(6);
+  for (NodeId v = 1; v < 6; ++v) b.add_edge(0, v);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  const auto p = dtrw_distribution(g, 0, 400);
+  const auto pi = dtrw_stationary(g);
+  EXPECT_LT(variation_distance(p, pi), 1e-8);
+}
+
+TEST(DtrwDistribution, BipartiteGraphNeverMixes) {
+  const Graph g = ring(6);  // bipartite
+  const auto p = dtrw_distribution(g, 0, 101);
+  // Odd number of steps: all mass on the odd side.
+  EXPECT_NEAR(p[0] + p[2] + p[4], 0.0, 1e-12);
+  EXPECT_GE(variation_distance_to_uniform(p), 0.5 - 1e-12);
+}
+
+TEST(CtrwDistribution, IsAProbabilityDistribution) {
+  Rng rng(2);
+  const Graph g = largest_component(erdos_renyi_gnp(30, 0.15, rng));
+  for (double t : {0.0, 0.3, 1.0, 5.0}) {
+    const auto p = ctrw_distribution(g, 0, t);
+    EXPECT_NEAR(total_mass(p), 1.0, 1e-9);
+    for (double x : p) EXPECT_GE(x, -1e-15);
+  }
+}
+
+TEST(CtrwDistribution, ConvergesToUniformEvenOnBipartite) {
+  // The exponential-sojourn CTRW has no parity problem: it mixes to the
+  // UNIFORM distribution even on bipartite graphs (the key property behind
+  // the paper's sampler).
+  const Graph g = ring(6);
+  const auto p = ctrw_distribution(g, 0, 50.0);
+  EXPECT_LT(variation_distance_to_uniform(p), 1e-6);
+}
+
+TEST(CtrwDistribution, HeterogeneousDegreesStillUniform) {
+  const Graph g = star(9);
+  const auto p = ctrw_distribution(g, 0, 80.0);
+  EXPECT_LT(variation_distance_to_uniform(p), 1e-6);
+}
+
+class Lemma1Bound : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(Lemma1Bound, VariationDistanceBoundedBySqrtNExpGapT) {
+  Rng rng(3);
+  const Graph g = GetParam().make(rng);
+  if (g.num_nodes() > 70) GTEST_SKIP() << "dense spectrum too slow";
+  const double gap = spectral_gap_exact(g);
+  const double sqrt_n = std::sqrt(static_cast<double>(g.num_nodes()));
+  for (double t : {0.2, 0.5, 1.0, 2.0, 4.0}) {
+    const auto p = ctrw_distribution(g, 0, t);
+    const double dist = variation_distance_to_uniform(p);
+    EXPECT_LE(dist, sqrt_n * std::exp(-gap * t) + 1e-9)
+        << GetParam().name << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExactFamilies, Lemma1Bound,
+    ::testing::ValuesIn(testing::exact_graph_cases()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Lemma1, DistanceDecreasesInT) {
+  Rng rng(4);
+  const Graph g = largest_component(balanced_random_graph(40, rng));
+  double prev = 1.0;
+  for (double t : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double dist =
+        variation_distance_to_uniform(ctrw_distribution(g, 0, t));
+    EXPECT_LE(dist, prev + 1e-9);
+    prev = dist;
+  }
+}
+
+TEST(DeterministicCtrwExact, RegularGraphReducesToDtrw) {
+  const Graph g = ring(8);  // 2-regular: sojourn 1/2 everywhere
+  const auto p = deterministic_ctrw_distribution_regular(g, 0, 3.6);
+  const auto q = dtrw_distribution(g, 0, 7);  // floor(3.6 * 2) = 7
+  EXPECT_LT(variation_distance(p, q), 1e-12);
+}
+
+TEST(DeterministicCtrwExact, Remark1CounterexampleIsQuantitative) {
+  // On a bipartite regular graph the deterministic-sojourn CTRW at any time
+  // t keeps variation distance >= |1/2 - |V1|/n| + ... >= 1/2 for equal
+  // sides, no matter how large t is — while the exponential-sojourn CTRW's
+  // distance vanishes.
+  Rng rng(5);
+  const Graph g = bipartite_regular(8, 3, rng);
+  for (double t : {5.0, 10.0, 20.0}) {
+    const auto det = deterministic_ctrw_distribution_regular(g, 0, t);
+    EXPECT_GE(variation_distance_to_uniform(det), 0.5 - 1e-9);
+    const auto exp_sojourn = ctrw_distribution(g, 0, t);
+    // The exponential-sojourn walk mixes at rate lambda_2 while the
+    // deterministic one never leaves the parity class.
+    EXPECT_LT(variation_distance_to_uniform(exp_sojourn), 0.05);
+  }
+  EXPECT_LT(variation_distance_to_uniform(ctrw_distribution(g, 0, 60.0)),
+            1e-4);
+}
+
+TEST(DeterministicCtrwExact, RejectsIrregularGraph) {
+  EXPECT_THROW(deterministic_ctrw_distribution_regular(star(5), 0, 1.0),
+               precondition_error);
+}
+
+TEST(VariationDistance, BasicProperties) {
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(variation_distance(p, q), 1.0);
+  EXPECT_DOUBLE_EQ(variation_distance(p, p), 0.0);
+  const std::vector<double> u{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(variation_distance_to_uniform(p), 0.5);
+  EXPECT_DOUBLE_EQ(variation_distance_to_uniform(u), 0.0);
+}
+
+TEST(DtrwStationary, SumsToOneAndMatchesDegrees) {
+  Rng rng(6);
+  const Graph g = balanced_random_graph(50, rng);
+  const auto pi = dtrw_stationary(g);
+  EXPECT_NEAR(total_mass(pi), 1.0, 1e-12);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_NEAR(pi[v],
+                static_cast<double>(g.degree(v)) /
+                    static_cast<double>(g.total_degree()),
+                1e-15);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,139 @@
+#include "walk/hitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random_tour.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(HittingTimes, TwoNodeGraph) {
+  const auto h = exact_hitting_times(complete(2), 0);
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+  EXPECT_DOUBLE_EQ(h[1], 1.0);
+}
+
+TEST(HittingTimes, CompleteGraphClosedForm) {
+  // K_n: hitting time from any non-target node is n - 1.
+  const std::size_t n = 9;
+  const auto h = exact_hitting_times(complete(n), 2);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != 2) {
+      EXPECT_NEAR(h[v], static_cast<double>(n - 1), 1e-9);
+    }
+  }
+}
+
+TEST(HittingTimes, PathEndpointQuadratic) {
+  // P_n, target one end: from the other end h = (n-1)^2.
+  const std::size_t n = 8;
+  const auto h = exact_hitting_times(path_graph(n), 0);
+  EXPECT_NEAR(h[n - 1], static_cast<double>((n - 1) * (n - 1)), 1e-8);
+}
+
+TEST(HittingTimes, MatchesSimulation) {
+  Rng rng(1);
+  const Graph g = largest_component(erdos_renyi_gnp(30, 0.2, rng));
+  const auto h = exact_hitting_times(g, 0);
+  // Spot-check two nodes by Monte Carlo.
+  for (NodeId start : {NodeId{1}, NodeId{5}}) {
+    if (start >= g.num_nodes()) continue;
+    RunningStats sim;
+    for (int trial = 0; trial < 4000; ++trial) {
+      NodeId at = start;
+      std::uint64_t steps = 0;
+      while (at != 0) {
+        at = random_neighbor(g, at, rng);
+        ++steps;
+      }
+      sim.add(static_cast<double>(steps));
+    }
+    const double se = sim.stddev() / std::sqrt(4000.0);
+    EXPECT_NEAR(sim.mean(), h[start], 5.0 * se + 1e-9);
+  }
+}
+
+class KacFormula : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(KacFormula, LinearSolveAgreesWithClosedForm) {
+  Rng rng(2);
+  const Graph g = largest_component(GetParam().make(rng));
+  if (g.num_nodes() > 120) GTEST_SKIP() << "O(n^3) solve too slow";
+  for (NodeId origin : {NodeId{0}, static_cast<NodeId>(g.num_nodes() / 2)}) {
+    const double kac = static_cast<double>(g.total_degree()) /
+                       static_cast<double>(g.degree(origin));
+    EXPECT_NEAR(exact_return_time(g, origin), kac, 1e-7 * kac)
+        << GetParam().name << " origin " << origin;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, KacFormula,
+    ::testing::ValuesIn(testing::exact_graph_cases()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(TourMoments, MeanIsExactlyN) {
+  // Proposition 1, now as an algebraic identity rather than a monte-carlo
+  // approximation.
+  Rng rng(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = largest_component(erdos_renyi_gnp(25, 0.25, rng));
+    const auto moments = exact_tour_moments(g, 0);
+    EXPECT_NEAR(moments.mean, static_cast<double>(g.num_nodes()),
+                1e-8 * g.num_nodes());
+    EXPECT_GT(moments.variance, 0.0);
+  }
+}
+
+TEST(TourMoments, VarianceMatchesSimulation) {
+  Rng rng(4);
+  const Graph g = largest_component(balanced_random_graph(40, rng));
+  const auto moments = exact_tour_moments(g, 0);
+  RunningStats sim;
+  for (int trial = 0; trial < 30000; ++trial)
+    sim.add(random_tour_size(g, 0, rng).value);
+  EXPECT_NEAR(sim.mean(), moments.mean, 0.05 * moments.mean);
+  EXPECT_NEAR(sim.variance(), moments.variance, 0.15 * moments.variance);
+}
+
+TEST(TourMoments, VarianceWithinProposition2Bounds) {
+  // The exact variance must respect Prop. 2:
+  //   something ~ N^2 - O(N)  <=  Var  <=  N^2 * 2 dbar / lambda_2 + O(N).
+  Rng rng(5);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Graph g = largest_component(erdos_renyi_gnp(30, 0.25, rng));
+    const double n = static_cast<double>(g.num_nodes());
+    const auto moments = exact_tour_moments(g, 0);
+    const double gap = spectral_gap_exact(g);
+    EXPECT_LE(moments.variance,
+              n * n * 2.0 * g.average_degree() / gap + 2.0 * n);
+    EXPECT_GE(moments.variance, (n - 1.0) * (n - 1.0) - 2.0 * n * n / gap -
+                                    2.0 * n);
+  }
+}
+
+TEST(TourMoments, K2IsDeterministic) {
+  const auto moments = exact_tour_moments(complete(2), 0);
+  EXPECT_NEAR(moments.mean, 2.0, 1e-12);
+  EXPECT_NEAR(moments.variance, 0.0, 1e-12);
+}
+
+TEST(Hitting, PreconditionsEnforced) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph disconnected = b.build();
+  EXPECT_THROW(exact_hitting_times(disconnected, 0), precondition_error);
+  EXPECT_THROW(exact_tour_moments(disconnected, 0), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,80 @@
+#include "walk/mixing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+#include "walk/exact.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(MixingTime, DistanceAtMixingTimeIsEps) {
+  Rng rng(1);
+  const Graph g = largest_component(balanced_random_graph(60, rng));
+  const double eps = 0.05;
+  const double t = ctrw_mixing_time(g, eps);
+  EXPECT_LE(ctrw_worst_case_distance(g, t), eps + 1e-9);
+  EXPECT_GT(ctrw_worst_case_distance(g, t * 0.8), eps);
+}
+
+TEST(MixingTime, BoundedByLemma1) {
+  Rng rng(2);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Graph g =
+        largest_component(erdos_renyi_gnp(40, 0.15, rng));
+    const double eps = 0.02;
+    const double t = ctrw_mixing_time(g, eps);
+    const double bound =
+        lemma1_mixing_bound(g.num_nodes(), spectral_gap_exact(g), eps);
+    EXPECT_LE(t, bound + 1e-6);
+  }
+}
+
+TEST(MixingTime, CompleteGraphMixesFastest) {
+  const double t_complete = ctrw_mixing_time(complete(16), 0.05);
+  const double t_ring = ctrw_mixing_time(ring(16), 0.05);
+  EXPECT_LT(t_complete, t_ring);
+}
+
+TEST(MixingTime, GrowsQuadraticallyOnRings) {
+  // lambda_2(C_n) ~ (2 pi / n)^2, so t_mix scales ~ n^2.
+  const double t16 = ctrw_mixing_time(ring(16), 0.05);
+  const double t32 = ctrw_mixing_time(ring(32), 0.05);
+  EXPECT_GT(t32 / t16, 2.5);
+  EXPECT_LT(t32 / t16, 6.0);
+}
+
+TEST(MixingTime, WorstCaseOriginDominates) {
+  // On a lollipop (clique + path), the path tip mixes far slower than a
+  // clique node: worst-case must reflect the tip.
+  GraphBuilder b(10);
+  for (NodeId u = 0; u < 6; ++u)
+    for (NodeId v = u + 1; v < 6; ++v) b.add_edge(u, v);
+  b.add_edge(5, 6);
+  b.add_edge(6, 7);
+  b.add_edge(7, 8);
+  b.add_edge(8, 9);
+  const Graph g = b.build();
+  const double t = 1.0;
+  const double from_clique =
+      variation_distance_to_uniform(ctrw_distribution(g, 0, t));
+  const double worst = ctrw_worst_case_distance(g, t);
+  EXPECT_GE(worst, from_clique);
+  const double from_tip =
+      variation_distance_to_uniform(ctrw_distribution(g, 9, t));
+  EXPECT_NEAR(worst, std::max(from_tip, from_clique), 1e-12);
+}
+
+TEST(MixingTime, PreconditionsEnforced) {
+  const Graph g = ring(8);
+  EXPECT_THROW(ctrw_mixing_time(g, 0.0), precondition_error);
+  EXPECT_THROW(ctrw_mixing_time(g, 1.0), precondition_error);
+  EXPECT_THROW(lemma1_mixing_bound(8, 0.0, 0.1), precondition_error);
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,164 @@
+#include "walk/walkers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+#include "util/tests.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(RandomNeighbor, OnlyReturnsNeighbors) {
+  Rng rng(1);
+  const Graph g = star(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(random_neighbor(g, 5, rng), 0u);  // leaves only know the hub
+    const NodeId n = random_neighbor(g, 0, rng);
+    EXPECT_GE(n, 1u);
+    EXPECT_LT(n, 10u);
+  }
+}
+
+TEST(RandomNeighbor, RequiresNonIsolatedNode) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  Rng rng(1);
+  EXPECT_THROW(random_neighbor(g, 2, rng), precondition_error);
+}
+
+TEST(RandomNeighbor, UniformOverNeighbors) {
+  Rng rng(2);
+  const Graph g = complete(6);
+  std::vector<std::size_t> counts(6, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[random_neighbor(g, 0, rng)];
+  EXPECT_EQ(counts[0], 0u);
+  const std::vector<std::size_t> others(counts.begin() + 1, counts.end());
+  EXPECT_GT(chi_square_uniform(others).p_value, 1e-4);
+}
+
+TEST(DtrwWalker, CountsSteps) {
+  Rng rng(3);
+  const Graph g = ring(8);
+  DtrwWalker walker(g, 0);
+  for (int i = 0; i < 10; ++i) walker.step(rng);
+  EXPECT_EQ(walker.steps(), 10u);
+}
+
+TEST(DtrwWalker, StationaryVisitFrequencyIsDegreeBiased) {
+  // On a star with h leaves, the DTRW alternates hub/leaf: the hub holds
+  // half the stationary mass.
+  Rng rng(4);
+  const Graph g = star(11);
+  DtrwWalker walker(g, 0);
+  std::size_t hub_visits = 0;
+  const std::size_t steps = 20000;
+  for (std::size_t i = 0; i < steps; ++i)
+    if (walker.step(rng) == 0) ++hub_visits;
+  EXPECT_NEAR(static_cast<double>(hub_visits) / steps, 0.5, 0.02);
+}
+
+class ReturnTimeCycleFormula
+    : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(ReturnTimeCycleFormula, MeanReturnTimeIsTotalDegreeOverDegree) {
+  // Kac's formula: E_i[T_i] = 1/pi_i = 2|E| / d_i.
+  Rng rng(5);
+  const Graph g = GetParam().make(rng);
+  const NodeId origin = 0;
+  const double expected = static_cast<double>(g.total_degree()) /
+                          static_cast<double>(g.degree(origin));
+  RunningStats stats;
+  const int tours = 3000;
+  for (int t = 0; t < tours; ++t)
+    stats.add(static_cast<double>(measure_return_time(g, origin, rng)));
+  // Return times have heavy relative variance; allow 5 standard errors.
+  const double stderr_mean = stats.stddev() / std::sqrt(double(tours));
+  EXPECT_NEAR(stats.mean(), expected, 5.0 * stderr_mean + 1e-9)
+      << "graph=" << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ReturnTimeCycleFormula,
+    ::testing::ValuesIn(testing::estimator_graph_cases()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CtrwSample, WorksOnDynamicGraph) {
+  Rng rng(6);
+  DynamicGraph d(complete(12));
+  d.remove_node(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = ctrw_sample(d, 0, 5.0, rng);
+    EXPECT_TRUE(d.alive(s.node));
+  }
+}
+
+TEST(CtrwSample, ZeroHopsPossibleForTinyTimer) {
+  // With a microscopic timer the origin's first sojourn almost surely
+  // exceeds it, so the sample is the origin itself at zero hops.
+  Rng rng(7);
+  const Graph g = ring(16);
+  int at_origin = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto s = ctrw_sample(g, 4, 1e-9, rng);
+    if (s.node == 4 && s.hops == 0) ++at_origin;
+  }
+  EXPECT_EQ(at_origin, 200);
+}
+
+TEST(CtrwSample, HopCountGrowsWithTimer) {
+  Rng rng(8);
+  const Graph g = complete(20);
+  RunningStats short_hops;
+  RunningStats long_hops;
+  for (int i = 0; i < 400; ++i) {
+    short_hops.add(static_cast<double>(ctrw_sample(g, 0, 1.0, rng).hops));
+    long_hops.add(static_cast<double>(ctrw_sample(g, 0, 8.0, rng).hops));
+  }
+  // Expected hops ~ timer * degree; ratio of means should be ~8.
+  EXPECT_GT(long_hops.mean(), 5.0 * short_hops.mean());
+}
+
+TEST(CtrwSample, RequiresPositiveTimer) {
+  Rng rng(9);
+  const Graph g = ring(4);
+  EXPECT_THROW(ctrw_sample(g, 0, 0.0, rng), precondition_error);
+}
+
+TEST(DeterministicCtrw, BipartiteParityTrap) {
+  // Remark 1: on a bipartite d-regular graph, the deterministic-sojourn
+  // CTRW's side at time T is fixed by floor(T*d)'s parity — the sampled
+  // node NEVER leaves that side, however large T is.
+  Rng rng(10);
+  const Graph g = bipartite_regular(10, 3, rng);  // d = 3, sides {0..9}/{10..19}
+  const double timer = 8.0 + 0.5 / 3.0;  // floor(T*d) = 24, even -> origin side
+  for (int i = 0; i < 300; ++i) {
+    const auto s = deterministic_ctrw_sample(g, 2, timer, rng);
+    EXPECT_LT(s.node, 10u) << "sample escaped the origin's bipartition side";
+  }
+  const double odd_timer = 8.0 + 1.5 / 3.0;  // floor(T*d) = 25, odd
+  for (int i = 0; i < 300; ++i) {
+    const auto s = deterministic_ctrw_sample(g, 2, odd_timer, rng);
+    EXPECT_GE(s.node, 10u);
+  }
+}
+
+TEST(DtrwSampleBaseline, StopsAtExactHopCount) {
+  Rng rng(11);
+  const Graph g = ring(10);
+  const auto s = dtrw_sample(g, 0, 7, rng);
+  EXPECT_EQ(s.hops, 7u);
+  // Parity of the ring walk: after 7 steps the position has odd parity.
+  EXPECT_EQ((s.node + 10 - 0) % 2, 1u);
+}
+
+}  // namespace
+}  // namespace overcount
