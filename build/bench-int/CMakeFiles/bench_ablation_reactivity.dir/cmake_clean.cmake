@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_reactivity"
+  "../bench/bench_ablation_reactivity.pdb"
+  "CMakeFiles/bench_ablation_reactivity.dir/bench_ablation_reactivity.cpp.o"
+  "CMakeFiles/bench_ablation_reactivity.dir/bench_ablation_reactivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reactivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

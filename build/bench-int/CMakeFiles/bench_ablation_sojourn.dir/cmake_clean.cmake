@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sojourn"
+  "../bench/bench_ablation_sojourn.pdb"
+  "CMakeFiles/bench_ablation_sojourn.dir/bench_ablation_sojourn.cpp.o"
+  "CMakeFiles/bench_ablation_sojourn.dir/bench_ablation_sojourn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sojourn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_aggregates"
+  "../bench/bench_aggregates.pdb"
+  "CMakeFiles/bench_aggregates.dir/bench_aggregates.cpp.o"
+  "CMakeFiles/bench_aggregates.dir/bench_aggregates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_rt_sliding"
+  "../bench/bench_fig02_rt_sliding.pdb"
+  "CMakeFiles/bench_fig02_rt_sliding.dir/bench_fig02_rt_sliding.cpp.o"
+  "CMakeFiles/bench_fig02_rt_sliding.dir/bench_fig02_rt_sliding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_rt_sliding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_sc_static"
+  "../bench/bench_fig03_sc_static.pdb"
+  "CMakeFiles/bench_fig03_sc_static.dir/bench_fig03_sc_static.cpp.o"
+  "CMakeFiles/bench_fig03_sc_static.dir/bench_fig03_sc_static.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_sc_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_value_cdf"
+  "../bench/bench_fig04_value_cdf.pdb"
+  "CMakeFiles/bench_fig04_value_cdf.dir/bench_fig04_value_cdf.cpp.o"
+  "CMakeFiles/bench_fig04_value_cdf.dir/bench_fig04_value_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_value_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

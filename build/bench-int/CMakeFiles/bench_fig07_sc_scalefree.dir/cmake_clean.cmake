@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_sc_scalefree"
+  "../bench/bench_fig07_sc_scalefree.pdb"
+  "CMakeFiles/bench_fig07_sc_scalefree.dir/bench_fig07_sc_scalefree.cpp.o"
+  "CMakeFiles/bench_fig07_sc_scalefree.dir/bench_fig07_sc_scalefree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_sc_scalefree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

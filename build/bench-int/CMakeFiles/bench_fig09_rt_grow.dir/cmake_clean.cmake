@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_rt_grow"
+  "../bench/bench_fig09_rt_grow.pdb"
+  "CMakeFiles/bench_fig09_rt_grow.dir/bench_fig09_rt_grow.cpp.o"
+  "CMakeFiles/bench_fig09_rt_grow.dir/bench_fig09_rt_grow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_rt_grow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

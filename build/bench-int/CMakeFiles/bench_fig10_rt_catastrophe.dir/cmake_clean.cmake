@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_rt_catastrophe"
+  "../bench/bench_fig10_rt_catastrophe.pdb"
+  "CMakeFiles/bench_fig10_rt_catastrophe.dir/bench_fig10_rt_catastrophe.cpp.o"
+  "CMakeFiles/bench_fig10_rt_catastrophe.dir/bench_fig10_rt_catastrophe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_rt_catastrophe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_sc_shrink"
+  "../bench/bench_fig11_sc_shrink.pdb"
+  "CMakeFiles/bench_fig11_sc_shrink.dir/bench_fig11_sc_shrink.cpp.o"
+  "CMakeFiles/bench_fig11_sc_shrink.dir/bench_fig11_sc_shrink.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_sc_shrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_topology_stats.cpp" "bench-int/CMakeFiles/bench_topology_stats.dir/bench_topology_stats.cpp.o" "gcc" "bench-int/CMakeFiles/bench_topology_stats.dir/bench_topology_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-int/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/overcount_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/overcount_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/overcount_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/overcount_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/overcount_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/walk/CMakeFiles/overcount_walk.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/overcount_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/overcount_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_stress.dir/churn_stress.cpp.o"
+  "CMakeFiles/churn_stress.dir/churn_stress.cpp.o.d"
+  "churn_stress"
+  "churn_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

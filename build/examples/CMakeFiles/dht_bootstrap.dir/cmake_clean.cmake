@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dht_bootstrap.dir/dht_bootstrap.cpp.o"
+  "CMakeFiles/dht_bootstrap.dir/dht_bootstrap.cpp.o.d"
+  "dht_bootstrap"
+  "dht_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dht_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

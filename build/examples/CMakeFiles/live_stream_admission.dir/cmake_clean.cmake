@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_stream_admission.dir/live_stream_admission.cpp.o"
+  "CMakeFiles/live_stream_admission.dir/live_stream_admission.cpp.o.d"
+  "live_stream_admission"
+  "live_stream_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_stream_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

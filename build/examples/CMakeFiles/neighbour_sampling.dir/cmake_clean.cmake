@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighbour_sampling.dir/neighbour_sampling.cpp.o"
+  "CMakeFiles/neighbour_sampling.dir/neighbour_sampling.cpp.o.d"
+  "neighbour_sampling"
+  "neighbour_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighbour_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

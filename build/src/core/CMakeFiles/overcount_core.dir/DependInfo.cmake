@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dht_density.cpp" "src/core/CMakeFiles/overcount_core.dir/dht_density.cpp.o" "gcc" "src/core/CMakeFiles/overcount_core.dir/dht_density.cpp.o.d"
+  "/root/repo/src/core/polling.cpp" "src/core/CMakeFiles/overcount_core.dir/polling.cpp.o" "gcc" "src/core/CMakeFiles/overcount_core.dir/polling.cpp.o.d"
+  "/root/repo/src/core/random_tour.cpp" "src/core/CMakeFiles/overcount_core.dir/random_tour.cpp.o" "gcc" "src/core/CMakeFiles/overcount_core.dir/random_tour.cpp.o.d"
+  "/root/repo/src/core/sample_collide.cpp" "src/core/CMakeFiles/overcount_core.dir/sample_collide.cpp.o" "gcc" "src/core/CMakeFiles/overcount_core.dir/sample_collide.cpp.o.d"
+  "/root/repo/src/core/sampling.cpp" "src/core/CMakeFiles/overcount_core.dir/sampling.cpp.o" "gcc" "src/core/CMakeFiles/overcount_core.dir/sampling.cpp.o.d"
+  "/root/repo/src/core/tree_aggregate.cpp" "src/core/CMakeFiles/overcount_core.dir/tree_aggregate.cpp.o" "gcc" "src/core/CMakeFiles/overcount_core.dir/tree_aggregate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/walk/CMakeFiles/overcount_walk.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/overcount_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/overcount_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/overcount_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

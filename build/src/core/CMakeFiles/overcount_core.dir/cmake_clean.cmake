@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overcount_core.dir/dht_density.cpp.o"
+  "CMakeFiles/overcount_core.dir/dht_density.cpp.o.d"
+  "CMakeFiles/overcount_core.dir/polling.cpp.o"
+  "CMakeFiles/overcount_core.dir/polling.cpp.o.d"
+  "CMakeFiles/overcount_core.dir/random_tour.cpp.o"
+  "CMakeFiles/overcount_core.dir/random_tour.cpp.o.d"
+  "CMakeFiles/overcount_core.dir/sample_collide.cpp.o"
+  "CMakeFiles/overcount_core.dir/sample_collide.cpp.o.d"
+  "CMakeFiles/overcount_core.dir/sampling.cpp.o"
+  "CMakeFiles/overcount_core.dir/sampling.cpp.o.d"
+  "CMakeFiles/overcount_core.dir/tree_aggregate.cpp.o"
+  "CMakeFiles/overcount_core.dir/tree_aggregate.cpp.o.d"
+  "libovercount_core.a"
+  "libovercount_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overcount_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

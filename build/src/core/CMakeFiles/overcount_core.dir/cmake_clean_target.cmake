@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libovercount_core.a"
+)

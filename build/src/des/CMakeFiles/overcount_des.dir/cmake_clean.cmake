@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overcount_des.dir/network.cpp.o"
+  "CMakeFiles/overcount_des.dir/network.cpp.o.d"
+  "CMakeFiles/overcount_des.dir/simulator.cpp.o"
+  "CMakeFiles/overcount_des.dir/simulator.cpp.o.d"
+  "libovercount_des.a"
+  "libovercount_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overcount_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

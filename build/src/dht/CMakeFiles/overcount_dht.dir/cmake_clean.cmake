@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overcount_dht.dir/chord.cpp.o"
+  "CMakeFiles/overcount_dht.dir/chord.cpp.o.d"
+  "libovercount_dht.a"
+  "libovercount_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overcount_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overcount_graph.dir/connectivity.cpp.o"
+  "CMakeFiles/overcount_graph.dir/connectivity.cpp.o.d"
+  "CMakeFiles/overcount_graph.dir/dynamic_graph.cpp.o"
+  "CMakeFiles/overcount_graph.dir/dynamic_graph.cpp.o.d"
+  "CMakeFiles/overcount_graph.dir/generators.cpp.o"
+  "CMakeFiles/overcount_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/overcount_graph.dir/graph.cpp.o"
+  "CMakeFiles/overcount_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/overcount_graph.dir/io.cpp.o"
+  "CMakeFiles/overcount_graph.dir/io.cpp.o.d"
+  "CMakeFiles/overcount_graph.dir/metrics.cpp.o"
+  "CMakeFiles/overcount_graph.dir/metrics.cpp.o.d"
+  "libovercount_graph.a"
+  "libovercount_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overcount_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overcount_membership.dir/shuffle.cpp.o"
+  "CMakeFiles/overcount_membership.dir/shuffle.cpp.o.d"
+  "libovercount_membership.a"
+  "libovercount_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overcount_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overcount_proto.dir/gossip_protocol.cpp.o"
+  "CMakeFiles/overcount_proto.dir/gossip_protocol.cpp.o.d"
+  "CMakeFiles/overcount_proto.dir/polling_protocol.cpp.o"
+  "CMakeFiles/overcount_proto.dir/polling_protocol.cpp.o.d"
+  "CMakeFiles/overcount_proto.dir/random_tour_protocol.cpp.o"
+  "CMakeFiles/overcount_proto.dir/random_tour_protocol.cpp.o.d"
+  "CMakeFiles/overcount_proto.dir/sampling_protocol.cpp.o"
+  "CMakeFiles/overcount_proto.dir/sampling_protocol.cpp.o.d"
+  "libovercount_proto.a"
+  "libovercount_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overcount_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

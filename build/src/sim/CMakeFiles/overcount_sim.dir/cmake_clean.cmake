@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overcount_sim.dir/scenario.cpp.o"
+  "CMakeFiles/overcount_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/overcount_sim.dir/trace.cpp.o"
+  "CMakeFiles/overcount_sim.dir/trace.cpp.o.d"
+  "libovercount_sim.a"
+  "libovercount_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overcount_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

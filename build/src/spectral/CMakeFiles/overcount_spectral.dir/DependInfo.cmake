@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spectral/conductance.cpp" "src/spectral/CMakeFiles/overcount_spectral.dir/conductance.cpp.o" "gcc" "src/spectral/CMakeFiles/overcount_spectral.dir/conductance.cpp.o.d"
+  "/root/repo/src/spectral/dense.cpp" "src/spectral/CMakeFiles/overcount_spectral.dir/dense.cpp.o" "gcc" "src/spectral/CMakeFiles/overcount_spectral.dir/dense.cpp.o.d"
+  "/root/repo/src/spectral/laplacian.cpp" "src/spectral/CMakeFiles/overcount_spectral.dir/laplacian.cpp.o" "gcc" "src/spectral/CMakeFiles/overcount_spectral.dir/laplacian.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/overcount_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/overcount_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overcount_spectral.dir/conductance.cpp.o"
+  "CMakeFiles/overcount_spectral.dir/conductance.cpp.o.d"
+  "CMakeFiles/overcount_spectral.dir/dense.cpp.o"
+  "CMakeFiles/overcount_spectral.dir/dense.cpp.o.d"
+  "CMakeFiles/overcount_spectral.dir/laplacian.cpp.o"
+  "CMakeFiles/overcount_spectral.dir/laplacian.cpp.o.d"
+  "libovercount_spectral.a"
+  "libovercount_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overcount_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

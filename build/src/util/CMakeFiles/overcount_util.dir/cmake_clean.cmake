@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overcount_util.dir/options.cpp.o"
+  "CMakeFiles/overcount_util.dir/options.cpp.o.d"
+  "CMakeFiles/overcount_util.dir/rng.cpp.o"
+  "CMakeFiles/overcount_util.dir/rng.cpp.o.d"
+  "CMakeFiles/overcount_util.dir/stats.cpp.o"
+  "CMakeFiles/overcount_util.dir/stats.cpp.o.d"
+  "CMakeFiles/overcount_util.dir/table.cpp.o"
+  "CMakeFiles/overcount_util.dir/table.cpp.o.d"
+  "CMakeFiles/overcount_util.dir/tests.cpp.o"
+  "CMakeFiles/overcount_util.dir/tests.cpp.o.d"
+  "libovercount_util.a"
+  "libovercount_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overcount_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

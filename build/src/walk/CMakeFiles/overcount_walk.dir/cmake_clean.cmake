@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overcount_walk.dir/exact.cpp.o"
+  "CMakeFiles/overcount_walk.dir/exact.cpp.o.d"
+  "CMakeFiles/overcount_walk.dir/hitting.cpp.o"
+  "CMakeFiles/overcount_walk.dir/hitting.cpp.o.d"
+  "CMakeFiles/overcount_walk.dir/mixing.cpp.o"
+  "CMakeFiles/overcount_walk.dir/mixing.cpp.o.d"
+  "libovercount_walk.a"
+  "libovercount_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overcount_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

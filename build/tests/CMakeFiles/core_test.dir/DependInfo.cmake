@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aggregate_test.cpp" "tests/CMakeFiles/core_test.dir/core/aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/aggregate_test.cpp.o.d"
+  "/root/repo/tests/core/baselines2_test.cpp" "tests/CMakeFiles/core_test.dir/core/baselines2_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/baselines2_test.cpp.o.d"
+  "/root/repo/tests/core/baselines_test.cpp" "tests/CMakeFiles/core_test.dir/core/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/collision_law_test.cpp" "tests/CMakeFiles/core_test.dir/core/collision_law_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/collision_law_test.cpp.o.d"
+  "/root/repo/tests/core/ctrw_tour_test.cpp" "tests/CMakeFiles/core_test.dir/core/ctrw_tour_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ctrw_tour_test.cpp.o.d"
+  "/root/repo/tests/core/f_sweep_test.cpp" "tests/CMakeFiles/core_test.dir/core/f_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/f_sweep_test.cpp.o.d"
+  "/root/repo/tests/core/gap_diagnostics_test.cpp" "tests/CMakeFiles/core_test.dir/core/gap_diagnostics_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/gap_diagnostics_test.cpp.o.d"
+  "/root/repo/tests/core/monitor_test.cpp" "tests/CMakeFiles/core_test.dir/core/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/monitor_test.cpp.o.d"
+  "/root/repo/tests/core/quantile_test.cpp" "tests/CMakeFiles/core_test.dir/core/quantile_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/quantile_test.cpp.o.d"
+  "/root/repo/tests/core/random_tour_test.cpp" "tests/CMakeFiles/core_test.dir/core/random_tour_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/random_tour_test.cpp.o.d"
+  "/root/repo/tests/core/sample_collide_test.cpp" "tests/CMakeFiles/core_test.dir/core/sample_collide_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sample_collide_test.cpp.o.d"
+  "/root/repo/tests/core/sampling_test.cpp" "tests/CMakeFiles/core_test.dir/core/sampling_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sampling_test.cpp.o.d"
+  "/root/repo/tests/core/seed_sweep_test.cpp" "tests/CMakeFiles/core_test.dir/core/seed_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/seed_sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/overcount_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/overcount_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/overcount_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/overcount_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/overcount_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/overcount_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/overcount_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/walk/CMakeFiles/overcount_walk.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/overcount_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/overcount_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/aggregate_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/aggregate_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/baselines2_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/baselines2_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/collision_law_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/collision_law_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ctrw_tour_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ctrw_tour_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/f_sweep_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/f_sweep_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/gap_diagnostics_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/gap_diagnostics_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/monitor_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/monitor_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/quantile_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/quantile_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/random_tour_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/random_tour_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sample_collide_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sample_collide_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sampling_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sampling_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/seed_sweep_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/seed_sweep_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

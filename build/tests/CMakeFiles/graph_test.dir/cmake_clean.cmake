@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_test.dir/graph/connectivity_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/connectivity_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/dynamic_graph_fuzz_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/dynamic_graph_fuzz_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/dynamic_graph_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/dynamic_graph_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/generators2_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/generators2_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/generators_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/generators_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/graph_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/graph_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/io_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/io_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/metrics_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/metrics_test.cpp.o.d"
+  "graph_test"
+  "graph_test.pdb"
+  "graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_test.dir/protocols/determinism_test.cpp.o"
+  "CMakeFiles/proto_test.dir/protocols/determinism_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/protocols/gossip_protocol_test.cpp.o"
+  "CMakeFiles/proto_test.dir/protocols/gossip_protocol_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/protocols/polling_protocol_test.cpp.o"
+  "CMakeFiles/proto_test.dir/protocols/polling_protocol_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/protocols/random_tour_protocol_test.cpp.o"
+  "CMakeFiles/proto_test.dir/protocols/random_tour_protocol_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/protocols/sampling_protocol_test.cpp.o"
+  "CMakeFiles/proto_test.dir/protocols/sampling_protocol_test.cpp.o.d"
+  "proto_test"
+  "proto_test.pdb"
+  "proto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

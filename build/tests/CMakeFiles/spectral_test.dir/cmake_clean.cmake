@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_test.dir/spectral/conductance_test.cpp.o"
+  "CMakeFiles/spectral_test.dir/spectral/conductance_test.cpp.o.d"
+  "CMakeFiles/spectral_test.dir/spectral/dense_test.cpp.o"
+  "CMakeFiles/spectral_test.dir/spectral/dense_test.cpp.o.d"
+  "CMakeFiles/spectral_test.dir/spectral/laplacian_test.cpp.o"
+  "CMakeFiles/spectral_test.dir/spectral/laplacian_test.cpp.o.d"
+  "CMakeFiles/spectral_test.dir/spectral/spectrum_families_test.cpp.o"
+  "CMakeFiles/spectral_test.dir/spectral/spectrum_families_test.cpp.o.d"
+  "spectral_test"
+  "spectral_test.pdb"
+  "spectral_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

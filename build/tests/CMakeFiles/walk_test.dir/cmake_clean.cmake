@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_test.dir/walk/exact_identities_test.cpp.o"
+  "CMakeFiles/walk_test.dir/walk/exact_identities_test.cpp.o.d"
+  "CMakeFiles/walk_test.dir/walk/exact_test.cpp.o"
+  "CMakeFiles/walk_test.dir/walk/exact_test.cpp.o.d"
+  "CMakeFiles/walk_test.dir/walk/hitting_test.cpp.o"
+  "CMakeFiles/walk_test.dir/walk/hitting_test.cpp.o.d"
+  "CMakeFiles/walk_test.dir/walk/metropolis_test.cpp.o"
+  "CMakeFiles/walk_test.dir/walk/metropolis_test.cpp.o.d"
+  "CMakeFiles/walk_test.dir/walk/mixing_test.cpp.o"
+  "CMakeFiles/walk_test.dir/walk/mixing_test.cpp.o.d"
+  "CMakeFiles/walk_test.dir/walk/walkers_test.cpp.o"
+  "CMakeFiles/walk_test.dir/walk/walkers_test.cpp.o.d"
+  "walk_test"
+  "walk_test.pdb"
+  "walk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
