@@ -4,6 +4,10 @@
 //
 // Paper shape: each curve starts noisy and converges to ~100%; the cost is
 // linear in the number of runs and the averaged variance decays like 1/runs.
+//
+// The tours of each curve run as one parallel batch (core/parallel.hpp);
+// the cumulative averages are then replayed over the batch in task-index
+// order, so the figure is bit-identical at any OVERCOUNT_THREADS.
 #include "common.hpp"
 
 int main() {
@@ -19,16 +23,20 @@ int main() {
   const std::size_t total_runs = runs(3000);
   std::vector<Series> series;
   Rng master(master_seed());
+  ParallelRunner runner(worker_threads());
   for (int graph_idx = 1; graph_idx <= 3; ++graph_idx) {
     Rng graph_rng = master.split();
     const Graph g = make_balanced(graph_rng);
     const double n = static_cast<double>(g.num_nodes());
-    RandomTourEstimator estimator(g, 0, master.split());
+    const std::uint64_t batch_seed = master.split().next();
+    const auto batch = run_tours_size(g, 0, total_runs, batch_seed, runner);
 
     Series s{"estimation_" + std::to_string(graph_idx), {}, {}};
     double acc = 0.0;
-    for (std::size_t run = 1; run <= total_runs; ++run) {
-      acc += estimator.estimate_size().value;
+    std::size_t run = 0;
+    for (const auto& tour : batch.tours) {
+      acc += tour.value;
+      ++run;
       if (run % 10 == 0 || run < 20)
         s.add(static_cast<double>(run),
               100.0 * (acc / static_cast<double>(run)) / n);
@@ -36,10 +44,11 @@ int main() {
     std::cout << "# graph " << graph_idx << ": n=" << g.num_nodes()
               << " final_quality_pct=" << format_double(s.ys.back(), 2)
               << " avg_cost_per_run="
-              << format_double(static_cast<double>(estimator.total_steps()) /
+              << format_double(static_cast<double>(batch.total_steps) /
                                    static_cast<double>(total_runs),
                                1)
               << " steps\n";
+    emit_batch("rt_tours graph " + std::to_string(graph_idx), batch.stats);
     series.push_back(std::move(s));
   }
   emit("Figure 1 - RT cumulative average (% of system size)", series);

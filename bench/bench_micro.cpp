@@ -1,10 +1,12 @@
 // Micro-benchmarks (google-benchmark): throughput of the primitives every
 // experiment above is built from — walk steps, CTRW samples, full tours,
-// DES events, and the Lanczos spectral-gap computation.
+// DES events, the Lanczos spectral-gap computation, and the parallel batch
+// runner's scaling across thread counts.
 #include <benchmark/benchmark.h>
 
 #include "core/overcount.hpp"
 #include "des/simulator.hpp"
+#include "runtime/parallel_runner.hpp"
 #include "walk/walkers.hpp"
 
 namespace {
@@ -42,6 +44,54 @@ void BM_RandomTour(benchmark::State& state) {
       static_cast<double>(steps) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_RandomTour);
+
+// Batch of independent tours fanned over a ParallelRunner pool; Arg is the
+// thread count. The acceptance target is >= 3x items/s at 8 threads vs the
+// 1-thread batch on an 8-core machine; results are bit-identical across
+// thread counts, so this only buys wall-clock, never different numbers.
+void BM_TourBatchParallel(benchmark::State& state) {
+  const Graph& g = balanced_graph();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  ParallelRunner runner(threads);
+  const std::size_t batch_size = 64;
+  std::uint64_t seed = 1000;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const auto batch = run_tours_size(g, 0, batch_size, seed++, runner);
+    steps += batch.total_steps;
+    benchmark::DoNotOptimize(batch.sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.counters["tours/batch"] = static_cast<double>(batch_size);
+}
+BENCHMARK(BM_TourBatchParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Same scaling probe for a batch of CTRW samples (the S&C inner loop).
+void BM_SampleBatchParallel(benchmark::State& state) {
+  const Graph& g = balanced_graph();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  ParallelRunner runner(threads);
+  const std::size_t batch_size = 256;
+  std::uint64_t seed = 2000;
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    const auto batch = run_samples(g, 0, batch_size, 6.0, seed++, runner);
+    hops += batch.total_hops;
+    benchmark::DoNotOptimize(batch.samples.back().node);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hops));
+}
+BENCHMARK(BM_SampleBatchParallel)
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CtrwSample(benchmark::State& state) {
   const Graph& g = balanced_graph();

@@ -35,27 +35,31 @@ int main() {
     RunningStats cost;
   };
   std::vector<Row> rows;
+  ParallelRunner runner(worker_threads());
 
   {
     Row row{"RT", {}, {}};
-    RandomTourEstimator rt(g, 0, master.split());
     const std::size_t rt_runs = runs(1500);
-    for (std::size_t i = 0; i < rt_runs; ++i) {
-      const auto e = rt.estimate_size();
+    const std::uint64_t batch_seed = master.split().next();
+    const auto batch = run_tours_size(g, 0, rt_runs, batch_seed, runner);
+    for (const auto& e : batch.tours) {
       row.value.add(e.value / n);
       row.cost.add(static_cast<double>(e.steps) / n);
     }
+    emit_batch("rt_tours", batch.stats);
     rows.push_back(std::move(row));
   }
   for (const std::size_t ell : {std::size_t{10}, std::size_t{100}}) {
     Row row{"SC, l=" + std::to_string(ell), {}, {}};
-    SampleCollideEstimator sc(g, 0, timer, ell, master.split());
     const std::size_t sc_runs = runs(ell == 10 ? 500 : 150);
-    for (std::size_t i = 0; i < sc_runs; ++i) {
-      const auto e = sc.estimate();
+    const std::uint64_t batch_seed = master.split().next();
+    const auto batch =
+        run_sc_trials(g, 0, sc_runs, timer, ell, batch_seed, runner);
+    for (const auto& e : batch.trials) {
       row.value.add(e.simple / n);
       row.cost.add(static_cast<double>(e.hops) / n);
     }
+    emit_batch("sc_trials l=" + std::to_string(ell), batch.stats);
     rows.push_back(std::move(row));
   }
 

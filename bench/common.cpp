@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include <cstdlib>
+#include <thread>
 
 namespace overcount::bench {
 
@@ -28,6 +29,14 @@ bool fast_mode() {
 std::size_t runs(std::size_t full) {
   if (!fast_mode()) return full;
   return std::max<std::size_t>(1, full / 10);
+}
+
+unsigned worker_threads() {
+  const auto configured =
+      static_cast<unsigned>(env_or("OVERCOUNT_THREADS", 0));
+  if (configured > 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
 }
 
 Graph make_balanced(Rng& rng) {
@@ -61,6 +70,11 @@ void emit(const std::string& figure_title, const std::vector<Series>& series,
   print_series(std::cout, figure_title, series);
   if (plot)
     for (const auto& s : series) ascii_plot(std::cout, s);
+}
+
+void emit_batch(const std::string& label, const BatchStats& stats) {
+  std::cout << "# batch: " << label << '\n';
+  print_batch_stats(std::cout, stats);
 }
 
 }  // namespace overcount::bench

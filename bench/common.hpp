@@ -2,9 +2,11 @@
 //
 // Every bench regenerates one table or figure of the paper at a scale set by
 // the environment:
-//   OVERCOUNT_N      overlay size               (default 20000; paper 100000)
-//   OVERCOUNT_SEED   master seed                (default 1)
-//   OVERCOUNT_FAST   if set, shrink run counts ~10x for smoke testing
+//   OVERCOUNT_N        overlay size             (default 20000; paper 100000)
+//   OVERCOUNT_SEED     master seed              (default 1)
+//   OVERCOUNT_FAST     if set, shrink run counts ~10x for smoke testing
+//   OVERCOUNT_THREADS  batch-estimator pool size (default: all hardware
+//                      threads; results are bit-identical at any setting)
 // Output format: a `# figure:` header, `# series:` blocks with "name x y"
 // rows (plot-ready), an ASCII shape preview, and `# paper:` lines recording
 // what the original reports so the shapes can be compared directly.
@@ -32,6 +34,10 @@ bool fast_mode();
 /// Scales a run count down by ~10x in fast mode (at least 1).
 std::size_t runs(std::size_t full);
 
+/// Thread-pool size for batch estimator runs (env OVERCOUNT_THREADS,
+/// default 0 = hardware concurrency).
+unsigned worker_threads();
+
 /// Builds the paper's balanced random graph at the configured size and
 /// restricts to the largest component (estimators see one component).
 Graph make_balanced(Rng& rng);
@@ -52,5 +58,9 @@ void paper_note(const std::string& note);
 /// Prints a series and its ASCII preview.
 void emit(const std::string& figure_title, const std::vector<Series>& series,
           bool plot = true);
+
+/// Prints a labelled `# batch:` line plus the per-batch runtime counters
+/// (tasks, steps, wall/cpu time, steps/sec, threads).
+void emit_batch(const std::string& label, const BatchStats& stats);
 
 }  // namespace overcount::bench

@@ -13,6 +13,7 @@
 #include "core/birthday.hpp"
 #include "core/dht_density.hpp"
 #include "core/gossip.hpp"
+#include "core/parallel.hpp"
 #include "core/polling.hpp"
 #include "core/random_tour.hpp"
 #include "core/sample_collide.hpp"

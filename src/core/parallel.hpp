@@ -1,0 +1,222 @@
+// Batch front-ends for the paper's estimators, fanned across a
+// ParallelRunner (src/runtime/): a batch of m independent Random Tours,
+// CTRW samples, Sample & Collide trials, or Metropolis walks runs one task
+// per trial, each on the `Rng::split()` stream indexed by its task id.
+//
+// Reproducibility contract: for a fixed (graph, origin, parameters, seed)
+// the returned batch — every per-trial result AND every reduced aggregate —
+// is bit-identical for any `n_threads`, including 1. Per-trial results are
+// stored by task index and floating-point aggregates go through the fixed
+// pairwise tree reduction of runtime/parallel_runner.hpp, so scheduling
+// never leaks into the numbers.
+//
+// Truncated tours (a `max_steps` abort) are excluded from the reduced
+// aggregates and reported via TourBatch::truncated instead of silently
+// biasing the mean — see TourEstimate::completed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random_tour.hpp"
+#include "core/sample_collide.hpp"
+#include "core/sampling.hpp"
+#include "runtime/parallel_runner.hpp"
+#include "walk/metropolis.hpp"
+#include "walk/walkers.hpp"
+
+namespace overcount {
+
+/// A batch of Random Tours from one origin.
+struct TourBatch {
+  std::vector<TourEstimate> tours;  ///< all m tours, task-index order
+  std::size_t completed = 0;        ///< tours that returned to the origin
+  std::size_t truncated = 0;        ///< tours aborted by max_steps (dropped)
+  double sum = 0.0;            ///< tree-reduced sum of COMPLETED estimates
+  std::uint64_t total_steps = 0;  ///< walk steps across all tours
+  BatchStats stats;
+
+  /// Mean of the completed (unbiased) estimates; 0 when none completed.
+  double mean() const noexcept {
+    return completed == 0 ? 0.0 : sum / static_cast<double>(completed);
+  }
+};
+
+/// A batch of sampling walks (CTRW or Metropolis) from one origin.
+struct SampleBatch {
+  std::vector<SampleResult> samples;  ///< task-index order
+  std::uint64_t total_hops = 0;
+  BatchStats stats;
+};
+
+/// A batch of independent Sample & Collide measurements from one origin.
+struct ScBatch {
+  std::vector<ScEstimate> trials;  ///< task-index order
+  double sum_simple = 0.0;         ///< tree-reduced sum of C^2/(2l) values
+  double sum_ml = 0.0;             ///< tree-reduced sum of ML estimates
+  std::uint64_t total_hops = 0;
+  BatchStats stats;
+
+  double mean_simple() const noexcept {
+    return trials.empty() ? 0.0
+                          : sum_simple / static_cast<double>(trials.size());
+  }
+  double mean_ml() const noexcept {
+    return trials.empty() ? 0.0
+                          : sum_ml / static_cast<double>(trials.size());
+  }
+};
+
+namespace detail {
+
+/// Fills the shared tail of TourBatch from the per-tour results.
+inline void finish_tour_batch(TourBatch& batch) {
+  std::vector<double> completed_values;
+  completed_values.reserve(batch.tours.size());
+  for (const auto& t : batch.tours) {
+    batch.total_steps += t.steps;
+    if (t.completed) {
+      ++batch.completed;
+      completed_values.push_back(t.value);
+    } else {
+      ++batch.truncated;
+    }
+  }
+  batch.sum = tree_sum(completed_values);
+  batch.stats.steps = batch.total_steps;
+}
+
+}  // namespace detail
+
+/// m independent Random Tours estimating sum_j f(j), on an existing pool.
+template <OverlayTopology G, typename F>
+TourBatch run_tours(const G& g, NodeId origin, std::size_t m, F f,
+                    std::uint64_t seed, ParallelRunner& runner,
+                    std::uint64_t max_steps = ~0ULL) {
+  TourBatch batch;
+  auto streams = derive_streams(seed, m);
+  batch.tours = runner.run<TourEstimate>(
+      m,
+      [&](std::size_t i) {
+        return random_tour(g, origin, f, streams[i], max_steps);
+      },
+      &batch.stats);
+  detail::finish_tour_batch(batch);
+  return batch;
+}
+
+/// m independent Random Tours on a throwaway pool of `n_threads` threads.
+template <OverlayTopology G, typename F>
+TourBatch run_tours(const G& g, NodeId origin, std::size_t m, F f,
+                    std::uint64_t seed, unsigned n_threads,
+                    std::uint64_t max_steps = ~0ULL) {
+  ParallelRunner runner(n_threads);
+  return run_tours(g, origin, m, f, seed, runner, max_steps);
+}
+
+/// m independent Random Tour size estimates (f = 1).
+template <OverlayTopology G>
+TourBatch run_tours_size(const G& g, NodeId origin, std::size_t m,
+                         std::uint64_t seed, ParallelRunner& runner,
+                         std::uint64_t max_steps = ~0ULL) {
+  return run_tours(
+      g, origin, m, [](NodeId) { return 1.0; }, seed, runner, max_steps);
+}
+
+template <OverlayTopology G>
+TourBatch run_tours_size(const G& g, NodeId origin, std::size_t m,
+                         std::uint64_t seed, unsigned n_threads,
+                         std::uint64_t max_steps = ~0ULL) {
+  ParallelRunner runner(n_threads);
+  return run_tours_size(g, origin, m, seed, runner, max_steps);
+}
+
+/// m independent CTRW samples (paper Section 4.1) from `origin`.
+template <OverlayTopology G>
+SampleBatch run_samples(const G& g, NodeId origin, std::size_t m,
+                        double timer, std::uint64_t seed,
+                        ParallelRunner& runner) {
+  SampleBatch batch;
+  auto streams = derive_streams(seed, m);
+  batch.samples = runner.run<SampleResult>(
+      m,
+      [&](std::size_t i) { return ctrw_sample(g, origin, timer, streams[i]); },
+      &batch.stats);
+  for (const auto& s : batch.samples) batch.total_hops += s.hops;
+  batch.stats.steps = batch.total_hops;
+  return batch;
+}
+
+template <OverlayTopology G>
+SampleBatch run_samples(const G& g, NodeId origin, std::size_t m,
+                        double timer, std::uint64_t seed,
+                        unsigned n_threads) {
+  ParallelRunner runner(n_threads);
+  return run_samples(g, origin, m, timer, seed, runner);
+}
+
+/// `trials` independent Sample & Collide measurements, each sampling until
+/// `ell` collisions on its own stream.
+template <OverlayTopology G>
+ScBatch run_sc_trials(const G& g, NodeId origin, std::size_t trials,
+                      double timer, std::size_t ell, std::uint64_t seed,
+                      ParallelRunner& runner) {
+  ScBatch batch;
+  auto streams = derive_streams(seed, trials);
+  batch.trials = runner.run<ScEstimate>(
+      trials,
+      [&](std::size_t i) {
+        SampleCollideEstimator estimator(g, origin, timer, ell, streams[i]);
+        return estimator.estimate();
+      },
+      &batch.stats);
+  std::vector<double> simple, ml;
+  simple.reserve(trials);
+  ml.reserve(trials);
+  for (const auto& t : batch.trials) {
+    batch.total_hops += t.hops;
+    simple.push_back(t.simple);
+    ml.push_back(t.ml);
+  }
+  batch.sum_simple = tree_sum(simple);
+  batch.sum_ml = tree_sum(ml);
+  batch.stats.steps = batch.total_hops;
+  return batch;
+}
+
+template <OverlayTopology G>
+ScBatch run_sc_trials(const G& g, NodeId origin, std::size_t trials,
+                      double timer, std::size_t ell, std::uint64_t seed,
+                      unsigned n_threads) {
+  ParallelRunner runner(n_threads);
+  return run_sc_trials(g, origin, trials, timer, ell, seed, runner);
+}
+
+/// m independent Metropolis-Hastings samples of `steps` transitions each.
+template <OverlayTopology G>
+SampleBatch run_metropolis_samples(const G& g, NodeId origin, std::size_t m,
+                                   std::uint64_t steps, std::uint64_t seed,
+                                   ParallelRunner& runner) {
+  SampleBatch batch;
+  auto streams = derive_streams(seed, m);
+  batch.samples = runner.run<SampleResult>(
+      m,
+      [&](std::size_t i) {
+        MetropolisSampler sampler(g, steps, streams[i]);
+        return sampler.sample(origin);
+      },
+      &batch.stats);
+  for (const auto& s : batch.samples) batch.total_hops += s.hops;
+  batch.stats.steps = batch.total_hops;
+  return batch;
+}
+
+template <OverlayTopology G>
+SampleBatch run_metropolis_samples(const G& g, NodeId origin, std::size_t m,
+                                   std::uint64_t steps, std::uint64_t seed,
+                                   unsigned n_threads) {
+  ParallelRunner runner(n_threads);
+  return run_metropolis_samples(g, origin, m, steps, seed, runner);
+}
+
+}  // namespace overcount

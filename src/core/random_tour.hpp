@@ -25,13 +25,18 @@ namespace overcount {
 struct TourEstimate {
   double value = 0.0;       ///< Phi_hat = d_origin * accumulated counter
   std::uint64_t steps = 0;  ///< walk steps == messages spent by the probe
+  /// True when the probe actually returned to the origin. A tour aborted by
+  /// `max_steps` sets this false: its value is the partial accumulation,
+  /// which is biased LOW and must not enter an average (the batch APIs in
+  /// core/parallel.hpp drop such tours and report them separately).
+  bool completed = true;
 };
 
 /// Runs one Random Tour from `origin`, estimating sum_j f(j).
 /// `f` maps NodeId -> double. Requires origin to have at least one
-/// neighbour. `max_steps` aborts pathological tours (returns the estimate
-/// accumulated so far, flagged by steps == max_steps); the default never
-/// triggers in practice.
+/// neighbour. `max_steps` aborts pathological tours; an aborted tour is
+/// flagged by `completed == false` and its partial estimate is biased. The
+/// default cap never triggers in practice.
 template <OverlayTopology G, typename F>
 TourEstimate random_tour(const G& g, NodeId origin, F&& f, Rng& rng,
                          std::uint64_t max_steps = ~0ULL) {
@@ -45,7 +50,7 @@ TourEstimate random_tour(const G& g, NodeId origin, F&& f, Rng& rng,
     at = random_neighbor(g, at, rng);
     ++steps;
   }
-  return {d_origin * counter, steps};
+  return {d_origin * counter, steps, /*completed=*/at == origin};
 }
 
 /// One Random Tour size estimate (f = 1).
@@ -76,7 +81,7 @@ TourEstimate ctrw_return_time_tour(const G& g, NodeId origin, Rng& rng) {
     at = random_neighbor(g, at, rng);
     ++steps;
   }
-  return {d_origin * elapsed, steps};
+  return {d_origin * elapsed, steps, /*completed=*/true};
 }
 
 /// Convenience driver that owns the per-estimator RNG stream and accumulates

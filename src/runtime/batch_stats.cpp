@@ -1,0 +1,35 @@
+#include "runtime/batch_stats.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace overcount {
+
+double BatchStats::steps_per_second() const noexcept {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(steps) / wall_seconds;
+}
+
+double BatchStats::parallel_efficiency() const noexcept {
+  if (wall_seconds <= 0.0 || threads == 0) return 0.0;
+  return cpu_seconds / (wall_seconds * static_cast<double>(threads));
+}
+
+std::vector<std::pair<std::string, std::string>> BatchStats::counter_rows()
+    const {
+  return {
+      {"tasks", std::to_string(tasks)},
+      {"steps", std::to_string(steps)},
+      {"wall_s", format_double(wall_seconds, 4)},
+      {"cpu_s", format_double(cpu_seconds, 4)},
+      {"steps/s", format_double(steps_per_second(), 0)},
+      {"threads", std::to_string(threads)},
+  };
+}
+
+void print_batch_stats(std::ostream& os, const BatchStats& stats) {
+  print_counters(os, stats.counter_rows());
+}
+
+}  // namespace overcount

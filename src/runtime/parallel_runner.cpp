@@ -1,0 +1,94 @@
+#include "runtime/parallel_runner.hpp"
+
+#include <chrono>
+#include <ctime>
+
+namespace overcount {
+
+std::vector<Rng> derive_streams(std::uint64_t seed, std::size_t n) {
+  Rng master(seed);
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) streams.push_back(master.split());
+  return streams;
+}
+
+double tree_sum(std::span<const double> xs) {
+  return tree_reduce(xs, 0.0, [](double a, double b) { return a + b; });
+}
+
+ParallelRunner::ParallelRunner(unsigned n_threads) {
+  if (n_threads == 0) n_threads = std::thread::hardware_concurrency();
+  if (n_threads == 0) n_threads = 1;  // hardware_concurrency may report 0
+  workers_.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ParallelRunner::dispatch(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              BatchStats* stats) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::clock_t cpu_start = std::clock();
+  if (n > 0) {
+    {
+      std::lock_guard lock(mutex_);
+      job_ = &fn;
+      job_size_ = n;
+      next_index_.store(0, std::memory_order_relaxed);
+      active_workers_ = workers_.size();
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    job_ = nullptr;
+  }
+  if (stats != nullptr) {
+    stats->tasks = n;
+    stats->threads = thread_count();
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    stats->cpu_seconds = static_cast<double>(std::clock() - cpu_start) /
+                         static_cast<double>(CLOCKS_PER_SEC);
+  }
+}
+
+void ParallelRunner::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t size = 0;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      job = job_;
+      size = job_size_;
+    }
+    for (std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+         i < size;
+         i = next_index_.fetch_add(1, std::memory_order_relaxed))
+      (*job)(i);
+    {
+      std::lock_guard lock(mutex_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace overcount

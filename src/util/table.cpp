@@ -97,4 +97,20 @@ void ascii_plot(std::ostream& os, const Series& series, int width,
   for (const auto& line : canvas) os << '|' << line << "|\n";
 }
 
+void print_counters(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& counters) {
+  OVERCOUNT_EXPECTS(!counters.empty());
+  std::vector<std::string> header, row;
+  header.reserve(counters.size());
+  row.reserve(counters.size());
+  for (const auto& [name, value] : counters) {
+    header.push_back(name);
+    row.push_back(value);
+  }
+  TextTable table(std::move(header));
+  table.add_row(std::move(row));
+  table.print(os);
+}
+
 }  // namespace overcount

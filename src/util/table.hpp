@@ -4,6 +4,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace overcount {
@@ -50,5 +51,12 @@ void print_series(std::ostream& os, const std::string& title,
 /// auto-scaled, one column per x bucket.
 void ascii_plot(std::ostream& os, const Series& series, int width = 72,
                 int height = 16);
+
+/// Renders "metric -> value" pairs as a one-row table (metrics as the
+/// header, values as the single row). The bench harness uses this to
+/// surface the per-batch runtime counters next to each figure.
+void print_counters(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& counters);
 
 }  // namespace overcount

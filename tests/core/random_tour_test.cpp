@@ -115,12 +115,32 @@ TEST(RandomTour, MaxStepsAborts) {
   Rng rng(10);
   const Graph g = ring(1000);
   // A single step can never return to the origin (no self-loops), so the
-  // cap is hit deterministically.
+  // cap is hit deterministically and the tour is flagged as truncated.
   const auto capped = random_tour_size(g, 0, rng, 1);
   EXPECT_EQ(capped.steps, 1u);
+  EXPECT_FALSE(capped.completed);
   // With a generous cap, tours end strictly before it or exactly at it.
   const auto loose = random_tour_size(g, 0, rng, 50);
   EXPECT_LE(loose.steps, 50u);
+}
+
+TEST(RandomTour, CompletedFlagDistinguishesTruncation) {
+  Rng rng(12);
+  const Graph g = complete(2);
+  // On K_2 every tour returns in exactly 2 steps: a cap of 2 still
+  // completes (the probe is home exactly at the cap), a cap of 1 truncates.
+  const auto exact = random_tour_size(g, 0, rng, 2);
+  EXPECT_TRUE(exact.completed);
+  EXPECT_EQ(exact.steps, 2u);
+  const auto cut = random_tour_size(g, 0, rng, 1);
+  EXPECT_FALSE(cut.completed);
+  EXPECT_EQ(cut.steps, 1u);
+  // The truncated partial value is biased low — exactly why it carries an
+  // explicit flag instead of poisoning averages silently.
+  EXPECT_LT(cut.value, exact.value);
+  // Uncapped tours always complete, as does the CTRW return-time variant.
+  EXPECT_TRUE(random_tour_size(g, 0, rng).completed);
+  EXPECT_TRUE(ctrw_return_time_tour(g, 0, rng).completed);
 }
 
 TEST(RandomTour, RequiresConnectedOrigin) {

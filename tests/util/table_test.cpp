@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/contracts.hpp"
@@ -69,6 +70,22 @@ TEST(AsciiPlot, HandlesConstantSeries) {
   std::ostringstream ss;
   ascii_plot(ss, s);
   EXPECT_FALSE(ss.str().empty());
+}
+
+TEST(PrintCounters, RendersOneRowTable) {
+  std::ostringstream ss;
+  print_counters(ss, {{"tasks", "100"}, {"steps/s", "123456"}});
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("tasks"), std::string::npos);
+  EXPECT_NE(out.find("steps/s"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  // Header, underline, one value row.
+  EXPECT_EQ(static_cast<int>(std::count(out.begin(), out.end(), '\n')), 3);
+}
+
+TEST(PrintCounters, RequiresNonEmpty) {
+  std::ostringstream ss;
+  EXPECT_THROW(print_counters(ss, {}), precondition_error);
 }
 
 }  // namespace
