@@ -48,7 +48,7 @@ int main() {
                                    static_cast<double>(total_runs),
                                1)
               << " steps\n";
-    emit_batch("rt_tours graph " + std::to_string(graph_idx), batch.stats);
+    emit_batch("rt_tours graph " + std::to_string(graph_idx), batch);
     series.push_back(std::move(s));
   }
   emit("Figure 1 - RT cumulative average (% of system size)", series);

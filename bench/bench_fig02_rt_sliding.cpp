@@ -25,11 +25,14 @@ int main() {
     const double n = static_cast<double>(g.num_nodes());
     RandomTourEstimator estimator(g, 0, master.split());
     SlidingWindowMean mean(window);
+    WalkStats walk;
+    WalkStatsProbe probe(walk);
+    SerialTimer timer;
 
     Series s{"estimation_" + std::to_string(graph_idx), {}, {}};
     RunningStats quality;
     for (std::size_t run = 1; run <= total_runs; ++run) {
-      mean.push(estimator.estimate_size().value);
+      mean.push(estimator.estimate_size(probe).value);
       if (run >= window && run % 10 == 0) {
         const double pct = 100.0 * mean.mean() / n;
         s.add(static_cast<double>(run), pct);
@@ -39,6 +42,9 @@ int main() {
     std::cout << "# graph " << graph_idx
               << ": windowed mean=" << format_double(quality.mean(), 2)
               << "% sd=" << format_double(quality.stddev(), 2) << "%\n";
+    const std::string label = "rt graph " + std::to_string(graph_idx);
+    emit_batch(label, timer.finish(total_runs, estimator.total_steps()));
+    emit_walk_stats(label, walk);
     series.push_back(std::move(s));
   }
   emit("Figure 2 - RT sliding window 200 (% of system size)", series);

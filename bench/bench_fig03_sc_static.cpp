@@ -42,7 +42,7 @@ int main() {
   std::cout << "# mean=" << format_double(quality.mean(), 2)
             << "% sd=" << format_double(quality.stddev(), 2)
             << "% (theory ~10%)\n";
-  emit_batch("sc_trials l=100", batch.stats);
+  emit_batch("sc_trials l=100", batch);
   emit("Figure 3 - S&C l=100 raw estimates (% of system size)", {s});
   return 0;
 }

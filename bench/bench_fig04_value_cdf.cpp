@@ -33,18 +33,33 @@ int main() {
 
   {
     RandomTourEstimator rt(g, 0, master.split());
+    WalkStats walk;
+    WalkStatsProbe probe(walk);
+    SerialTimer clock;
     std::vector<double> values;
     const std::size_t rt_runs = runs(1000);
     for (std::size_t i = 0; i < rt_runs; ++i)
-      values.push_back(rt.estimate_size().value / n);
+      values.push_back(rt.estimate_size(probe).value / n);
+    emit_batch("rt", clock.finish(rt_runs, rt.total_steps()));
+    emit_walk_stats("rt", walk);
     series.push_back(cdf_series("RT", std::move(values)));
   }
   for (const std::size_t ell : {std::size_t{10}, std::size_t{100}}) {
     SampleCollideEstimator sc(g, 0, timer, ell, master.split());
+    WalkStats walk;
+    WalkStatsProbe probe(walk);
+    SerialTimer clock;
     std::vector<double> values;
+    std::uint64_t hops = 0;
     const std::size_t sc_runs = runs(ell == 10 ? 400 : 120);
-    for (std::size_t i = 0; i < sc_runs; ++i)
-      values.push_back(sc.estimate().simple / n);
+    for (std::size_t i = 0; i < sc_runs; ++i) {
+      const auto e = sc.estimate(probe);
+      hops += e.hops;
+      values.push_back(e.simple / n);
+    }
+    const std::string label = "sc l=" + std::to_string(ell);
+    emit_batch(label, clock.finish(sc_runs, hops));
+    emit_walk_stats(label, walk);
     series.push_back(
         cdf_series("SC_l" + std::to_string(ell), std::move(values)));
   }

@@ -32,27 +32,42 @@ int main() {
   std::vector<Series> series;
   {
     RandomTourEstimator rt(g, 0, master.split());
+    WalkStats walk;
+    WalkStatsProbe probe(walk);
+    SerialTimer clock;
     std::vector<double> costs;
     const std::size_t rt_runs = runs(1000);
     for (std::size_t i = 0; i < rt_runs; ++i)
-      costs.push_back(static_cast<double>(rt.estimate_size().steps) / n);
+      costs.push_back(static_cast<double>(rt.estimate_size(probe).steps) / n);
     RunningStats st;
     for (double c : costs) st.add(c);
     std::cout << "# RT cost/N: mean=" << format_double(st.mean(), 2)
               << " var=" << format_double(st.variance(), 2) << '\n';
+    emit_batch("rt", clock.finish(rt_runs, rt.total_steps()));
+    emit_walk_stats("rt", walk);
     series.push_back(cdf_series("RT", std::move(costs), 20.0));
   }
   for (const std::size_t ell : {std::size_t{10}, std::size_t{100}}) {
     SampleCollideEstimator sc(g, 0, timer, ell, master.split());
+    WalkStats walk;
+    WalkStatsProbe probe(walk);
+    SerialTimer clock;
     std::vector<double> costs;
+    std::uint64_t hops = 0;
     const std::size_t sc_runs = runs(ell == 10 ? 400 : 120);
-    for (std::size_t i = 0; i < sc_runs; ++i)
-      costs.push_back(static_cast<double>(sc.estimate().hops) / n);
+    for (std::size_t i = 0; i < sc_runs; ++i) {
+      const auto e = sc.estimate(probe);
+      hops += e.hops;
+      costs.push_back(static_cast<double>(e.hops) / n);
+    }
     RunningStats st;
     for (double c : costs) st.add(c);
     std::cout << "# SC l=" << ell
               << " cost/N: mean=" << format_double(st.mean(), 2)
               << " var=" << format_double(st.variance(), 2) << '\n';
+    const std::string label = "sc l=" + std::to_string(ell);
+    emit_batch(label, clock.finish(sc_runs, hops));
+    emit_walk_stats(label, walk);
     series.push_back(
         cdf_series("SC_l" + std::to_string(ell), std::move(costs), 20.0));
   }

@@ -22,17 +22,25 @@ int main() {
             << " timer=" << format_double(timer, 2) << '\n';
 
   SampleCollideEstimator estimator(g, 0, timer, 100, master.split());
+  WalkStats walk;
+  WalkStatsProbe probe(walk);
+  SerialTimer clock;
   Series s{"sc_l100_scalefree", {}, {}};
   RunningStats quality;
+  std::uint64_t hops = 0;
   const std::size_t total_runs = runs(100);
   for (std::size_t run = 1; run <= total_runs; ++run) {
-    const double pct = 100.0 * estimator.estimate().simple / n;
+    const auto e = estimator.estimate(probe);
+    hops += e.hops;
+    const double pct = 100.0 * e.simple / n;
     s.add(static_cast<double>(run), pct);
     quality.add(pct);
   }
   std::cout << "# mean=" << format_double(quality.mean(), 2)
             << "% sd=" << format_double(quality.stddev(), 2)
             << "% (theory ~10%)\n";
+  emit_batch("sc l=100", clock.finish(total_runs, hops));
+  emit_walk_stats("sc l=100", walk);
   emit("Figure 7 - S&C l=100 on scale-free graph (%)", {s});
   return 0;
 }

@@ -1,11 +1,18 @@
 // Micro-benchmarks (google-benchmark): throughput of the primitives every
 // experiment above is built from — walk steps, CTRW samples, full tours,
 // DES events, the Lanczos spectral-gap computation, and the parallel batch
-// runner's scaling across thread counts.
+// runner's scaling across thread counts. The BM_RandomTour* trio checks the
+// probe-hook overhead contract: NullProbe must match the bare walk (the
+// hooks compile out), and even a live WalkStatsProbe should cost only a few
+// percent.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "common.hpp"
 #include "core/overcount.hpp"
 #include "des/simulator.hpp"
+#include "obs/probe.hpp"
 #include "runtime/parallel_runner.hpp"
 #include "walk/walkers.hpp"
 
@@ -44,6 +51,39 @@ void BM_RandomTour(benchmark::State& state) {
       static_cast<double>(steps) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_RandomTour);
+
+// Explicit NullProbe: must be indistinguishable from BM_RandomTour — every
+// hook sits behind `if constexpr (probe_enabled_v<P>)`.
+void BM_RandomTourNullProbe(benchmark::State& state) {
+  const Graph& g = balanced_graph();
+  Rng rng(3);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const auto e = random_tour_size(g, 0, rng, ~0ULL, NullProbe{});
+    steps += e.steps;
+    benchmark::DoNotOptimize(e.value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_RandomTourNullProbe);
+
+// Live WalkStatsProbe: per-step histogram update plus a hash-set insert for
+// revisit tracking. Same rng seed as BM_RandomTour, so the walks (and the
+// estimates) are identical — only the instrumentation differs.
+void BM_RandomTourProbed(benchmark::State& state) {
+  const Graph& g = balanced_graph();
+  Rng rng(3);
+  WalkStats stats;
+  WalkStatsProbe probe(stats);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const auto e = random_tour_size(g, 0, rng, ~0ULL, probe);
+    steps += e.steps;
+    benchmark::DoNotOptimize(e.value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_RandomTourProbed);
 
 // Batch of independent tours fanned over a ParallelRunner pool; Arg is the
 // thread count. The acceptance target is >= 3x items/s at 8 threads vs the
@@ -151,6 +191,53 @@ void BM_BalancedGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_BalancedGeneration)->Arg(10000);
 
+// Mirrors each finished benchmark into the telemetry report (as
+// `bm.<name>.real_time` values, in the benchmark's own time unit) on top of
+// the normal console table.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      overcount::bench::record_value("bm." + run.benchmark_name() +
+                                         ".real_time",
+                                     run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace overcount;
+  using namespace overcount::bench;
+
+  preamble("micro",
+           "google-benchmark microbenchmarks: walk, DES, spectral, batch "
+           "scaling, probe overhead");
+
+  // In fast mode shrink the measurement window so CI smoke runs stay quick.
+  std::vector<char*> args(argv, argv + argc);
+  char min_time_flag[] = "--benchmark_min_time=0.01";
+  if (fast_mode()) args.push_back(min_time_flag);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+
+  RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  // A small probed batch so the micro artifact also carries histogram and
+  // walk-stats sections (the same schema the figure benches emit).
+  WalkStats walk;
+  ParallelRunner runner(worker_threads());
+  const auto batch =
+      run_tours_size_probed(balanced_graph(), 0, 64, 42, runner, walk);
+  emit_batch("rt_probed_batch", batch);
+  emit_walk_stats("rt_probed_batch", walk);
+
+  benchmark::Shutdown();
+  return 0;
+}

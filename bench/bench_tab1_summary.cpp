@@ -41,25 +41,30 @@ int main() {
     Row row{"RT", {}, {}};
     const std::size_t rt_runs = runs(1500);
     const std::uint64_t batch_seed = master.split().next();
-    const auto batch = run_tours_size(g, 0, rt_runs, batch_seed, runner);
+    WalkStats walk;
+    const auto batch =
+        run_tours_size_probed(g, 0, rt_runs, batch_seed, runner, walk);
     for (const auto& e : batch.tours) {
       row.value.add(e.value / n);
       row.cost.add(static_cast<double>(e.steps) / n);
     }
-    emit_batch("rt_tours", batch.stats);
+    emit_batch("rt_tours", batch);
+    emit_walk_stats("rt_tours", walk);
     rows.push_back(std::move(row));
   }
   for (const std::size_t ell : {std::size_t{10}, std::size_t{100}}) {
     Row row{"SC, l=" + std::to_string(ell), {}, {}};
     const std::size_t sc_runs = runs(ell == 10 ? 500 : 150);
     const std::uint64_t batch_seed = master.split().next();
-    const auto batch =
-        run_sc_trials(g, 0, sc_runs, timer, ell, batch_seed, runner);
+    WalkStats walk;
+    const auto batch = run_sc_trials_probed(g, 0, sc_runs, timer, ell,
+                                            batch_seed, runner, walk);
     for (const auto& e : batch.trials) {
       row.value.add(e.simple / n);
       row.cost.add(static_cast<double>(e.hops) / n);
     }
-    emit_batch("sc_trials l=" + std::to_string(ell), batch.stats);
+    emit_batch("sc_trials l=" + std::to_string(ell), batch);
+    emit_walk_stats("sc_trials l=" + std::to_string(ell), walk);
     rows.push_back(std::move(row));
   }
 

@@ -1,7 +1,13 @@
 #include "common.hpp"
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
 
 namespace overcount::bench {
 
@@ -11,6 +17,139 @@ std::uint64_t env_or(const char* name, std::uint64_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   return std::strtoull(value, nullptr, 10);
+}
+
+// In-memory mirror of everything a bench prints, serialised to
+// BENCH_<name>.json at exit when OVERCOUNT_JSON is set.
+struct BenchReport {
+  std::string name;
+  std::string description;
+  std::vector<std::string> notes;
+  std::vector<Series> series;
+  std::vector<std::pair<std::string, BatchStats>> batches;
+  std::vector<std::pair<std::string, Log2Histogram>> histograms;
+  std::vector<std::pair<std::string, WalkStats>> walks;
+  std::vector<std::pair<std::string, double>> values;
+  bool writer_registered = false;
+};
+
+BenchReport& report() {
+  static BenchReport r;
+  return r;
+}
+
+const char* git_rev() {
+#ifdef OVERCOUNT_GIT_REV
+  return OVERCOUNT_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+void write_report() {
+  const std::string dir = telemetry_dir();
+  if (dir.empty() || report().name.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / ("BENCH_" + report().name + ".json");
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "# telemetry: cannot open " << path << '\n';
+    return;
+  }
+
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", 1);
+  w.kv("bench", report().name);
+  w.kv("description", report().description);
+
+  w.key("meta");
+  w.begin_object();
+  w.kv("n", static_cast<std::uint64_t>(overlay_size()));
+  w.kv("seed", master_seed());
+  w.kv("threads", worker_threads());
+  w.kv("fast", fast_mode());
+  w.kv("git_rev", git_rev());
+  w.end_object();
+
+  w.key("paper_notes");
+  w.begin_array();
+  for (const auto& note : report().notes) w.value(note);
+  w.end_array();
+
+  w.key("series");
+  w.begin_array();
+  for (const auto& s : report().series) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.key("points");
+    w.begin_array();
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      w.begin_array();
+      w.value(s.xs[i]);
+      w.value(s.ys[i]);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("batches");
+  w.begin_array();
+  for (const auto& [label, stats] : report().batches) {
+    w.begin_object();
+    w.kv("label", label);
+    w.key("stats");
+    write_json(w, stats);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("histograms");
+  w.begin_array();
+  for (const auto& [label, h] : report().histograms) {
+    w.begin_object();
+    w.kv("label", label);
+    w.key("summary");
+    write_json(w, h);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("walk_stats");
+  w.begin_array();
+  for (const auto& [label, ws] : report().walks) {
+    w.begin_object();
+    w.kv("label", label);
+    w.key("stats");
+    write_json(w, ws);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("values");
+  w.begin_object();
+  for (const auto& [key, value] : report().values) w.kv(key, value);
+  w.end_object();
+
+  w.end_object();
+  out << '\n';
+  std::cout << "# telemetry: wrote " << path.string() << '\n';
+}
+
+void print_histogram_line(const std::string& label, const Log2Histogram& h) {
+  std::cout << "# hist: " << label << " count=" << h.count;
+  if (!h.empty()) {
+    std::cout << " min=" << h.min << " max=" << h.max
+              << " mean=" << format_double(h.mean(), 1)
+              << " p50=" << format_double(h.percentile(0.50), 0)
+              << " p90=" << format_double(h.percentile(0.90), 0)
+              << " p99=" << format_double(h.percentile(0.99), 0);
+  }
+  std::cout << '\n';
 }
 
 }  // namespace
@@ -39,6 +178,11 @@ unsigned worker_threads() {
   return hw > 0 ? hw : 1;
 }
 
+std::string telemetry_dir() {
+  const char* value = std::getenv("OVERCOUNT_JSON");
+  return value == nullptr ? std::string{} : std::string{value};
+}
+
 Graph make_balanced(Rng& rng) {
   return largest_component(balanced_random_graph(overlay_size(), rng));
 }
@@ -54,6 +198,12 @@ double sampling_timer(const Graph& g, std::uint64_t seed) {
 }
 
 void preamble(const std::string& figure, const std::string& description) {
+  report().name = figure;
+  report().description = description;
+  if (!report().writer_registered) {
+    report().writer_registered = true;
+    std::atexit(write_report);
+  }
   std::cout << "==============================================\n"
             << "# bench: " << figure << '\n'
             << "# " << description << '\n'
@@ -62,19 +212,76 @@ void preamble(const std::string& figure, const std::string& description) {
 }
 
 void paper_note(const std::string& note) {
+  report().notes.push_back(note);
   std::cout << "# paper: " << note << '\n';
 }
 
 void emit(const std::string& figure_title, const std::vector<Series>& series,
           bool plot) {
+  for (const auto& s : series) report().series.push_back(s);
   print_series(std::cout, figure_title, series);
   if (plot)
     for (const auto& s : series) ascii_plot(std::cout, s);
 }
 
 void emit_batch(const std::string& label, const BatchStats& stats) {
+  report().batches.emplace_back(label, stats);
   std::cout << "# batch: " << label << '\n';
   print_batch_stats(std::cout, stats);
 }
+
+void emit_batch(const std::string& label, const TourBatch& batch) {
+  emit_batch(label, batch.stats);
+  Log2Histogram steps;
+  for (const auto& t : batch.tours) steps.record(t.steps);
+  emit_histogram(label + ".tour_steps", steps);
+  record_value(label + ".completed", static_cast<double>(batch.completed));
+  record_value(label + ".truncated", static_cast<double>(batch.truncated));
+}
+
+void emit_batch(const std::string& label, const SampleBatch& batch) {
+  emit_batch(label, batch.stats);
+  Log2Histogram hops;
+  for (const auto& s : batch.samples) hops.record(s.hops);
+  emit_histogram(label + ".sample_hops", hops);
+}
+
+void emit_batch(const std::string& label, const ScBatch& batch) {
+  emit_batch(label, batch.stats);
+  Log2Histogram hops;
+  Log2Histogram samples;
+  for (const auto& t : batch.trials) {
+    hops.record(t.hops);
+    samples.record(t.samples);
+  }
+  emit_histogram(label + ".trial_hops", hops);
+  emit_histogram(label + ".samples_per_trial", samples);
+}
+
+void emit_walk_stats(const std::string& label, const WalkStats& stats) {
+  report().walks.emplace_back(label, stats);
+  std::cout << "# walk: " << label << " walks=" << stats.walks
+            << " visits=" << stats.visits << " revisits=" << stats.revisits
+            << " rejects=" << stats.rejects
+            << " collisions=" << stats.collisions << '\n';
+  if (!stats.tour_steps.empty())
+    print_histogram_line(label + ".tour_steps", stats.tour_steps);
+  if (!stats.sample_hops.empty())
+    print_histogram_line(label + ".sample_hops", stats.sample_hops);
+  if (!stats.collision_gaps.empty())
+    print_histogram_line(label + ".collision_gaps", stats.collision_gaps);
+}
+
+void emit_histogram(const std::string& label, const Log2Histogram& h) {
+  report().histograms.emplace_back(label, h);
+  print_histogram_line(label, h);
+}
+
+void record_value(const std::string& key, double value) {
+  report().values.emplace_back(key, value);
+  std::cout << "# value: " << key << " = " << format_double(value, 4) << '\n';
+}
+
+void flush_telemetry() { write_report(); }
 
 }  // namespace overcount::bench

@@ -7,17 +7,29 @@
 //   OVERCOUNT_FAST     if set, shrink run counts ~10x for smoke testing
 //   OVERCOUNT_THREADS  batch-estimator pool size (default: all hardware
 //                      threads; results are bit-identical at any setting)
+//   OVERCOUNT_JSON     directory for machine-readable telemetry; when set,
+//                      each bench writes BENCH_<name>.json there on exit
 // Output format: a `# figure:` header, `# series:` blocks with "name x y"
 // rows (plot-ready), an ASCII shape preview, and `# paper:` lines recording
 // what the original reports so the shapes can be compared directly.
+//
+// Telemetry: everything printed through this header (series, batch counters,
+// walk-stats, histograms, scalar values) is also accumulated in an in-memory
+// report. When OVERCOUNT_JSON names a directory the report is serialised via
+// obs/json.hpp as BENCH_<name>.json at process exit — one self-describing
+// artifact per bench, diffable across commits (see EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <ctime>
 #include <iostream>
 #include <string>
 
 #include "core/overcount.hpp"
+#include "core/parallel.hpp"
+#include "obs/export.hpp"
 #include "util/table.hpp"
 
 namespace overcount::bench {
@@ -38,6 +50,10 @@ std::size_t runs(std::size_t full);
 /// default 0 = hardware concurrency).
 unsigned worker_threads();
 
+/// Telemetry directory (env OVERCOUNT_JSON). Empty when unset; telemetry is
+/// then collected but never written.
+std::string telemetry_dir();
+
 /// Builds the paper's balanced random graph at the configured size and
 /// restricts to the largest component (estimators see one component).
 Graph make_balanced(Rng& rng);
@@ -49,7 +65,8 @@ Graph make_scale_free(Rng& rng);
 /// T = beta log(n) / lambda_2 (Section 4.1, beta = 1.5).
 double sampling_timer(const Graph& g, std::uint64_t seed);
 
-/// Emits the standard preamble (figure id, scale, seed).
+/// Emits the standard preamble (figure id, scale, seed) and opens the
+/// telemetry report under `figure` (which becomes BENCH_<figure>.json).
 void preamble(const std::string& figure, const std::string& description);
 
 /// Emits a `# paper: ...` annotation line.
@@ -60,7 +77,57 @@ void emit(const std::string& figure_title, const std::vector<Series>& series,
           bool plot = true);
 
 /// Prints a labelled `# batch:` line plus the per-batch runtime counters
-/// (tasks, steps, wall/cpu time, steps/sec, threads).
+/// (tasks, steps, wall/cpu time, steps/sec, parallel efficiency, threads).
 void emit_batch(const std::string& label, const BatchStats& stats);
+
+/// Batch-aware overloads: besides the BatchStats counters these derive and
+/// record the per-item cost distributions (log2 histograms with p50/p90/p99)
+/// — tour lengths for TourBatch, hops/sample for SampleBatch, hops and
+/// samples per trial for ScBatch.
+void emit_batch(const std::string& label, const TourBatch& batch);
+void emit_batch(const std::string& label, const SampleBatch& batch);
+void emit_batch(const std::string& label, const ScBatch& batch);
+
+/// Prints a `# walk: ...` summary of probe-collected WalkStats (visits,
+/// revisits, rejects, tour/hop percentiles) and records it in the report.
+void emit_walk_stats(const std::string& label, const WalkStats& stats);
+
+/// Prints a one-line histogram summary and records it in the report.
+void emit_histogram(const std::string& label, const Log2Histogram& h);
+
+/// Records a named scalar into the report's `values` object (and prints it
+/// as `# value: key = v`). Use for headline numbers like final estimates.
+void record_value(const std::string& key, double value);
+
+/// Wall/CPU stopwatch for serial estimation loops. finish() renders the
+/// elapsed time as a BatchStats row (threads = 1), so serial benches emit
+/// the same runtime counters as the parallel batch APIs.
+class SerialTimer {
+ public:
+  SerialTimer()
+      : wall_start_(std::chrono::steady_clock::now()),
+        cpu_start_(std::clock()) {}
+
+  BatchStats finish(std::size_t tasks, std::uint64_t steps) const {
+    BatchStats stats;
+    stats.tasks = tasks;
+    stats.steps = steps;
+    stats.wall_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - wall_start_)
+                             .count();
+    stats.cpu_seconds = static_cast<double>(std::clock() - cpu_start_) /
+                        static_cast<double>(CLOCKS_PER_SEC);
+    stats.threads = 1;
+    return stats;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point wall_start_;
+  std::clock_t cpu_start_;
+};
+
+/// Writes BENCH_<name>.json immediately (normally done automatically at
+/// exit). Safe to call multiple times; later telemetry rewrites the file.
+void flush_telemetry();
 
 }  // namespace overcount::bench

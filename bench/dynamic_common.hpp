@@ -22,9 +22,12 @@ inline void run_dynamic_figure(const DynamicFigure& fig) {
   Series real{"real_size", {}, {}};
   Rng master(master_seed());
   for (int rep = 1; rep <= fig.repetitions; ++rep) {
+    SerialTimer clock;
     const auto result = run_scenario(fig.spec, fig.estimator, fig.window,
                                      master.split().next());
     Series est{"estimation_" + std::to_string(rep), {}, {}};
+    Log2Histogram messages_per_run;
+    for (const auto& p : result.points) messages_per_run.record(p.messages);
     for (std::size_t i = 0; i < result.points.size(); i += fig.stride) {
       const auto& p = result.points[i];
       est.add(static_cast<double>(p.run), p.windowed);
@@ -36,6 +39,10 @@ inline void run_dynamic_figure(const DynamicFigure& fig) {
                                    static_cast<double>(fig.spec.runs),
                                1)
               << '\n';
+    const std::string label = "rep " + std::to_string(rep);
+    emit_batch(label,
+               clock.finish(result.points.size(), result.total_messages));
+    emit_histogram(label + ".messages_per_run", messages_per_run);
     series.push_back(std::move(est));
   }
   series.insert(series.begin(), std::move(real));

@@ -1,49 +1,80 @@
 // Continuous size monitoring of a churning overlay — the dynamic scenario
 // of the paper's Section 5.3, packaged as a dashboard-style monitor.
 // A flash crowd arrives, then a correlated failure takes out a quarter of
-// the peers; the monitor tracks both with Sample & Collide while a
-// sliding-window Random Tour tracker runs alongside for comparison.
+// the peers; a CUSUM-guarded SizeMonitor tracks both from Sample & Collide
+// estimates, while an obs/ MetricsRegistry watches the machinery itself:
+// every walk the estimator launches reports into the registry through a
+// RegistryProbe, and the monitor's resets are counted alongside. The live
+// table therefore shows WHAT the monitor believes and WHAT IT COST, and the
+// run ends with a full metrics snapshot.
 //
 //   $ ./overlay_monitor
 #include <iomanip>
 #include <iostream>
 
+#include "core/monitor.hpp"
 #include "core/overcount.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
 #include "sim/scenario.hpp"
 
 int main() {
   using namespace overcount;
 
-  ScenarioSpec spec;
-  spec.initial_nodes = 8000;
-  spec.runs = 60;
-  spec.topology = TopologyKind::kBalanced;
-  spec.actual_size_every = 1;
-  // Flash crowd (+50%) at run 15, catastrophic failure (-25%) at run 40.
-  spec.sudden.push_back(SuddenChange{15, +4000});
-  spec.sudden.push_back(SuddenChange{40, -3000});
-
+  const std::size_t initial_nodes = 8000;
+  const std::size_t total_runs = 60;
+  const std::size_t ell = 50;
   const double timer = 12.0;
-  const auto sc_result =
-      run_scenario(spec, sample_collide_estimate_fn(timer, 50), 1, 2024);
-  const auto rt_result =
-      run_scenario(spec, random_tour_estimate_fn(), 10, 2024);
 
-  std::cout << "run   true-size   S&C(l=50)   RT(win=10)   S&C err\n";
+  Rng rng(2024);
+  Rng build_rng = rng.split();
+  Rng churn_rng = rng.split();
+  Rng estimate_rng = rng.split();
+  DynamicGraph g(balanced_random_graph(initial_nodes, build_rng));
+  const NodeId probe_node = 0;
+
+  MetricsRegistry registry;
+  RegistryProbe probe(registry, "walk");
+  Counter& estimates = registry.counter("monitor.estimates");
+  Counter& resets = registry.counter("monitor.resets");
+
+  MonitorConfig config;
+  config.window = 20;
+  config.estimate_rel_std = 1.0 / std::sqrt(static_cast<double>(ell));
+  config.cusum_k = 0.5;  // the -25% failure is only ~1.8 sigma per run
+  SizeMonitor monitor(config);
+
+  std::cout << "run   true-size   monitor    walks     steps   resets\n";
   std::cout << std::fixed << std::setprecision(0);
-  for (std::size_t i = 0; i < sc_result.points.size(); i += 3) {
-    const auto& sc = sc_result.points[i];
-    const auto& rt = rt_result.points[i];
-    const double err = 100.0 * (sc.windowed - sc.actual_size) /
-                       sc.actual_size;
-    std::cout << std::setw(3) << sc.run << "   " << std::setw(8)
-              << sc.actual_size << "   " << std::setw(9) << sc.windowed
-              << "   " << std::setw(9) << rt.windowed << "   "
-              << std::setprecision(1) << std::setw(6) << err << "%\n"
-              << std::setprecision(0);
+  for (std::size_t run = 0; run < total_runs; ++run) {
+    // Flash crowd (+50%) at run 15, catastrophic failure (-25%) at run 40.
+    if (run == 15)
+      for (int k = 0; k < 4000; ++k)
+        churn_join(g, TopologyKind::kBalanced, churn_rng, 3, 10);
+    if (run == 40)
+      for (int k = 0; k < 3000; ++k) churn_leave(g, churn_rng);
+
+    SampleCollideEstimator estimator(g, probe_node, timer, ell,
+                                     estimate_rng.split());
+    const auto estimate = estimator.estimate(probe);
+    estimates.inc();
+    if (monitor.feed(estimate.simple)) resets.inc();
+
+    if (run % 3 == 0) {
+      const auto snap = registry.snapshot();
+      std::cout << std::setw(3) << run << "   " << std::setw(8)
+                << g.component_size(probe_node) << "   " << std::setw(8)
+                << monitor.value() << "   " << std::setw(6)
+                << snap.counter_or_zero("walk.walks") << "   " << std::setw(8)
+                << snap.counter_or_zero("walk.visits") << "   " << std::setw(5)
+                << snap.counter_or_zero("monitor.resets") << '\n';
+    }
   }
-  std::cout << "\nS&C total cost: " << sc_result.total_messages
-            << " messages; RT total cost: " << rt_result.total_messages
-            << " messages\n";
+
+  std::cout << "\nchanges detected by the CUSUM monitor: "
+            << monitor.changes_detected() << " (expected 2)\n"
+            << "\nfinal metrics snapshot:\n";
+  print_snapshot(std::cout, registry.snapshot());
   return 0;
 }

@@ -28,6 +28,10 @@ int main(int argc, char** argv) {
   // --- Random Tour census: 2000 independent tours in one batch. ---
   const std::uint64_t tour_seed = 42;
   const auto tours = run_tours_size(overlay, 0, 2000, tour_seed, hw);
+  if (!tours.ok()) {  // every tour truncated: mean() is NaN, not a size
+    std::cout << "all tours truncated — no estimate\n";
+    return 1;
+  }
   std::cout << "\nRandom Tour batch:  mean estimate = "
             << format_double(tours.mean(), 1) << "  ("
             << format_double(100.0 * tours.mean() / n, 2) << "% of true N), "

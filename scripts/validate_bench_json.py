@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json telemetry artifacts emitted by the bench binaries.
+
+Usage: validate_bench_json.py <telemetry-dir> [expected-count]
+
+Checks every BENCH_*.json in the directory:
+  * parses as JSON (the writer is home-grown, so this is a real check);
+  * carries the schema version and the required top-level sections;
+  * meta records n/seed/threads/fast/git_rev;
+  * every series point is a finite [x, y] pair;
+  * every batch stats object has the runtime counter fields;
+  * every histogram summary is internally consistent (count vs buckets,
+    percentile ordering p50 <= p90 <= p99 within [min, max]).
+
+Exits non-zero, printing per-file errors, when anything is off.
+"""
+import json
+import math
+import sys
+from pathlib import Path
+
+REQUIRED_TOP = [
+    "schema",
+    "bench",
+    "description",
+    "meta",
+    "paper_notes",
+    "series",
+    "batches",
+    "histograms",
+    "walk_stats",
+    "values",
+]
+REQUIRED_META = ["n", "seed", "threads", "fast", "git_rev"]
+REQUIRED_BATCH = [
+    "tasks",
+    "steps",
+    "wall_s",
+    "cpu_s",
+    "steps_per_s",
+    "parallel_efficiency",
+    "threads",
+]
+REQUIRED_HIST = ["count", "sum", "mean", "min", "max", "p50", "p90", "p99",
+                 "buckets"]
+
+
+def check_histogram(h, where, errors):
+    for key in REQUIRED_HIST:
+        if key not in h:
+            errors.append(f"{where}: histogram missing '{key}'")
+            return
+    bucket_total = sum(count for _, count in h["buckets"])
+    if bucket_total != h["count"]:
+        errors.append(
+            f"{where}: bucket counts sum to {bucket_total}, count says "
+            f"{h['count']}")
+    if h["count"] == 0:
+        return  # empty histograms have null min/max and null percentiles
+    if not (h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"]):
+        errors.append(
+            f"{where}: percentiles not ordered within [min, max]: "
+            f"min={h['min']} p50={h['p50']} p90={h['p90']} p99={h['p99']} "
+            f"max={h['max']}")
+
+
+def check_file(path):
+    errors = []
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        return [f"does not parse: {e}"]
+
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            errors.append(f"missing top-level key '{key}'")
+    if errors:
+        return errors
+
+    if doc["schema"] != 1:
+        errors.append(f"unexpected schema version {doc['schema']}")
+    if not doc["bench"]:
+        errors.append("empty bench name")
+    for key in REQUIRED_META:
+        if key not in doc["meta"]:
+            errors.append(f"meta missing '{key}'")
+
+    for series in doc["series"]:
+        name = series.get("name", "<unnamed>")
+        for point in series.get("points", []):
+            if (len(point) != 2
+                    or any(p is None or not math.isfinite(p) for p in point)):
+                errors.append(f"series '{name}': bad point {point}")
+                break
+
+    for batch in doc["batches"]:
+        label = batch.get("label", "<unlabelled>")
+        stats = batch.get("stats", {})
+        for key in REQUIRED_BATCH:
+            if key not in stats:
+                errors.append(f"batch '{label}': stats missing '{key}'")
+
+    for hist in doc["histograms"]:
+        label = hist.get("label", "<unlabelled>")
+        check_histogram(hist.get("summary", {}), f"histogram '{label}'",
+                        errors)
+
+    for walk in doc["walk_stats"]:
+        label = walk.get("label", "<unlabelled>")
+        stats = walk.get("stats", {})
+        for key in ("walks", "visits", "tour_steps", "sample_hops"):
+            if key not in stats:
+                errors.append(f"walk_stats '{label}': missing '{key}'")
+        for hist_key in ("tour_steps", "sample_hops", "collision_gaps"):
+            if hist_key in stats:
+                check_histogram(stats[hist_key],
+                                f"walk_stats '{label}'.{hist_key}", errors)
+
+    # Every artifact must carry machine-readable runtime counters and at
+    # least one cost distribution — that is the point of the telemetry.
+    if not doc["batches"]:
+        errors.append("no batches recorded")
+    if not doc["histograms"] and not doc["walk_stats"]:
+        errors.append("no histograms or walk_stats recorded")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    directory = Path(sys.argv[1])
+    files = sorted(directory.glob("BENCH_*.json"))
+    if not files:
+        print(f"error: no BENCH_*.json files in {directory}")
+        return 1
+    if len(sys.argv) > 2 and len(files) < int(sys.argv[2]):
+        print(f"error: expected >= {sys.argv[2]} artifacts, found "
+              f"{len(files)}")
+        return 1
+
+    failed = False
+    for path in files:
+        errors = check_file(path)
+        status = "FAIL" if errors else "ok"
+        print(f"{status:4} {path.name}")
+        for e in errors:
+            print(f"     - {e}")
+        failed = failed or bool(errors)
+    print(f"{len(files)} artifacts checked")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

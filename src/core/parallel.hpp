@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/random_tour.hpp"
 #include "core/sample_collide.hpp"
 #include "core/sampling.hpp"
+#include "obs/probe.hpp"
 #include "runtime/parallel_runner.hpp"
 #include "walk/metropolis.hpp"
 #include "walk/walkers.hpp"
@@ -36,9 +38,17 @@ struct TourBatch {
   std::uint64_t total_steps = 0;  ///< walk steps across all tours
   BatchStats stats;
 
-  /// Mean of the completed (unbiased) estimates; 0 when none completed.
+  /// True when at least one tour completed, i.e. mean() is a usable size
+  /// estimate. A batch where EVERY tour hit max_steps has no unbiased
+  /// information at all.
+  bool ok() const noexcept { return completed > 0; }
+
+  /// Mean of the completed (unbiased) estimates. NaN when every tour was
+  /// truncated — deliberately not 0.0, so a failed batch can never be
+  /// mistaken for a tiny size estimate downstream; check ok() first.
   double mean() const noexcept {
-    return completed == 0 ? 0.0 : sum / static_cast<double>(completed);
+    return ok() ? sum / static_cast<double>(completed)
+                : std::numeric_limits<double>::quiet_NaN();
   }
 };
 
@@ -68,6 +78,23 @@ struct ScBatch {
 };
 
 namespace detail {
+
+/// Deterministic fold of per-task WalkStats, in task-index order. Integer
+/// counters and histogram buckets are order-independent sums; the one
+/// floating-point field (sojourn_time) goes through the same pairwise tree
+/// reduction as every batch aggregate, so the merged stats are bit-identical
+/// at any thread count.
+inline WalkStats fold_walk_stats(std::span<const WalkStats> parts) {
+  WalkStats out;
+  std::vector<double> sojourns;
+  sojourns.reserve(parts.size());
+  for (const auto& p : parts) {
+    out.merge_counts(p);
+    sojourns.push_back(p.sojourn_time);
+  }
+  out.sojourn_time = tree_sum(sojourns);
+  return out;
+}
 
 /// Fills the shared tail of TourBatch from the per-tour results.
 inline void finish_tour_batch(TourBatch& batch) {
@@ -131,6 +158,53 @@ TourBatch run_tours_size(const G& g, NodeId origin, std::size_t m,
   return run_tours_size(g, origin, m, seed, runner, max_steps);
 }
 
+/// m independent Random Tours with per-walk probe statistics: each task
+/// records into its own WalkStats (one WalkStatsProbe per tour, so revisit
+/// tracking stays walk-local) and `walk_out` receives the deterministic
+/// fold. The batch itself — every tour, the reduced sum, BatchStats — is
+/// bit-identical to the unprobed run_tours of the same (seed, m): probes
+/// observe the walk, they never draw from its stream.
+template <OverlayTopology G, typename F>
+TourBatch run_tours_probed(const G& g, NodeId origin, std::size_t m, F f,
+                           std::uint64_t seed, ParallelRunner& runner,
+                           WalkStats& walk_out,
+                           std::uint64_t max_steps = ~0ULL) {
+  TourBatch batch;
+  auto streams = derive_streams(seed, m);
+  std::vector<WalkStats> per_task(m);
+  batch.tours = runner.run<TourEstimate>(
+      m,
+      [&](std::size_t i) {
+        WalkStatsProbe probe(per_task[i]);
+        return random_tour(g, origin, f, streams[i], max_steps, probe);
+      },
+      &batch.stats);
+  detail::finish_tour_batch(batch);
+  walk_out = detail::fold_walk_stats(per_task);
+  return batch;
+}
+
+/// Probed Random Tour size batch (f = 1).
+template <OverlayTopology G>
+TourBatch run_tours_size_probed(const G& g, NodeId origin, std::size_t m,
+                                std::uint64_t seed, ParallelRunner& runner,
+                                WalkStats& walk_out,
+                                std::uint64_t max_steps = ~0ULL) {
+  return run_tours_probed(
+      g, origin, m, [](NodeId) { return 1.0; }, seed, runner, walk_out,
+      max_steps);
+}
+
+template <OverlayTopology G>
+TourBatch run_tours_size_probed(const G& g, NodeId origin, std::size_t m,
+                                std::uint64_t seed, unsigned n_threads,
+                                WalkStats& walk_out,
+                                std::uint64_t max_steps = ~0ULL) {
+  ParallelRunner runner(n_threads);
+  return run_tours_size_probed(g, origin, m, seed, runner, walk_out,
+                               max_steps);
+}
+
 /// m independent CTRW samples (paper Section 4.1) from `origin`.
 template <OverlayTopology G>
 SampleBatch run_samples(const G& g, NodeId origin, std::size_t m,
@@ -153,6 +227,28 @@ SampleBatch run_samples(const G& g, NodeId origin, std::size_t m,
                         unsigned n_threads) {
   ParallelRunner runner(n_threads);
   return run_samples(g, origin, m, timer, seed, runner);
+}
+
+/// m independent CTRW samples with per-walk probe statistics (see
+/// run_tours_probed for the determinism contract).
+template <OverlayTopology G>
+SampleBatch run_samples_probed(const G& g, NodeId origin, std::size_t m,
+                               double timer, std::uint64_t seed,
+                               ParallelRunner& runner, WalkStats& walk_out) {
+  SampleBatch batch;
+  auto streams = derive_streams(seed, m);
+  std::vector<WalkStats> per_task(m);
+  batch.samples = runner.run<SampleResult>(
+      m,
+      [&](std::size_t i) {
+        WalkStatsProbe probe(per_task[i]);
+        return ctrw_sample(g, origin, timer, streams[i], probe);
+      },
+      &batch.stats);
+  for (const auto& s : batch.samples) batch.total_hops += s.hops;
+  batch.stats.steps = batch.total_hops;
+  walk_out = detail::fold_walk_stats(per_task);
+  return batch;
 }
 
 /// `trials` independent Sample & Collide measurements, each sampling until
@@ -192,6 +288,40 @@ ScBatch run_sc_trials(const G& g, NodeId origin, std::size_t trials,
   return run_sc_trials(g, origin, trials, timer, ell, seed, runner);
 }
 
+/// `trials` probed Sample & Collide measurements: the fold additionally
+/// carries the collision-interarrival histogram (see run_tours_probed for
+/// the determinism contract).
+template <OverlayTopology G>
+ScBatch run_sc_trials_probed(const G& g, NodeId origin, std::size_t trials,
+                             double timer, std::size_t ell,
+                             std::uint64_t seed, ParallelRunner& runner,
+                             WalkStats& walk_out) {
+  ScBatch batch;
+  auto streams = derive_streams(seed, trials);
+  std::vector<WalkStats> per_task(trials);
+  batch.trials = runner.run<ScEstimate>(
+      trials,
+      [&](std::size_t i) {
+        SampleCollideEstimator estimator(g, origin, timer, ell, streams[i]);
+        WalkStatsProbe probe(per_task[i]);
+        return estimator.estimate(probe);
+      },
+      &batch.stats);
+  std::vector<double> simple, ml;
+  simple.reserve(trials);
+  ml.reserve(trials);
+  for (const auto& t : batch.trials) {
+    batch.total_hops += t.hops;
+    simple.push_back(t.simple);
+    ml.push_back(t.ml);
+  }
+  batch.sum_simple = tree_sum(simple);
+  batch.sum_ml = tree_sum(ml);
+  batch.stats.steps = batch.total_hops;
+  walk_out = detail::fold_walk_stats(per_task);
+  return batch;
+}
+
 /// m independent Metropolis-Hastings samples of `steps` transitions each.
 template <OverlayTopology G>
 SampleBatch run_metropolis_samples(const G& g, NodeId origin, std::size_t m,
@@ -217,6 +347,31 @@ SampleBatch run_metropolis_samples(const G& g, NodeId origin, std::size_t m,
                                    unsigned n_threads) {
   ParallelRunner runner(n_threads);
   return run_metropolis_samples(g, origin, m, steps, seed, runner);
+}
+
+/// m probed Metropolis-Hastings samples: the fold additionally counts
+/// rejections (see run_tours_probed for the determinism contract).
+template <OverlayTopology G>
+SampleBatch run_metropolis_samples_probed(const G& g, NodeId origin,
+                                          std::size_t m, std::uint64_t steps,
+                                          std::uint64_t seed,
+                                          ParallelRunner& runner,
+                                          WalkStats& walk_out) {
+  SampleBatch batch;
+  auto streams = derive_streams(seed, m);
+  std::vector<WalkStats> per_task(m);
+  batch.samples = runner.run<SampleResult>(
+      m,
+      [&](std::size_t i) {
+        MetropolisSampler sampler(g, steps, streams[i]);
+        WalkStatsProbe probe(per_task[i]);
+        return sampler.sample(origin, probe);
+      },
+      &batch.stats);
+  for (const auto& s : batch.samples) batch.total_hops += s.hops;
+  batch.stats.steps = batch.total_hops;
+  walk_out = detail::fold_walk_stats(per_task);
+  return batch;
 }
 
 }  // namespace overcount

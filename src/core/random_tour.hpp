@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/probe.hpp"
 #include "walk/topology.hpp"
 #include "walk/walkers.hpp"
 
@@ -37,28 +38,38 @@ struct TourEstimate {
 /// neighbour. `max_steps` aborts pathological tours; an aborted tour is
 /// flagged by `completed == false` and its partial estimate is biased. The
 /// default cap never triggers in practice.
-template <OverlayTopology G, typename F>
+///
+/// `probe` (obs/probe.hpp) observes every visited node and the tour length;
+/// the default NullProbe compiles to the bare walk, and no probe ever draws
+/// from `rng`, so instrumented and plain tours return identical estimates.
+template <OverlayTopology G, typename F, WalkProbe P = NullProbe>
 TourEstimate random_tour(const G& g, NodeId origin, F&& f, Rng& rng,
-                         std::uint64_t max_steps = ~0ULL) {
+                         std::uint64_t max_steps = ~0ULL, P&& probe = P{}) {
   const auto d_origin = static_cast<double>(g.degree(origin));
   OVERCOUNT_EXPECTS(d_origin > 0);
+  if constexpr (probe_enabled_v<P>) probe.walk_begin(origin);
   double counter = f(origin) / d_origin;
   NodeId at = random_neighbor(g, origin, rng);
   std::uint64_t steps = 1;
   while (at != origin && steps < max_steps) {
+    if constexpr (probe_enabled_v<P>) probe.on_visit(at);
     counter += f(at) / static_cast<double>(g.degree(at));
     at = random_neighbor(g, at, rng);
     ++steps;
   }
-  return {d_origin * counter, steps, /*completed=*/at == origin};
+  const bool completed = at == origin;
+  if constexpr (probe_enabled_v<P>) probe.tour_end(steps, completed);
+  return {d_origin * counter, steps, completed};
 }
 
 /// One Random Tour size estimate (f = 1).
-template <OverlayTopology G>
+template <OverlayTopology G, WalkProbe P = NullProbe>
 TourEstimate random_tour_size(const G& g, NodeId origin, Rng& rng,
-                              std::uint64_t max_steps = ~0ULL) {
+                              std::uint64_t max_steps = ~0ULL,
+                              P&& probe = P{}) {
   return random_tour(
-      g, origin, [](NodeId) { return 1.0; }, rng, max_steps);
+      g, origin, [](NodeId) { return 1.0; }, rng, max_steps,
+      std::forward<P>(probe));
 }
 
 /// The continuous-time reading of the tour (Section 3.3): run the walk as
@@ -99,6 +110,14 @@ class RandomTourEstimator {
   /// One tour, f = 1 (system size).
   TourEstimate estimate_size() {
     return record(random_tour_size(*graph_, origin_, rng_));
+  }
+
+  /// One size tour observed by a walk probe (obs/probe.hpp); the probe
+  /// never draws from the estimator's stream.
+  template <WalkProbe P>
+  TourEstimate estimate_size(P&& probe) {
+    return record(random_tour_size(*graph_, origin_, rng_, ~0ULL,
+                                   std::forward<P>(probe)));
   }
 
   /// One tour estimating sum_j f(j).

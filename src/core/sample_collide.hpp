@@ -117,11 +117,27 @@ class SampleCollideEstimator {
   std::uint64_t total_hops() const noexcept { return sampler_.total_hops(); }
 
   /// Runs one full measurement (fresh collision state).
-  ScEstimate estimate() {
+  ScEstimate estimate() { return estimate(NullProbe{}); }
+
+  /// Same, observed by a walk probe (obs/probe.hpp): the probe sees every
+  /// CTRW sampling walk plus an on_collision(gap) event per collision,
+  /// where `gap` is the number of samples since the previous collision (the
+  /// collision-interarrival distribution whose 1/sqrt(N) scaling is the
+  /// estimator's whole signal). Probes never touch the Rng, so probed and
+  /// plain measurements are bit-identical.
+  template <WalkProbe P>
+  ScEstimate estimate(P&& probe) {
     CollisionTracker tracker;
     const std::uint64_t hops_before = sampler_.total_hops();
-    while (tracker.collisions() < ell_)
-      tracker.feed(sampler_.sample(origin_).node);
+    [[maybe_unused]] std::uint64_t previous_collision_at = 0;
+    while (tracker.collisions() < ell_) {
+      const bool collided = tracker.feed(sampler_.sample(origin_, probe).node);
+      if (collided) {
+        if constexpr (probe_enabled_v<P>)
+          probe.on_collision(tracker.samples() - previous_collision_at);
+        previous_collision_at = tracker.samples();
+      }
+    }
     ScEstimate out;
     out.samples = tracker.samples();
     out.hops = sampler_.total_hops() - hops_before;

@@ -45,8 +45,13 @@ class CtrwSampler {
   std::uint64_t samples_drawn() const noexcept { return samples_; }
 
   /// Draws one (approximately uniform) sample, walking from `origin`.
-  SampleResult sample(NodeId origin) {
-    auto r = ctrw_sample(*graph_, origin, timer_, rng_);
+  SampleResult sample(NodeId origin) { return sample(origin, NullProbe{}); }
+
+  /// Same, observed by a walk probe (obs/probe.hpp). The probe never draws
+  /// from the sampler's Rng, so probed and plain runs sample identically.
+  template <WalkProbe P>
+  SampleResult sample(NodeId origin, P&& probe) {
+    auto r = ctrw_sample(*graph_, origin, timer_, rng_, probe);
     total_hops_ += r.hops;
     ++samples_;
     return r;

@@ -8,6 +8,7 @@ Simulator::EventId Simulator::schedule_at(SimTime t, Action action) {
   const EventId id = next_id_++;
   queue_.push(Event{t, id});
   actions_.emplace(id, std::move(action));
+  if (scheduled_ != nullptr) scheduled_->inc();
   return id;
 }
 
@@ -32,6 +33,10 @@ bool Simulator::step() {
     now_ = ev.time;
     const Action action = take_action(ev.id);
     ++processed_;
+    if (events_ != nullptr) {
+      events_->inc();
+      queue_depth_->record(pending());
+    }
     action();
     return true;
   }

@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace overcount {
@@ -40,7 +41,10 @@ class Simulator {
 
   /// Cancels a pending event; cancelling an already-fired or unknown id is a
   /// harmless no-op (timers race with the messages they guard).
-  void cancel(EventId id) { cancelled_.insert(id); }
+  void cancel(EventId id) {
+    cancelled_.insert(id);
+    if (cancelled_metric_ != nullptr) cancelled_metric_->inc();
+  }
 
   /// Executes the single next event. Returns false when none remain.
   bool step();
@@ -51,6 +55,28 @@ class Simulator {
 
   /// Runs events with time <= t_end and advances the clock to t_end.
   std::uint64_t run_until(SimTime t_end);
+
+  /// Attaches an event-trace sink: from now on every fired event counts
+  /// into `des.events`, every schedule into `des.scheduled`, every cancel
+  /// request into `des.cancelled`, and each step records the pending-queue
+  /// depth into the `des.queue_depth` log2 histogram. The registry is the
+  /// same obs/metrics.hpp registry the walk probes feed, so one snapshot
+  /// shows walk-level and simulator-level behaviour side by side. Pass the
+  /// registry by reference; it must outlive the simulator. Detach with
+  /// detach_metrics(). When no sink is attached (the default) the cost is a
+  /// single null check per event.
+  void attach_metrics(MetricsRegistry& registry) {
+    events_ = &registry.counter("des.events");
+    scheduled_ = &registry.counter("des.scheduled");
+    cancelled_metric_ = &registry.counter("des.cancelled");
+    queue_depth_ = &registry.histogram("des.queue_depth");
+  }
+  void detach_metrics() noexcept {
+    events_ = nullptr;
+    scheduled_ = nullptr;
+    cancelled_metric_ = nullptr;
+    queue_depth_ = nullptr;
+  }
 
  private:
   struct Event {
@@ -71,6 +97,12 @@ class Simulator {
   SimTime now_ = 0.0;
   EventId next_id_ = 0;
   std::uint64_t processed_ = 0;
+
+  // Optional metrics sink (attach_metrics); null when detached.
+  Counter* events_ = nullptr;
+  Counter* scheduled_ = nullptr;
+  Counter* cancelled_metric_ = nullptr;
+  AtomicHistogram* queue_depth_ = nullptr;
 
   Action take_action(EventId id);
 };

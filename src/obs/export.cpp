@@ -1,0 +1,104 @@
+#include "obs/export.hpp"
+
+#include <ostream>
+
+namespace overcount {
+
+void write_json(JsonWriter& w, const Log2Histogram& h) {
+  w.begin_object();
+  w.kv("count", h.count);
+  w.kv("sum", h.sum);
+  w.kv("mean", h.mean());
+  if (h.empty()) {
+    w.key("min");
+    w.null();
+    w.key("max");
+    w.null();
+  } else {
+    w.kv("min", h.min);
+    w.kv("max", h.max);
+  }
+  w.kv("p50", h.percentile(0.50));
+  w.kv("p90", h.percentile(0.90));
+  w.kv("p99", h.percentile(0.99));
+  w.key("buckets");
+  w.begin_array();
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    w.begin_array();
+    w.value(Log2Histogram::bucket_lower(i));
+    w.value(h.buckets[i]);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_json(JsonWriter& w, const BatchStats& stats) {
+  w.begin_object();
+  w.kv("tasks", static_cast<std::uint64_t>(stats.tasks));
+  w.kv("steps", stats.steps);
+  w.kv("wall_s", stats.wall_seconds);
+  w.kv("cpu_s", stats.cpu_seconds);
+  w.kv("steps_per_s", stats.steps_per_second());
+  w.kv("parallel_efficiency", stats.parallel_efficiency());
+  w.kv("threads", stats.threads);
+  w.end_object();
+}
+
+void write_json(JsonWriter& w, const WalkStats& walk) {
+  w.begin_object();
+  w.kv("walks", walk.walks);
+  w.kv("visits", walk.visits);
+  w.kv("revisits", walk.revisits);
+  w.kv("rejects", walk.rejects);
+  w.kv("tours", walk.tours);
+  w.kv("completed_tours", walk.completed_tours);
+  w.kv("truncated_tours", walk.truncated_tours);
+  w.kv("samples", walk.samples);
+  w.kv("collisions", walk.collisions);
+  w.kv("sojourn_time", walk.sojourn_time);
+  w.key("tour_steps");
+  write_json(w, walk.tour_steps);
+  w.key("sample_hops");
+  write_json(w, walk.sample_hops);
+  w.key("collision_gaps");
+  write_json(w, walk.collision_gaps);
+  w.end_object();
+}
+
+void write_json(JsonWriter& w, const MetricsSnapshot& snapshot) {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : snapshot.counters) w.kv(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : snapshot.gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    w.key(name);
+    write_json(w, h);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void print_snapshot(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const auto& [name, v] : snapshot.counters)
+    os << name << ' ' << v << '\n';
+  for (const auto& [name, v] : snapshot.gauges)
+    os << name << ' ' << v << '\n';
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << name << " count=" << h.count << " mean=" << h.mean()
+       << " p50=" << h.percentile(0.5) << " p90=" << h.percentile(0.9)
+       << " p99=" << h.percentile(0.99);
+    if (!h.empty()) os << " max=" << h.max;
+    os << '\n';
+  }
+}
+
+}  // namespace overcount

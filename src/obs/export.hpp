@@ -1,0 +1,38 @@
+// Renderers from the observability data types to JSON (machine-readable
+// telemetry) and to plain text (terminal dashboards). These are the
+// functions the bench harness uses to emit BENCH_<name>.json artifacts and
+// examples use to print live registry snapshots.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "runtime/batch_stats.hpp"
+
+namespace overcount {
+
+/// Histogram summary object: {count, sum, mean, min, max, p50, p90, p99,
+/// buckets: [[lower, count], ...]}  (only non-empty buckets listed; empty
+/// histogram renders with count 0 and null percentiles).
+void write_json(JsonWriter& w, const Log2Histogram& h);
+
+/// BatchStats object: {tasks, steps, wall_s, cpu_s, steps_per_s,
+/// parallel_efficiency, threads}.
+void write_json(JsonWriter& w, const BatchStats& stats);
+
+/// WalkStats object: the counters plus one histogram summary per recorded
+/// distribution (tour_steps, sample_hops, collision_gaps).
+void write_json(JsonWriter& w, const WalkStats& walk);
+
+/// Snapshot object: {counters: {...}, gauges: {...}, histograms: {...}}.
+void write_json(JsonWriter& w, const MetricsSnapshot& snapshot);
+
+/// Plain-text snapshot dump: one "name value" line per counter/gauge, one
+/// summary line per histogram. The live-dashboard rendering used by
+/// examples/overlay_monitor.
+void print_snapshot(std::ostream& os, const MetricsSnapshot& snapshot);
+
+}  // namespace overcount

@@ -1,0 +1,38 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace overcount {
+
+double Log2Histogram::mean() const noexcept {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+double Log2Histogram::percentile(double q) const noexcept {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  // 1-based target rank; q = 0 means the first observation.
+  const double rank =
+      std::max(1.0, std::ceil(q * static_cast<double>(count)));
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(below + in_bucket) >= rank) {
+      const double frac = (rank - static_cast<double>(below)) /
+                          static_cast<double>(in_bucket);
+      const double lo = static_cast<double>(bucket_lower(i));
+      const double hi = static_cast<double>(bucket_upper(i));
+      const double value = lo + frac * (hi - lo);
+      return std::clamp(value, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    below += in_bucket;
+  }
+  return static_cast<double>(max);  // unreachable when counts are consistent
+}
+
+}  // namespace overcount

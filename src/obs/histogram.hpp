@@ -1,0 +1,75 @@
+// Log2-bucketed histogram of unsigned integer observations (walk steps,
+// hops per sample, queue depths, collision gaps).
+//
+// Bucket i holds the values whose bit width is i: bucket 0 is exactly {0},
+// bucket i >= 1 covers [2^(i-1), 2^i - 1]. 65 buckets therefore cover the
+// whole uint64 range with no separate overflow bucket — the top bucket IS
+// [2^63, 2^64-1]. Log2 bucketing is the right resolution for the paper's
+// heavy-tailed quantities: a Random Tour's length is a return time whose
+// distribution has geometric-scale spread (E_i[T_i] = 2|E|/d_i but the
+// tail is governed by the spectral gap), so fixed-width bins either clip
+// the tail or waste the head.
+//
+// This is the PLAIN, single-thread accumulator used by per-walk probes and
+// by snapshots; the lock-free multi-thread variant (AtomicHistogram in
+// obs/metrics.hpp) converts to it on read.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace overcount {
+
+struct Log2Histogram {
+  static constexpr std::size_t kBuckets = 65;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;        ///< exact sum of recorded values
+  std::uint64_t min = ~0ULL;    ///< exact smallest value (~0 when empty)
+  std::uint64_t max = 0;        ///< exact largest value (0 when empty)
+
+  /// The bucket a value lands in: std::bit_width(v).
+  static std::size_t bucket_index(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Smallest value of bucket i (0 for bucket 0, 2^(i-1) otherwise).
+  static std::uint64_t bucket_lower(std::size_t i) noexcept {
+    return i == 0 ? 0 : (std::uint64_t{1} << (i - 1));
+  }
+  /// Largest value of bucket i.
+  static std::uint64_t bucket_upper(std::size_t i) noexcept {
+    return i == 0 ? 0 : (~std::uint64_t{0} >> (64 - i));
+  }
+
+  void record(std::uint64_t v) noexcept {
+    ++buckets[bucket_index(v)];
+    ++count;
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+
+  /// Adds another histogram's observations into this one.
+  void merge(const Log2Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+    count += other.count;
+    sum += other.sum;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+
+  bool empty() const noexcept { return count == 0; }
+
+  /// Mean of the recorded values; NaN when empty.
+  double mean() const noexcept;
+
+  /// Estimated q-quantile, q in [0, 1] (0.5 = median): linear interpolation
+  /// by rank inside the containing bucket, clamped to the exact observed
+  /// [min, max]. NaN when empty.
+  double percentile(double q) const noexcept;
+};
+
+}  // namespace overcount

@@ -1,0 +1,416 @@
+#include "obs/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+// ---------------------------------------------------------------- escaping
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf;
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ writer
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(&os), indent_(indent) {
+  OVERCOUNT_EXPECTS(indent >= 0);
+}
+
+void JsonWriter::raw(std::string_view text) { *os_ << text; }
+
+void JsonWriter::newline_indent() {
+  if (indent_ == 0) return;
+  *os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i)
+    *os_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // top-level value
+  Level& top = stack_.back();
+  if (top.is_array) {
+    if (top.has_items) raw(",");
+    newline_indent();
+  } else {
+    // Inside an object a value may only follow its key.
+    OVERCOUNT_EXPECTS(key_pending_);
+    key_pending_ = false;
+  }
+  top.has_items = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  raw("{");
+  stack_.push_back({/*is_array=*/false, /*has_items=*/false});
+}
+
+void JsonWriter::end_object() {
+  OVERCOUNT_EXPECTS(!stack_.empty() && !stack_.back().is_array);
+  OVERCOUNT_EXPECTS(!key_pending_);
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  raw("}");
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  raw("[");
+  stack_.push_back({/*is_array=*/true, /*has_items=*/false});
+}
+
+void JsonWriter::end_array() {
+  OVERCOUNT_EXPECTS(!stack_.empty() && stack_.back().is_array);
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  raw("]");
+}
+
+void JsonWriter::key(std::string_view k) {
+  OVERCOUNT_EXPECTS(!stack_.empty() && !stack_.back().is_array);
+  OVERCOUNT_EXPECTS(!key_pending_);
+  if (stack_.back().has_items) raw(",");
+  newline_indent();
+  *os_ << '"' << json_escape(k) << "\":" << (indent_ > 0 ? " " : "");
+  key_pending_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value();
+  *os_ << '"' << json_escape(v) << '"';
+}
+
+void JsonWriter::value(double v) {
+  if (!std::isfinite(v)) {
+    null();
+    return;
+  }
+  before_value();
+  std::array<char, 32> buf;
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  raw(std::string_view(buf.data(), static_cast<std::size_t>(res.ptr -
+                                                            buf.data())));
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  *os_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  *os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  raw(v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  raw("null");
+}
+
+// ------------------------------------------------------------------ values
+
+bool JsonValue::is_null() const noexcept {
+  return std::holds_alternative<std::nullptr_t>(data);
+}
+bool JsonValue::is_bool() const noexcept {
+  return std::holds_alternative<bool>(data);
+}
+bool JsonValue::is_number() const noexcept {
+  return std::holds_alternative<double>(data);
+}
+bool JsonValue::is_string() const noexcept {
+  return std::holds_alternative<std::string>(data);
+}
+bool JsonValue::is_array() const noexcept {
+  return std::holds_alternative<Array>(data);
+}
+bool JsonValue::is_object() const noexcept {
+  return std::holds_alternative<Object>(data);
+}
+
+bool JsonValue::as_bool() const {
+  OVERCOUNT_EXPECTS(is_bool());
+  return std::get<bool>(data);
+}
+double JsonValue::as_number() const {
+  OVERCOUNT_EXPECTS(is_number());
+  return std::get<double>(data);
+}
+const std::string& JsonValue::as_string() const {
+  OVERCOUNT_EXPECTS(is_string());
+  return std::get<std::string>(data);
+}
+const JsonValue::Array& JsonValue::as_array() const {
+  OVERCOUNT_EXPECTS(is_array());
+  return std::get<Array>(data);
+}
+const JsonValue::Object& JsonValue::as_object() const {
+  OVERCOUNT_EXPECTS(is_object());
+  return std::get<Object>(data);
+}
+
+const JsonValue* JsonValue::find(const std::string& k) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = std::get<Object>(data);
+  const auto it = obj.find(k);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+// ------------------------------------------------------------------ parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue{JsonValue::Data{parse_string()}};
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue{JsonValue::Data{true}};
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue{JsonValue::Data{false}};
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{JsonValue::Data{nullptr}};
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{JsonValue::Data{std::move(obj)}};
+    }
+    for (;;) {
+      skip_ws();
+      std::string k = parse_string();
+      skip_ws();
+      expect(':');
+      obj.insert_or_assign(std::move(k), parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return JsonValue{JsonValue::Data{std::move(obj)}};
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{JsonValue::Data{std::move(arr)}};
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return JsonValue{JsonValue::Data{std::move(arr)}};
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9')
+        cp |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        fail("bad hex digit in \\u escape");
+    }
+    return cp;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              fail("unpaired surrogate");
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-')
+        ++pos_;
+      else
+        break;
+    }
+    double v = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v);
+    if (res.ec != std::errc{} || res.ptr != text_.data() + pos_ ||
+        pos_ == start) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return JsonValue{JsonValue::Data{v}};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace overcount

@@ -1,0 +1,114 @@
+// Minimal JSON support for the telemetry artifacts — no third-party
+// dependencies.
+//
+// JsonWriter streams a document to an ostream with automatic separators and
+// indentation; misuse (a value where a key is required, unbalanced
+// end_object) trips a contract check rather than emitting malformed output.
+// Doubles are rendered shortest-round-trip via std::to_chars; NaN and
+// infinities become null (JSON has no spelling for them).
+//
+// parse_json is the matching reader: a small recursive-descent parser used
+// by the tests to round-trip writer output and by tooling to validate
+// emitted BENCH_*.json artifacts. It is strict (no trailing commas, no
+// comments) and throws std::runtime_error with an offset on malformed
+// input.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace overcount {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): ", \ and control characters become escape sequences; other
+/// bytes (including UTF-8 multibyte sequences) pass through.
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer with separator/indent bookkeeping.
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 emits compact single-line JSON.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Next member's name; must be inside an object.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  void before_value();
+  void newline_indent();
+  void raw(std::string_view text);
+
+  struct Level {
+    bool is_array = false;
+    bool has_items = false;
+  };
+
+  std::ostream* os_;
+  int indent_;
+  std::vector<Level> stack_;
+  bool key_pending_ = false;
+};
+
+/// Parsed JSON document.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+  using Data = std::variant<std::nullptr_t, bool, double, std::string, Array,
+                            Object>;
+
+  Data data = nullptr;
+
+  bool is_null() const noexcept;
+  bool is_bool() const noexcept;
+  bool is_number() const noexcept;
+  bool is_string() const noexcept;
+  bool is_array() const noexcept;
+  bool is_object() const noexcept;
+
+  /// Typed accessors; contract failure when the type does not match.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& k) const;
+};
+
+/// Parses one JSON document (whole input must be consumed). Throws
+/// std::runtime_error on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace overcount

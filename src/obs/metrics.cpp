@@ -1,0 +1,63 @@
+#include "obs/metrics.hpp"
+
+namespace overcount {
+
+namespace detail {
+
+std::size_t this_thread_ordinal() noexcept {
+  static std::atomic<std::size_t> next{0};
+  static thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine;
+}
+
+}  // namespace detail
+
+namespace {
+
+template <typename T>
+T& find_or_create(std::map<std::string, std::unique_ptr<T>>& metrics,
+                  const std::string& name, std::mutex& mutex) {
+  std::lock_guard lock(mutex);
+  auto& slot = metrics[name];
+  if (!slot) slot = std::make_unique<T>();
+  return *slot;
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter_or_zero(
+    const std::string& name) const noexcept {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return find_or_create(counters_, name, mutex_);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return find_or_create(gauges_, name, mutex_);
+}
+
+AtomicHistogram& MetricsRegistry::histogram(const std::string& name) {
+  return find_or_create(histograms_, name, mutex_);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    out.gauges.emplace_back(name, g->value());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    out.histograms.emplace_back(name, h->snapshot());
+  return out;
+}
+
+}  // namespace overcount

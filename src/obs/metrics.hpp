@@ -1,0 +1,158 @@
+// Metrics registry: named counters, gauges and log2 histograms shared by
+// concurrent walkers, the DES simulator and the bench harness.
+//
+// Hot-path writes are lock-free and wait-free in the common case:
+//  * Counter increments land on one of kShards cache-line-padded atomic
+//    cells picked by a per-thread ordinal, so concurrent walkers on a
+//    ParallelRunner pool never contend on the same line; value() merges the
+//    shards on read.
+//  * Gauge and AtomicHistogram use relaxed atomic RMW (a CAS loop only for
+//    the double-add and min/max updates).
+// Registration (registry.counter("walk.visits")) takes a mutex, so callers
+// are expected to look a metric up once and keep the reference — the
+// reference stays valid for the registry's lifetime.
+//
+// None of this touches any Rng: attaching metrics to a walk, a batch or a
+// simulation NEVER changes the random streams, so instrumented runs produce
+// bit-identical estimates (tested in tests/obs/).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace overcount {
+
+namespace detail {
+/// Small dense id for the calling thread (assigned on first use), used to
+/// spread counter increments across shards.
+std::size_t this_thread_ordinal() noexcept;
+}  // namespace detail
+
+/// Monotone event counter, sharded per thread.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t delta) noexcept {
+    shards_[detail::this_thread_ordinal() % kShards].cell.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  /// Sum over all shards (safe to call while writers are active).
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_)
+      total += s.cell.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> cell{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-writer-wins double value with an atomic add.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Lock-free log2 histogram; snapshot() converts to the plain accumulator.
+class AtomicHistogram {
+ public:
+  void record(std::uint64_t v) noexcept {
+    buckets_[Log2Histogram::bucket_index(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    update_min(v);
+    update_max(v);
+  }
+
+  /// Merged copy of the current state. Concurrent record() calls may be
+  /// partially visible (the snapshot is a consistent-enough read for
+  /// monitoring, not a linearisable one).
+  Log2Histogram snapshot() const noexcept {
+    Log2Histogram out;
+    for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i)
+      out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.count = count_.load(std::memory_order_relaxed);
+    out.sum = sum_.load(std::memory_order_relaxed);
+    out.min = min_.load(std::memory_order_relaxed);
+    out.max = max_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  void update_min(std::uint64_t v) noexcept {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) noexcept {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, Log2Histogram::kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time copy of a registry, ready for rendering or JSON export.
+/// Metric names are sorted, so two snapshots of the same run diff cleanly.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Log2Histogram>> histograms;
+
+  /// Counter value by exact name; 0 when absent.
+  std::uint64_t counter_or_zero(const std::string& name) const noexcept;
+};
+
+/// Owner of named metrics. Thread-safe; returned references live as long as
+/// the registry.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  AtomicHistogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<AtomicHistogram>> histograms_;
+};
+
+}  // namespace overcount

@@ -24,6 +24,7 @@ std::vector<std::pair<std::string, std::string>> BatchStats::counter_rows()
       {"wall_s", format_double(wall_seconds, 4)},
       {"cpu_s", format_double(cpu_seconds, 4)},
       {"steps/s", format_double(steps_per_second(), 0)},
+      {"par_eff", format_double(parallel_efficiency(), 2)},
       {"threads", std::to_string(threads)},
   };
 }

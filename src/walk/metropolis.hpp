@@ -8,6 +8,7 @@
 // the message-cost difference.
 #pragma once
 
+#include "obs/probe.hpp"
 #include "walk/topology.hpp"
 #include "walk/walkers.hpp"
 
@@ -35,18 +36,31 @@ struct MetropolisSampler {
     OVERCOUNT_EXPECTS(steps > 0);
   }
 
-  SampleResult sample(NodeId origin) {
+  SampleResult sample(NodeId origin) { return sample(origin, NullProbe{}); }
+
+  /// Same, observed by a walk probe (obs/probe.hpp): accepted moves fire
+  /// on_visit, rejections fire on_reject (the wasted-message count the
+  /// ablation bench studies). Probes never draw from the Rng.
+  template <WalkProbe P>
+  SampleResult sample(NodeId origin, P&& probe) {
     NodeId at = origin;
+    if constexpr (probe_enabled_v<P>) probe.walk_begin(origin);
     SampleResult out;
     for (std::uint64_t k = 0; k < steps_; ++k) {
       // A proposal costs one probe exchange whether or not it is accepted:
       // the walker must learn d_u from the proposed neighbour.
       ++probes_sent_;
       const NodeId next = metropolis_step(*graph_, at, rng_);
-      if (next != at) ++out.hops;
+      if (next != at) {
+        ++out.hops;
+        if constexpr (probe_enabled_v<P>) probe.on_visit(next);
+      } else {
+        if constexpr (probe_enabled_v<P>) probe.on_reject();
+      }
       at = next;
     }
     out.node = at;
+    if constexpr (probe_enabled_v<P>) probe.sample_end(out.hops);
     total_hops_ += out.hops;
     return out;
   }

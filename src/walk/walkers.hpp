@@ -10,9 +10,11 @@
 //   sampling (Remark 1's bipartite parity counterexample).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 
+#include "obs/probe.hpp"
 #include "walk/topology.hpp"
 
 namespace overcount {
@@ -60,22 +62,33 @@ std::uint64_t measure_return_time(const G& g, NodeId origin, Rng& rng,
 /// an Exp(d_v) variate; the node where the timer dies is the sample.
 /// Unbiased in the T -> infinity limit: variation distance to uniform is at
 /// most sqrt(N) * exp(-lambda_2 T) (Lemma 1).
-template <OverlayTopology G>
-SampleResult ctrw_sample(const G& g, NodeId origin, double timer, Rng& rng) {
+///
+/// `probe` (obs/probe.hpp) observes visits and the virtual time actually
+/// spent at each node; the default NullProbe compiles to the bare walk and
+/// no probe ever touches `rng`.
+template <OverlayTopology G, WalkProbe P = NullProbe>
+SampleResult ctrw_sample(const G& g, NodeId origin, double timer, Rng& rng,
+                         P&& probe = P{}) {
   OVERCOUNT_EXPECTS(timer > 0.0);
   SampleResult out;
   NodeId at = origin;
   double remaining = timer;
+  if constexpr (probe_enabled_v<P>) probe.walk_begin(origin);
   for (;;) {
     const auto degree = g.degree(at);
     OVERCOUNT_EXPECTS(degree > 0);
-    remaining -= rng.exponential(static_cast<double>(degree));
+    const double sojourn = rng.exponential(static_cast<double>(degree));
+    if constexpr (probe_enabled_v<P>)
+      probe.on_sojourn(std::min(sojourn, remaining));
+    remaining -= sojourn;
     if (remaining <= 0.0) {
       out.node = at;
+      if constexpr (probe_enabled_v<P>) probe.sample_end(out.hops);
       return out;
     }
     at = random_neighbor(g, at, rng);
     ++out.hops;
+    if constexpr (probe_enabled_v<P>) probe.on_visit(at);
   }
 }
 

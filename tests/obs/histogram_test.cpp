@@ -1,0 +1,120 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace overcount {
+namespace {
+
+constexpr std::uint64_t kMax = ~0ULL;
+
+TEST(Log2Histogram, BucketBoundaries) {
+  // bucket_index is bit_width: 0 -> bucket 0, 1 -> 1, [2,3] -> 2,
+  // [4,7] -> 3, ... [2^63, 2^64-1] -> 64. No value can overflow the array.
+  EXPECT_EQ(Log2Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Log2Histogram::bucket_index((1ULL << 63) - 1), 63u);
+  EXPECT_EQ(Log2Histogram::bucket_index(1ULL << 63), 64u);
+  EXPECT_EQ(Log2Histogram::bucket_index(kMax), 64u);
+  static_assert(Log2Histogram::kBuckets == 65);
+
+  // Lower/upper bounds agree with the index mapping at the edges.
+  EXPECT_EQ(Log2Histogram::bucket_lower(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_lower(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_lower(2), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_lower(64), 1ULL << 63);
+  EXPECT_EQ(Log2Histogram::bucket_upper(64), kMax);
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Log2Histogram::bucket_index(Log2Histogram::bucket_lower(i)), i);
+    EXPECT_EQ(Log2Histogram::bucket_index(Log2Histogram::bucket_upper(i)), i);
+  }
+}
+
+TEST(Log2Histogram, RecordsExtremesWithoutOverflow) {
+  Log2Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(kMax);
+  h.record(1ULL << 63);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, kMax);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[64], 2u);
+}
+
+TEST(Log2Histogram, EmptyHistogramYieldsNan) {
+  const Log2Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_TRUE(std::isnan(h.mean()));
+  EXPECT_TRUE(std::isnan(h.percentile(0.5)));
+}
+
+TEST(Log2Histogram, MeanAndPercentilesOnKnownData) {
+  Log2Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Percentiles are interpolated within a power-of-two bucket, so they are
+  // approximate — but must stay inside [min, max] and be monotone.
+  const double p50 = h.percentile(0.50);
+  const double p90 = h.percentile(0.90);
+  const double p99 = h.percentile(0.99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(p50, 50.0, 16.0);  // within the [33,64] bucket's span
+  EXPECT_NEAR(p99, 99.0, 20.0);
+  // Degenerate single-value histogram: all percentiles are that value.
+  Log2Histogram one;
+  one.record(7);
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 7.0);
+}
+
+TEST(Log2Histogram, MergeMatchesDirectRecording) {
+  Log2Histogram a;
+  Log2Histogram b;
+  Log2Histogram direct;
+  for (std::uint64_t v : {3ULL, 9ULL, 200ULL}) {
+    a.record(v);
+    direct.record(v);
+  }
+  for (std::uint64_t v : {0ULL, 64ULL, 1000000ULL}) {
+    b.record(v);
+    direct.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count, direct.count);
+  EXPECT_EQ(a.sum, direct.sum);
+  EXPECT_EQ(a.min, direct.min);
+  EXPECT_EQ(a.max, direct.max);
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i)
+    EXPECT_EQ(a.buckets[i], direct.buckets[i]);
+
+  // Merging an empty histogram is a no-op in both directions.
+  Log2Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count, direct.count);
+  EXPECT_EQ(a.min, direct.min);
+  Log2Histogram into;
+  into.merge(direct);
+  EXPECT_EQ(into.count, direct.count);
+  EXPECT_EQ(into.max, direct.max);
+}
+
+}  // namespace
+}  // namespace overcount

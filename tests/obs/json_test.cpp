@@ -1,0 +1,119 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world_123"), "hello world_123");
+  EXPECT_EQ(json_escape(""), "");
+  // UTF-8 multibyte sequences are not escaped.
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  // Control characters without a short form use \u00XX.
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonWriter, WritesNestedDocument) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_object();
+  w.kv("name", "bench");
+  w.kv("count", std::uint64_t{42});
+  w.key("points");
+  w.begin_array();
+  w.value(1.5);
+  w.value(-2);
+  w.end_array();
+  w.kv("ok", true);
+  w.key("missing");
+  w.null();
+  w.end_object();
+
+  const auto doc = parse_json(out.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("name")->as_string(), "bench");
+  EXPECT_EQ(doc.find("count")->as_number(), 42.0);
+  const auto& points = doc.find("points")->as_array();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].as_number(), 1.5);
+  EXPECT_EQ(points[1].as_number(), -2.0);
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_TRUE(doc.find("missing")->is_null());
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(JsonWriter, RoundTripsAwkwardStringsAndDoubles) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("tricky", "line\nbreak \"quoted\" back\\slash \t tab");
+  w.kv("tiny", 1e-300);
+  w.kv("huge", 1.7976931348623157e308);
+  w.kv("third", 1.0 / 3.0);
+  w.end_object();
+
+  const auto doc = parse_json(out.str());
+  EXPECT_EQ(doc.find("tricky")->as_string(),
+            "line\nbreak \"quoted\" back\\slash \t tab");
+  // to_chars shortest form round-trips doubles exactly.
+  EXPECT_EQ(doc.find("tiny")->as_number(), 1e-300);
+  EXPECT_EQ(doc.find("huge")->as_number(), 1.7976931348623157e308);
+  EXPECT_EQ(doc.find("third")->as_number(), 1.0 / 3.0);
+}
+
+TEST(JsonWriter, NanAndInfinityBecomeNull) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.end_array();
+  const auto doc = parse_json(out.str());
+  for (const auto& v : doc.as_array()) EXPECT_TRUE(v.is_null());
+}
+
+TEST(JsonWriter, MisuseTripsContracts) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_object();
+  // A bare value inside an object (no key pending) is a contract violation.
+  EXPECT_THROW(w.value(1.0), precondition_error);
+}
+
+TEST(JsonParser, ParsesEscapesAndUnicode) {
+  const auto doc = parse_json(R"({"s": "a\u0041\n\t\\\" \u00e9"})");
+  EXPECT_EQ(doc.find("s")->as_string(), "aA\n\t\\\" \xc3\xa9");
+  // Surrogate pair: U+1F600.
+  const auto emoji = parse_json(R"(["\ud83d\ude00"])");
+  EXPECT_EQ(emoji.as_array()[0].as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(parse_json("tru"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1] trailing"), std::runtime_error);
+  EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse_json("[\"\\ud83d\"]"), std::runtime_error);  // lone hi
+}
+
+}  // namespace
+}  // namespace overcount

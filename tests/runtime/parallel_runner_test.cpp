@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstddef>
 #include <numeric>
 #include <stdexcept>
@@ -242,7 +243,10 @@ TEST(ParallelBatches, TruncatedToursAreDroppedAndReported) {
                                     /*max_steps=*/1);
   EXPECT_EQ(batch.truncated, 32u);
   EXPECT_EQ(batch.completed, 0u);
-  EXPECT_EQ(batch.mean(), 0.0);
+  // All-truncated batches carry no unbiased information: mean() must be NaN
+  // (never 0.0, which reads as "the overlay is empty") and ok() false.
+  EXPECT_FALSE(batch.ok());
+  EXPECT_TRUE(std::isnan(batch.mean()));
   EXPECT_EQ(batch.total_steps, 32u);
   for (const auto& t : batch.tours) EXPECT_FALSE(t.completed);
 
@@ -250,6 +254,7 @@ TEST(ParallelBatches, TruncatedToursAreDroppedAndReported) {
   const auto full = run_tours_size(g, 0, 32, 3, 2u);
   EXPECT_EQ(full.truncated, 0u);
   EXPECT_EQ(full.completed, 32u);
+  EXPECT_TRUE(full.ok());
   EXPECT_GT(full.mean(), 0.0);
 }
 
