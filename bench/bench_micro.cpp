@@ -7,6 +7,10 @@
 // percent.
 #include <benchmark/benchmark.h>
 
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
@@ -14,6 +18,7 @@
 #include "des/simulator.hpp"
 #include "obs/probe.hpp"
 #include "runtime/parallel_runner.hpp"
+#include "walk/kernel.hpp"
 #include "walk/walkers.hpp"
 
 namespace {
@@ -84,6 +89,76 @@ void BM_RandomTourProbed(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(steps));
 }
 BENCHMARK(BM_RandomTourProbed);
+
+// Interleaved walk kernel (walk/kernel.hpp) at a sweep of widths, same
+// 20k balanced graph and walk workload as BM_RandomTour. width:1 measures
+// the kernel harness running one lane (the round-robin overhead floor);
+// width >= 8 must beat the scalar BM_RandomTour items/s — that delta is the
+// whole point of the kernel, and the perf-smoke CI job pins it via the
+// committed baseline artifact (bench/baselines/BENCH_micro.json).
+void BM_RandomTourKernel(benchmark::State& state) {
+  const Graph& g = balanced_graph();
+  const auto width = static_cast<std::size_t>(state.range(0));
+  const std::size_t walks = 64;
+  const auto master = derive_streams(3, walks);
+  std::vector<TourEstimate> out(walks);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    auto streams = master;  // identical walks every iteration
+    tour_kernel(
+        g, 0, [](NodeId) { return 1.0; }, std::span<Rng>(streams),
+        std::span<TourEstimate>(out), width);
+    for (const auto& t : out) steps += t.steps;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.counters["width"] = static_cast<double>(width);
+}
+BENCHMARK(BM_RandomTourKernel)
+    ->ArgName("width")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32);
+
+// Kernel-vs-scalar pair for the Sample & Collide inner loop: the same 16
+// trials, serially one-by-one (scalar path) vs interleaved in one band
+// (sc_kernel). Items are CTRW hops.
+void BM_ScTrialsScalar(benchmark::State& state) {
+  const Graph& g = balanced_graph();
+  const std::size_t trials = 16, ell = 10;
+  std::uint64_t seed = 5000;
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    auto streams = derive_streams(seed++, trials);
+    for (std::size_t i = 0; i < trials; ++i) {
+      SampleCollideEstimator estimator(g, 0, 6.0, ell, streams[i]);
+      const auto e = estimator.estimate();
+      hops += e.hops;
+      benchmark::DoNotOptimize(e.simple);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hops));
+}
+BENCHMARK(BM_ScTrialsScalar);
+
+void BM_ScTrialsKernel(benchmark::State& state) {
+  const Graph& g = balanced_graph();
+  const std::size_t trials = 16, ell = 10;
+  std::uint64_t seed = 5000;  // same trials as BM_ScTrialsScalar
+  std::vector<ScTrialRaw> raw(trials);
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    auto streams = derive_streams(seed++, trials);
+    sc_kernel(g, 0, 6.0, ell, std::span<Rng>(streams),
+              std::span<ScTrialRaw>(raw), trials);
+    for (const auto& t : raw) hops += t.hops;
+    benchmark::DoNotOptimize(raw.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hops));
+}
+BENCHMARK(BM_ScTrialsKernel);
 
 // Batch of independent tours fanned over a ParallelRunner pool; Arg is the
 // thread count. The acceptance target is >= 3x items/s at 8 threads vs the
@@ -191,20 +266,39 @@ void BM_BalancedGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_BalancedGeneration)->Arg(10000);
 
-// Mirrors each finished benchmark into the telemetry report (as
-// `bm.<name>.real_time` values, in the benchmark's own time unit) on top of
-// the normal console table.
+// Mirrors each finished benchmark into the telemetry report on top of the
+// normal console table: `bm.<name>.real_time` (in the benchmark's own time
+// unit) plus every finalized counter as `bm.<name>.<counter>` — notably
+// items_per_second, which the perf-smoke baseline diff
+// (scripts/validate_bench_json.py --baseline) compares across commits.
 class RecordingReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const auto& run : runs) {
       if (run.error_occurred) continue;
-      overcount::bench::record_value("bm." + run.benchmark_name() +
-                                         ".real_time",
+      const std::string name = run.benchmark_name();
+      overcount::bench::record_value("bm." + name + ".real_time",
                                      run.GetAdjustedRealTime());
+      for (const auto& [counter_name, counter] : run.counters) {
+        overcount::bench::record_value("bm." + name + "." + counter_name,
+                                       counter.value);
+        if (counter_name == "items_per_second")
+          items_per_second_[name] = counter.value;
+      }
     }
     ConsoleReporter::ReportRuns(runs);
   }
+
+  /// Finalized items/s of a benchmark by full name, NaN when absent.
+  double items_per_second(const std::string& name) const {
+    const auto it = items_per_second_.find(name);
+    return it == items_per_second_.end()
+               ? std::numeric_limits<double>::quiet_NaN()
+               : it->second;
+  }
+
+ private:
+  std::map<std::string, double> items_per_second_;
 };
 
 }  // namespace
@@ -228,6 +322,16 @@ int main(int argc, char** argv) {
 
   RecordingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  // Headline number for the interleaved kernel: items/s at width 16 over
+  // the scalar tour loop. The committed perf baseline records this, so a
+  // kernel regression that only shows up relative to scalar still fails the
+  // baseline diff.
+  const double scalar_rate = reporter.items_per_second("BM_RandomTour");
+  const double kernel_rate =
+      reporter.items_per_second("BM_RandomTourKernel/width:16");
+  if (scalar_rate > 0.0 && kernel_rate > 0.0)
+    record_value("rt_kernel_speedup_width16", kernel_rate / scalar_rate);
 
   // A small probed batch so the micro artifact also carries histogram and
   // walk-stats sections (the same schema the figure benches emit).

@@ -2,6 +2,7 @@
 """Validate BENCH_*.json telemetry artifacts emitted by the bench binaries.
 
 Usage: validate_bench_json.py <telemetry-dir> [expected-count]
+           [--baseline FILE] [--counters REGEX] [--tolerance FRACTION]
 
 Checks every BENCH_*.json in the directory:
   * parses as JSON (the writer is home-grown, so this is a real check);
@@ -12,10 +13,23 @@ Checks every BENCH_*.json in the directory:
   * every histogram summary is internally consistent (count vs buckets,
     percentile ordering p50 <= p90 <= p99 within [min, max]).
 
+Baseline diff mode (--baseline): additionally compares the `values`
+counters of the artifact with the same bench name as the baseline file
+against the baseline's values, with a per-counter relative tolerance.
+Throughput counters (names ending in `per_second` or containing
+`speedup`) are higher-is-better: they fail only when the current value
+drops more than `--tolerance` below baseline. All other matched counters
+fail when they deviate from baseline by more than the tolerance in either
+direction. The CI perf-smoke job runs this against the committed
+bench/baselines/BENCH_micro.json with --counters over BM_RandomTour*
+items_per_second, so a >25% regression of the walk hot path fails CI.
+
 Exits non-zero, printing per-file errors, when anything is off.
 """
+import argparse
 import json
 import math
+import re
 import sys
 from pathlib import Path
 
@@ -125,17 +139,89 @@ def check_file(path):
     return errors
 
 
-def main():
-    if len(sys.argv) < 2:
-        print(__doc__)
-        return 2
-    directory = Path(sys.argv[1])
-    files = sorted(directory.glob("BENCH_*.json"))
+def higher_is_better(counter):
+    return counter.endswith("per_second") or "speedup" in counter
+
+
+def diff_against_baseline(files, baseline_path, counter_re, tolerance):
+    """Compares matched `values` counters against the committed baseline.
+
+    Returns a list of error strings (empty = within tolerance)."""
+    errors = []
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"baseline {baseline_path}: unreadable: {e}"]
+
+    current_path = next(
+        (p for p in files if p.name == baseline_path.name), None)
+    if current_path is None:
+        return [f"baseline diff: no current artifact named "
+                f"{baseline_path.name} to compare"]
+    current = json.loads(current_path.read_text())
+
+    base_values = baseline.get("values", {})
+    cur_values = current.get("values", {})
+    matched = sorted(k for k in base_values if counter_re.search(k))
+    if not matched:
+        return [f"baseline diff: no baseline counters match "
+                f"'{counter_re.pattern}'"]
+
+    for key in matched:
+        base = base_values[key]
+        if key not in cur_values:
+            errors.append(f"baseline diff: counter '{key}' missing from "
+                          f"current {current_path.name}")
+            continue
+        cur = cur_values[key]
+        if not (math.isfinite(base) and math.isfinite(cur)) or base == 0:
+            errors.append(f"baseline diff: '{key}' not comparable "
+                          f"(baseline={base}, current={cur})")
+            continue
+        rel = (cur - base) / abs(base)
+        if higher_is_better(key):
+            ok = rel >= -tolerance  # only a drop is a regression
+        else:
+            ok = abs(rel) <= tolerance
+        marker = "ok  " if ok else "FAIL"
+        print(f"{marker} {key}: baseline={base:.6g} current={cur:.6g} "
+              f"({rel:+.1%})")
+        if not ok:
+            errors.append(
+                f"baseline diff: '{key}' regressed {rel:+.1%} "
+                f"(tolerance {tolerance:.0%}): baseline={base:.6g}, "
+                f"current={cur:.6g}")
+    return errors
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate (and optionally baseline-diff) BENCH_*.json "
+                    "telemetry artifacts")
+    parser.add_argument("directory", type=Path,
+                        help="directory holding the BENCH_*.json artifacts")
+    parser.add_argument("expected_count", type=int, nargs="?", default=None,
+                        help="minimum number of artifacts expected")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed BENCH_*.json to diff `values` "
+                             "counters against")
+    parser.add_argument("--counters",
+                        default=r"^bm\.BM_RandomTour.*\.items_per_second$",
+                        help="regex selecting which baseline counters to "
+                             "diff (default: BM_RandomTour* items/s)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative tolerance per counter (default 0.25)")
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    files = sorted(args.directory.glob("BENCH_*.json"))
     if not files:
-        print(f"error: no BENCH_*.json files in {directory}")
+        print(f"error: no BENCH_*.json files in {args.directory}")
         return 1
-    if len(sys.argv) > 2 and len(files) < int(sys.argv[2]):
-        print(f"error: expected >= {sys.argv[2]} artifacts, found "
+    if args.expected_count is not None and len(files) < args.expected_count:
+        print(f"error: expected >= {args.expected_count} artifacts, found "
               f"{len(files)}")
         return 1
 
@@ -148,6 +234,14 @@ def main():
             print(f"     - {e}")
         failed = failed or bool(errors)
     print(f"{len(files)} artifacts checked")
+
+    if args.baseline is not None:
+        diff_errors = diff_against_baseline(
+            files, args.baseline, re.compile(args.counters), args.tolerance)
+        for e in diff_errors:
+            print(f"     - {e}")
+        failed = failed or bool(diff_errors)
+
     return 1 if failed else 0
 
 

@@ -29,4 +29,5 @@
 #include "spectral/laplacian.hpp"
 #include "util/sliding_window.hpp"
 #include "util/stats.hpp"
+#include "walk/kernel.hpp"
 #include "walk/metropolis.hpp"

@@ -13,10 +13,26 @@
 // Truncated tours (a `max_steps` abort) are excluded from the reduced
 // aggregates and reported via TourBatch::truncated instead of silently
 // biasing the mean — see TourEstimate::completed.
+//
+// Hot path: when the batch is at least one kernel width wide (W =
+// resolved_kernel_width(runner.kernel_width()), default 16, runner option /
+// OVERCOUNT_KERNEL_WIDTH), the tour, CTRW-sample and S&C batches run the
+// interleaved prefetching kernel of walk/kernel.hpp — each pool task
+// advances a W-wide chunk of walks round-robin instead of one walk at a
+// time. The kernel replays the scalar per-walk draw order exactly, results
+// land in the same task-index slots, and probed variants fold the same
+// per-walk WalkStats in the same order, so everything above stays
+// bit-identical whether the kernel, the scalar path, or any thread count
+// ran the batch (tests/walk/kernel_equivalence_test.cpp). Width 1 forces
+// the scalar path. Origins are validated unconditionally here at batch
+// entry; the per-step degree checks inside the walks compile out of plain
+// Release builds (OVERCOUNT_HOT_CHECKS, util/contracts.hpp).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "core/random_tour.hpp"
@@ -24,6 +40,7 @@
 #include "core/sampling.hpp"
 #include "obs/probe.hpp"
 #include "runtime/parallel_runner.hpp"
+#include "walk/kernel.hpp"
 #include "walk/metropolis.hpp"
 #include "walk/walkers.hpp"
 
@@ -96,6 +113,29 @@ inline WalkStats fold_walk_stats(std::span<const WalkStats> parts) {
   return out;
 }
 
+/// Number of width-sized kernel chunks covering a batch of m walks.
+inline constexpr std::size_t kernel_chunk_count(std::size_t m,
+                                                std::size_t width) {
+  return (m + width - 1) / width;
+}
+
+/// Applies the Section 4 estimator math to one raw kernel trial. The trial
+/// stopped at exactly `ell` collisions, so this reproduces bit-identically
+/// what SampleCollideEstimator::estimate computes from its tracker.
+inline ScEstimate finalize_sc_trial(const ScTrialRaw& raw, std::size_t ell) {
+  ScEstimate out;
+  out.samples = raw.samples;
+  out.hops = raw.hops;
+  out.replies = raw.samples;
+  const auto collisions = static_cast<std::uint64_t>(ell);
+  out.ml = sc_ml_estimate(raw.samples, collisions);
+  out.simple = sc_simple_estimate(raw.samples, collisions);
+  const auto bracket = sc_bracket(raw.samples, collisions);
+  out.n_minus = bracket.n_minus;
+  out.n_plus = bracket.n_plus;
+  return out;
+}
+
 /// Fills the shared tail of TourBatch from the per-tour results.
 inline void finish_tour_batch(TourBatch& batch) {
   std::vector<double> completed_values;
@@ -120,14 +160,34 @@ template <OverlayTopology G, typename F>
 TourBatch run_tours(const G& g, NodeId origin, std::size_t m, F f,
                     std::uint64_t seed, ParallelRunner& runner,
                     std::uint64_t max_steps = ~0ULL) {
+  OVERCOUNT_EXPECTS(g.degree(origin) > 0);  // unconditional boundary check
   TourBatch batch;
   auto streams = derive_streams(seed, m);
-  batch.tours = runner.run<TourEstimate>(
-      m,
-      [&](std::size_t i) {
-        return random_tour(g, origin, f, streams[i], max_steps);
-      },
-      &batch.stats);
+  const std::size_t width = resolved_kernel_width(runner.kernel_width());
+  if (width > 1 && m >= width) {
+    batch.tours.resize(m);
+    runner.run<char>(
+        detail::kernel_chunk_count(m, width),
+        [&](std::size_t c) {
+          const std::size_t begin = c * width;
+          const std::size_t count = std::min(width, m - begin);
+          tour_kernel(g, origin, f,
+                      std::span<Rng>(streams).subspan(begin, count),
+                      std::span<TourEstimate>(batch.tours)
+                          .subspan(begin, count),
+                      count, max_steps);
+          return char{0};
+        },
+        &batch.stats);
+    batch.stats.tasks = m;  // chunking is an implementation detail
+  } else {
+    batch.tours = runner.run<TourEstimate>(
+        m,
+        [&](std::size_t i) {
+          return random_tour(g, origin, f, streams[i], max_steps);
+        },
+        &batch.stats);
+  }
   detail::finish_tour_batch(batch);
   return batch;
 }
@@ -169,16 +229,40 @@ TourBatch run_tours_probed(const G& g, NodeId origin, std::size_t m, F f,
                            std::uint64_t seed, ParallelRunner& runner,
                            WalkStats& walk_out,
                            std::uint64_t max_steps = ~0ULL) {
+  OVERCOUNT_EXPECTS(g.degree(origin) > 0);  // unconditional boundary check
   TourBatch batch;
   auto streams = derive_streams(seed, m);
   std::vector<WalkStats> per_task(m);
-  batch.tours = runner.run<TourEstimate>(
-      m,
-      [&](std::size_t i) {
-        WalkStatsProbe probe(per_task[i]);
-        return random_tour(g, origin, f, streams[i], max_steps, probe);
-      },
-      &batch.stats);
+  const std::size_t width = resolved_kernel_width(runner.kernel_width());
+  if (width > 1 && m >= width) {
+    batch.tours.resize(m);
+    runner.run<char>(
+        detail::kernel_chunk_count(m, width),
+        [&](std::size_t c) {
+          const std::size_t begin = c * width;
+          const std::size_t count = std::min(width, m - begin);
+          std::vector<WalkStatsProbe> probes;
+          probes.reserve(count);
+          for (std::size_t j = 0; j < count; ++j)
+            probes.emplace_back(per_task[begin + j]);
+          tour_kernel(g, origin, f,
+                      std::span<Rng>(streams).subspan(begin, count),
+                      std::span<TourEstimate>(batch.tours)
+                          .subspan(begin, count),
+                      count, max_steps, std::span<WalkStatsProbe>(probes));
+          return char{0};
+        },
+        &batch.stats);
+    batch.stats.tasks = m;
+  } else {
+    batch.tours = runner.run<TourEstimate>(
+        m,
+        [&](std::size_t i) {
+          WalkStatsProbe probe(per_task[i]);
+          return random_tour(g, origin, f, streams[i], max_steps, probe);
+        },
+        &batch.stats);
+  }
   detail::finish_tour_batch(batch);
   walk_out = detail::fold_walk_stats(per_task);
   return batch;
@@ -210,12 +294,34 @@ template <OverlayTopology G>
 SampleBatch run_samples(const G& g, NodeId origin, std::size_t m,
                         double timer, std::uint64_t seed,
                         ParallelRunner& runner) {
+  OVERCOUNT_EXPECTS(g.degree(origin) > 0);  // unconditional boundary check
   SampleBatch batch;
   auto streams = derive_streams(seed, m);
-  batch.samples = runner.run<SampleResult>(
-      m,
-      [&](std::size_t i) { return ctrw_sample(g, origin, timer, streams[i]); },
-      &batch.stats);
+  const std::size_t width = resolved_kernel_width(runner.kernel_width());
+  if (width > 1 && m >= width) {
+    batch.samples.resize(m);
+    runner.run<char>(
+        detail::kernel_chunk_count(m, width),
+        [&](std::size_t c) {
+          const std::size_t begin = c * width;
+          const std::size_t count = std::min(width, m - begin);
+          ctrw_kernel(g, origin, timer,
+                      std::span<Rng>(streams).subspan(begin, count),
+                      std::span<SampleResult>(batch.samples)
+                          .subspan(begin, count),
+                      count);
+          return char{0};
+        },
+        &batch.stats);
+    batch.stats.tasks = m;
+  } else {
+    batch.samples = runner.run<SampleResult>(
+        m,
+        [&](std::size_t i) {
+          return ctrw_sample(g, origin, timer, streams[i]);
+        },
+        &batch.stats);
+  }
   for (const auto& s : batch.samples) batch.total_hops += s.hops;
   batch.stats.steps = batch.total_hops;
   return batch;
@@ -235,16 +341,40 @@ template <OverlayTopology G>
 SampleBatch run_samples_probed(const G& g, NodeId origin, std::size_t m,
                                double timer, std::uint64_t seed,
                                ParallelRunner& runner, WalkStats& walk_out) {
+  OVERCOUNT_EXPECTS(g.degree(origin) > 0);  // unconditional boundary check
   SampleBatch batch;
   auto streams = derive_streams(seed, m);
   std::vector<WalkStats> per_task(m);
-  batch.samples = runner.run<SampleResult>(
-      m,
-      [&](std::size_t i) {
-        WalkStatsProbe probe(per_task[i]);
-        return ctrw_sample(g, origin, timer, streams[i], probe);
-      },
-      &batch.stats);
+  const std::size_t width = resolved_kernel_width(runner.kernel_width());
+  if (width > 1 && m >= width) {
+    batch.samples.resize(m);
+    runner.run<char>(
+        detail::kernel_chunk_count(m, width),
+        [&](std::size_t c) {
+          const std::size_t begin = c * width;
+          const std::size_t count = std::min(width, m - begin);
+          std::vector<WalkStatsProbe> probes;
+          probes.reserve(count);
+          for (std::size_t j = 0; j < count; ++j)
+            probes.emplace_back(per_task[begin + j]);
+          ctrw_kernel(g, origin, timer,
+                      std::span<Rng>(streams).subspan(begin, count),
+                      std::span<SampleResult>(batch.samples)
+                          .subspan(begin, count),
+                      count, std::span<WalkStatsProbe>(probes));
+          return char{0};
+        },
+        &batch.stats);
+    batch.stats.tasks = m;
+  } else {
+    batch.samples = runner.run<SampleResult>(
+        m,
+        [&](std::size_t i) {
+          WalkStatsProbe probe(per_task[i]);
+          return ctrw_sample(g, origin, timer, streams[i], probe);
+        },
+        &batch.stats);
+  }
   for (const auto& s : batch.samples) batch.total_hops += s.hops;
   batch.stats.steps = batch.total_hops;
   walk_out = detail::fold_walk_stats(per_task);
@@ -257,15 +387,36 @@ template <OverlayTopology G>
 ScBatch run_sc_trials(const G& g, NodeId origin, std::size_t trials,
                       double timer, std::size_t ell, std::uint64_t seed,
                       ParallelRunner& runner) {
+  OVERCOUNT_EXPECTS(g.degree(origin) > 0);  // unconditional boundary check
   ScBatch batch;
   auto streams = derive_streams(seed, trials);
-  batch.trials = runner.run<ScEstimate>(
-      trials,
-      [&](std::size_t i) {
-        SampleCollideEstimator estimator(g, origin, timer, ell, streams[i]);
-        return estimator.estimate();
-      },
-      &batch.stats);
+  const std::size_t width = resolved_kernel_width(runner.kernel_width());
+  if (width > 1 && trials >= width) {
+    batch.trials.resize(trials);
+    runner.run<char>(
+        detail::kernel_chunk_count(trials, width),
+        [&](std::size_t c) {
+          const std::size_t begin = c * width;
+          const std::size_t count = std::min(width, trials - begin);
+          std::vector<ScTrialRaw> raw(count);
+          sc_kernel(g, origin, timer, ell,
+                    std::span<Rng>(streams).subspan(begin, count),
+                    std::span<ScTrialRaw>(raw), count);
+          for (std::size_t j = 0; j < count; ++j)
+            batch.trials[begin + j] = detail::finalize_sc_trial(raw[j], ell);
+          return char{0};
+        },
+        &batch.stats);
+    batch.stats.tasks = trials;
+  } else {
+    batch.trials = runner.run<ScEstimate>(
+        trials,
+        [&](std::size_t i) {
+          SampleCollideEstimator estimator(g, origin, timer, ell, streams[i]);
+          return estimator.estimate();
+        },
+        &batch.stats);
+  }
   std::vector<double> simple, ml;
   simple.reserve(trials);
   ml.reserve(trials);
@@ -296,17 +447,43 @@ ScBatch run_sc_trials_probed(const G& g, NodeId origin, std::size_t trials,
                              double timer, std::size_t ell,
                              std::uint64_t seed, ParallelRunner& runner,
                              WalkStats& walk_out) {
+  OVERCOUNT_EXPECTS(g.degree(origin) > 0);  // unconditional boundary check
   ScBatch batch;
   auto streams = derive_streams(seed, trials);
   std::vector<WalkStats> per_task(trials);
-  batch.trials = runner.run<ScEstimate>(
-      trials,
-      [&](std::size_t i) {
-        SampleCollideEstimator estimator(g, origin, timer, ell, streams[i]);
-        WalkStatsProbe probe(per_task[i]);
-        return estimator.estimate(probe);
-      },
-      &batch.stats);
+  const std::size_t width = resolved_kernel_width(runner.kernel_width());
+  if (width > 1 && trials >= width) {
+    batch.trials.resize(trials);
+    runner.run<char>(
+        detail::kernel_chunk_count(trials, width),
+        [&](std::size_t c) {
+          const std::size_t begin = c * width;
+          const std::size_t count = std::min(width, trials - begin);
+          std::vector<WalkStatsProbe> probes;
+          probes.reserve(count);
+          for (std::size_t j = 0; j < count; ++j)
+            probes.emplace_back(per_task[begin + j]);
+          std::vector<ScTrialRaw> raw(count);
+          sc_kernel(g, origin, timer, ell,
+                    std::span<Rng>(streams).subspan(begin, count),
+                    std::span<ScTrialRaw>(raw), count,
+                    std::span<WalkStatsProbe>(probes));
+          for (std::size_t j = 0; j < count; ++j)
+            batch.trials[begin + j] = detail::finalize_sc_trial(raw[j], ell);
+          return char{0};
+        },
+        &batch.stats);
+    batch.stats.tasks = trials;
+  } else {
+    batch.trials = runner.run<ScEstimate>(
+        trials,
+        [&](std::size_t i) {
+          SampleCollideEstimator estimator(g, origin, timer, ell, streams[i]);
+          WalkStatsProbe probe(per_task[i]);
+          return estimator.estimate(probe);
+        },
+        &batch.stats);
+  }
   std::vector<double> simple, ml;
   simple.reserve(trials);
   ml.reserve(trials);
@@ -327,6 +504,7 @@ template <OverlayTopology G>
 SampleBatch run_metropolis_samples(const G& g, NodeId origin, std::size_t m,
                                    std::uint64_t steps, std::uint64_t seed,
                                    ParallelRunner& runner) {
+  OVERCOUNT_EXPECTS(g.degree(origin) > 0);  // unconditional boundary check
   SampleBatch batch;
   auto streams = derive_streams(seed, m);
   batch.samples = runner.run<SampleResult>(
@@ -357,6 +535,7 @@ SampleBatch run_metropolis_samples_probed(const G& g, NodeId origin,
                                           std::uint64_t seed,
                                           ParallelRunner& runner,
                                           WalkStats& walk_out) {
+  OVERCOUNT_EXPECTS(g.degree(origin) > 0);  // unconditional boundary check
   SampleBatch batch;
   auto streams = derive_streams(seed, m);
   std::vector<WalkStats> per_task(m);

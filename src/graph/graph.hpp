@@ -40,6 +40,16 @@ class Graph {
   /// Sum of all degrees = 2|E|.
   std::size_t total_degree() const noexcept { return adjacency_.size(); }
 
+  /// Hints the CPU to pull node v's CSR offset pair into cache ahead of a
+  /// degree()/neighbors() call. Used by the interleaved walk kernel
+  /// (walk/kernel.hpp) to overlap the offset load of one walk with the work
+  /// of the other lanes; harmless (not even a memory access) when v is
+  /// out of range, so deliberately unchecked.
+  void prefetch(NodeId v) const noexcept {
+    __builtin_prefetch(offsets_.data() + v);
+    __builtin_prefetch(offsets_.data() + v + 1);
+  }
+
   /// True if {u, v} is an edge (binary search in v's neighbour list).
   bool has_edge(NodeId u, NodeId v) const;
 

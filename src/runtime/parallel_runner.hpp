@@ -71,7 +71,15 @@ double tree_sum(std::span<const double> xs);
 class ParallelRunner {
  public:
   /// `n_threads == 0` means std::thread::hardware_concurrency().
-  explicit ParallelRunner(unsigned n_threads = 0);
+  /// `kernel_width` configures the interleaved walk kernel the batch APIs
+  /// (core/parallel.hpp) run per worker: 0 defers to the
+  /// OVERCOUNT_KERNEL_WIDTH environment variable and then the library
+  /// default (walk/kernel.hpp), 1 forces the scalar path, W >= 2 interleaves
+  /// W walks per task. The runner only stores the setting — resolution and
+  /// use live in the walk/core layers, so the runtime layer stays free of
+  /// walk dependencies.
+  explicit ParallelRunner(unsigned n_threads = 0,
+                          std::size_t kernel_width = 0);
   ~ParallelRunner();
 
   ParallelRunner(const ParallelRunner&) = delete;
@@ -79,6 +87,12 @@ class ParallelRunner {
 
   unsigned thread_count() const noexcept {
     return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Configured interleave width (0 = resolve from environment/default).
+  std::size_t kernel_width() const noexcept { return kernel_width_; }
+  void set_kernel_width(std::size_t width) noexcept {
+    kernel_width_ = width;
   }
 
   /// Runs tasks 0..n_tasks-1, `task(i)` exactly once each, and returns the
@@ -112,6 +126,7 @@ class ParallelRunner {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::size_t kernel_width_ = 0;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

@@ -47,3 +47,25 @@ namespace detail {
     if (!(cond))                                                       \
       ::overcount::detail::fail_ensures(#cond, __FILE__, __LINE__);    \
   } while (false)
+
+// Per-step ("hot") contract checks: the preconditions asserted on EVERY walk
+// step (random_neighbor's non-empty neighbour list, the CTRW inner loop's
+// positive degree). They fire millions of times per second in the
+// interleaved walk kernel, so plain Release builds compile them out — the
+// top-level CMakeLists defines OVERCOUNT_HOT_CHECKS=0 for Release when no
+// sanitizer is configured. Debug, RelWithDebInfo and every sanitizer build
+// keep them on. Boundary checks at walk and batch ENTRY points (origin
+// validity, positive timer, non-empty graph) are deliberately ordinary
+// OVERCOUNT_EXPECTS and stay on in all builds: they run once per batch, not
+// once per step.
+#ifndef OVERCOUNT_HOT_CHECKS
+#define OVERCOUNT_HOT_CHECKS 1
+#endif
+
+#if OVERCOUNT_HOT_CHECKS
+#define OVERCOUNT_HOT_EXPECTS(cond) OVERCOUNT_EXPECTS(cond)
+#else
+#define OVERCOUNT_HOT_EXPECTS(cond) \
+  do {                              \
+  } while (false)
+#endif

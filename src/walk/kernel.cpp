@@ -1,0 +1,18 @@
+#include "walk/kernel.hpp"
+
+#include <cstdlib>
+
+namespace overcount {
+
+std::size_t resolved_kernel_width(std::size_t configured) noexcept {
+  if (configured != 0) return configured;
+  if (const char* env = std::getenv("OVERCOUNT_KERNEL_WIDTH")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0)
+      return static_cast<std::size_t>(v);
+  }
+  return kDefaultKernelWidth;
+}
+
+}  // namespace overcount

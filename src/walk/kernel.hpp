@@ -1,0 +1,356 @@
+// Interleaved multi-walk kernel: the memory-latency answer to the paper's
+// step bill.
+//
+// Every estimator guarantee is bought with walk steps — m Random Tours cost
+// m * 2|E|/d_i steps (Section 3.4) and each Sample & Collide sample burns a
+// full CTRW timer — and at scale those steps are DRAM-latency-bound pointer
+// chasing through the CSR arrays: load offsets[v], load adjacency[offset+k],
+// repeat. One walk serialises on that chain; the hardware sits idle waiting
+// on memory. Das Sarma et al. (PAPERS.md) break the chain in the distributed
+// setting by running many short walks concurrently and stitching them; the
+// single-machine analogue implemented here interleaves a width-W band of
+// INDEPENDENT walks in one thread, round-robin, so W loads are in flight at
+// once instead of one.
+//
+// Each lane alternates two phases per step, giving every potentially-missing
+// load a full rotation (W-1 other lane turns) between prefetch and use:
+//
+//   read phase     at = *ptr            adjacency element, prefetched one
+//                                       rotation ago when ptr was drawn
+//                  prefetch offsets[at] via kernel_prefetch / G::prefetch
+//   process phase  nbrs = neighbors(at) offsets now (likely) cached
+//                  draw k; ptr = &nbrs[k]; __builtin_prefetch(ptr)
+//
+// Determinism contract: lane w draws ONLY from streams[w], in exactly the
+// order the scalar code (core/random_tour.hpp random_tour, walk/walkers.hpp
+// ctrw_sample, core/sample_collide.hpp SampleCollideEstimator) draws, and
+// every floating-point accumulation runs in the same per-walk order — so
+// each per-walk result is BIT-IDENTICAL to the scalar path at any width,
+// and batches built on the kernel are bit-identical at any thread count
+// (tests/walk/kernel_equivalence_test.cpp pins this). Probes are per-walk:
+// lane w only ever touches probes[w], so per-probe event order matches the
+// scalar path too, even though events of different walks interleave in time.
+//
+// Per-step degree checks compile to OVERCOUNT_HOT_EXPECTS (off in plain
+// Release); origin validity is checked unconditionally once per kernel call.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+// TourEstimate and SampleResult are header-only result structs; including
+// them here adds no link dependency, so the walk library stays below core.
+#include "core/random_tour.hpp"
+#include "obs/probe.hpp"
+#include "walk/topology.hpp"
+#include "walk/walkers.hpp"
+
+namespace overcount {
+
+/// Default interleave width: enough in-flight loads to cover DRAM latency
+/// without spilling the lane state out of registers/L1.
+inline constexpr std::size_t kDefaultKernelWidth = 16;
+
+/// The width the batch APIs actually use: `configured` when non-zero, else
+/// the OVERCOUNT_KERNEL_WIDTH environment variable when set to a positive
+/// integer, else kDefaultKernelWidth. Width 1 disables the kernel (batches
+/// take the scalar path).
+std::size_t resolved_kernel_width(std::size_t configured) noexcept;
+
+/// Issues a prefetch for the topology state behind degree(v)/neighbors(v)
+/// when the graph type offers one (Graph prefetches its CSR offset pair);
+/// silently a no-op for topologies without a prefetch hint (DynamicGraph).
+template <OverlayTopology G>
+inline void kernel_prefetch(const G& g, NodeId v) noexcept {
+  if constexpr (requires { g.prefetch(v); }) g.prefetch(v);
+}
+
+/// Raw outcome of one Sample & Collide trial run by sc_kernel: the
+/// sufficient statistic C_ell plus the message bill. The estimator math
+/// (ML root, closed form, brackets) lives in core/sample_collide.hpp and is
+/// applied by the batch layer, keeping walk/ below core/ in the layering.
+struct ScTrialRaw {
+  std::uint64_t samples = 0;  ///< C_ell: samples drawn until ell collisions
+  std::uint64_t hops = 0;     ///< total CTRW hops across those samples
+};
+
+namespace kernel_detail {
+
+/// Start-of-walk draw shared by tour lanes: pick the first step out of the
+/// origin on the lane's own stream and prefetch the adjacency element.
+inline const NodeId* draw_step(std::span<const NodeId> nbrs, Rng& rng) {
+  const NodeId* p = nbrs.data() + rng.uniform_below(nbrs.size());
+  __builtin_prefetch(p);
+  return p;
+}
+
+}  // namespace kernel_detail
+
+/// Interleaved Random Tours: walk w of `out.size()` runs from `origin` on
+/// `streams[w]`, estimating sum_j f(j), bit-identical to
+/// `random_tour(g, origin, f, streams[w], max_steps, probes[w])`. At most
+/// `width` walks are in flight per call; the batch layer slices a batch into
+/// width-sized chunks, so callers normally pass spans of exactly `width`
+/// walks. When P is an enabled probe type, `probes` must have one probe per
+/// walk (probes[w] observes walk w only).
+template <OverlayTopology G, typename F, WalkProbe P = NullProbe>
+void tour_kernel(const G& g, NodeId origin, F&& f, std::span<Rng> streams,
+                 std::span<TourEstimate> out, std::size_t width,
+                 std::uint64_t max_steps = ~0ULL, std::span<P> probes = {}) {
+  OVERCOUNT_EXPECTS(streams.size() == out.size());
+  OVERCOUNT_EXPECTS(width >= 1);
+  if constexpr (probe_enabled_v<P>)
+    OVERCOUNT_EXPECTS(probes.size() == out.size());
+  if (out.empty()) return;
+  const auto origin_nbrs = g.neighbors(origin);
+  OVERCOUNT_EXPECTS(!origin_nbrs.empty());
+  const double d_origin = static_cast<double>(origin_nbrs.size());
+  const double counter0 = f(origin) / d_origin;
+
+  struct Lane {
+    std::size_t walk;      // index into streams/out/probes
+    NodeId at;             // node being processed (process phase)
+    double counter;        // scalar random_tour's X accumulator
+    std::uint64_t steps;
+    const NodeId* ptr;     // adjacency element the next read phase loads
+    bool read_phase;
+  };
+
+  std::size_t next_walk = 0;
+  auto start = [&](Lane& lane) {
+    lane.walk = next_walk++;
+    if constexpr (probe_enabled_v<P>) probes[lane.walk].walk_begin(origin);
+    lane.counter = counter0;
+    lane.ptr = kernel_detail::draw_step(origin_nbrs, streams[lane.walk]);
+    lane.steps = 1;
+    lane.read_phase = true;
+  };
+
+  std::vector<Lane> lanes(std::min(width, out.size()));
+  for (auto& lane : lanes) start(lane);
+
+  std::size_t li = 0;
+  while (!lanes.empty()) {
+    if (li >= lanes.size()) li = 0;
+    Lane& lane = lanes[li];
+    if (lane.read_phase) {
+      const NodeId at = *lane.ptr;
+      if (at == origin || lane.steps >= max_steps) {
+        const bool completed = at == origin;
+        if constexpr (probe_enabled_v<P>)
+          probes[lane.walk].tour_end(lane.steps, completed);
+        out[lane.walk] = {d_origin * lane.counter, lane.steps, completed};
+        if (next_walk < out.size()) {
+          start(lane);
+        } else {
+          lanes[li] = lanes.back();
+          lanes.pop_back();
+        }
+        continue;  // the refilled (or swapped-in) lane takes this turn next
+      }
+      if constexpr (probe_enabled_v<P>) probes[lane.walk].on_visit(at);
+      lane.at = at;
+      kernel_prefetch(g, at);
+      lane.read_phase = false;
+    } else {
+      const auto nbrs = g.neighbors(lane.at);
+      OVERCOUNT_HOT_EXPECTS(!nbrs.empty());
+      lane.counter += f(lane.at) / static_cast<double>(nbrs.size());
+      lane.ptr = kernel_detail::draw_step(nbrs, streams[lane.walk]);
+      ++lane.steps;
+      lane.read_phase = true;
+    }
+    ++li;
+  }
+}
+
+/// Interleaved CTRW sampling walks: walk w runs from `origin` with horizon
+/// `timer` on `streams[w]`, bit-identical to
+/// `ctrw_sample(g, origin, timer, streams[w], probes[w])`.
+template <OverlayTopology G, WalkProbe P = NullProbe>
+void ctrw_kernel(const G& g, NodeId origin, double timer,
+                 std::span<Rng> streams, std::span<SampleResult> out,
+                 std::size_t width, std::span<P> probes = {}) {
+  OVERCOUNT_EXPECTS(streams.size() == out.size());
+  OVERCOUNT_EXPECTS(width >= 1);
+  OVERCOUNT_EXPECTS(timer > 0.0);
+  if constexpr (probe_enabled_v<P>)
+    OVERCOUNT_EXPECTS(probes.size() == out.size());
+  if (out.empty()) return;
+  OVERCOUNT_EXPECTS(g.degree(origin) > 0);
+
+  struct Lane {
+    std::size_t walk;
+    NodeId at;
+    double remaining;
+    std::uint64_t hops;
+    const NodeId* ptr;
+    bool read_phase;
+  };
+
+  std::size_t next_walk = 0;
+  auto start = [&](Lane& lane) {
+    lane.walk = next_walk++;
+    if constexpr (probe_enabled_v<P>) probes[lane.walk].walk_begin(origin);
+    lane.at = origin;
+    lane.remaining = timer;
+    lane.hops = 0;
+    lane.read_phase = false;  // scalar ctrw_sample processes the origin first
+  };
+
+  std::vector<Lane> lanes(std::min(width, out.size()));
+  for (auto& lane : lanes) start(lane);
+
+  std::size_t li = 0;
+  while (!lanes.empty()) {
+    if (li >= lanes.size()) li = 0;
+    Lane& lane = lanes[li];
+    if (lane.read_phase) {
+      lane.at = *lane.ptr;
+      if constexpr (probe_enabled_v<P>) probes[lane.walk].on_visit(lane.at);
+      kernel_prefetch(g, lane.at);
+      lane.read_phase = false;
+    } else {
+      const auto nbrs = g.neighbors(lane.at);
+      const std::size_t degree = nbrs.size();
+      OVERCOUNT_HOT_EXPECTS(degree > 0);
+      Rng& rng = streams[lane.walk];
+      const double sojourn = rng.exponential(static_cast<double>(degree));
+      if constexpr (probe_enabled_v<P>)
+        probes[lane.walk].on_sojourn(std::min(sojourn, lane.remaining));
+      lane.remaining -= sojourn;
+      if (lane.remaining <= 0.0) {
+        if constexpr (probe_enabled_v<P>)
+          probes[lane.walk].sample_end(lane.hops);
+        out[lane.walk] = {lane.at, lane.hops};
+        if (next_walk < out.size()) {
+          start(lane);
+        } else {
+          lanes[li] = lanes.back();
+          lanes.pop_back();
+        }
+        continue;
+      }
+      lane.ptr = kernel_detail::draw_step(nbrs, rng);
+      ++lane.hops;
+      lane.read_phase = true;
+    }
+    ++li;
+  }
+}
+
+/// Interleaved Sample & Collide trials: trial t of `out.size()` runs its
+/// whole sample-until-ell-collisions loop on `streams[t]`, CTRW walks
+/// back-to-back, with the same draw and probe-event order as
+/// `SampleCollideEstimator(g, origin, timer, ell, streams[t]).estimate(
+/// probes[t])`. Returns the raw (C_ell, hops) statistic per trial; the batch
+/// layer applies the Section 4 estimator math. Collision bookkeeping mirrors
+/// core/sample_collide.hpp CollisionTracker: every sample whose node was
+/// already seen within the SAME trial counts one collision.
+template <OverlayTopology G, WalkProbe P = NullProbe>
+void sc_kernel(const G& g, NodeId origin, double timer, std::size_t ell,
+               std::span<Rng> streams, std::span<ScTrialRaw> out,
+               std::size_t width, std::span<P> probes = {}) {
+  OVERCOUNT_EXPECTS(streams.size() == out.size());
+  OVERCOUNT_EXPECTS(width >= 1);
+  OVERCOUNT_EXPECTS(timer > 0.0);
+  OVERCOUNT_EXPECTS(ell >= 1);
+  if constexpr (probe_enabled_v<P>)
+    OVERCOUNT_EXPECTS(probes.size() == out.size());
+  if (out.empty()) return;
+  OVERCOUNT_EXPECTS(g.degree(origin) > 0);
+
+  struct Lane {
+    std::size_t trial;
+    // trial-level state
+    std::unordered_set<NodeId> seen;
+    std::uint64_t samples;
+    std::uint64_t collisions;
+    std::uint64_t trial_hops;
+    std::uint64_t prev_collision_at;
+    // current sampling walk
+    NodeId at;
+    double remaining;
+    std::uint64_t walk_hops;
+    const NodeId* ptr;
+    bool read_phase;
+  };
+
+  std::size_t next_trial = 0;
+  auto start_walk = [&](Lane& lane) {
+    if constexpr (probe_enabled_v<P>) probes[lane.trial].walk_begin(origin);
+    lane.at = origin;
+    lane.remaining = timer;
+    lane.walk_hops = 0;
+    lane.read_phase = false;
+  };
+  auto start_trial = [&](Lane& lane) {
+    lane.trial = next_trial++;
+    lane.seen.clear();
+    lane.samples = 0;
+    lane.collisions = 0;
+    lane.trial_hops = 0;
+    lane.prev_collision_at = 0;
+    start_walk(lane);
+  };
+
+  std::vector<Lane> lanes(std::min(width, out.size()));
+  for (auto& lane : lanes) start_trial(lane);
+
+  std::size_t li = 0;
+  while (!lanes.empty()) {
+    if (li >= lanes.size()) li = 0;
+    Lane& lane = lanes[li];
+    if (lane.read_phase) {
+      lane.at = *lane.ptr;
+      if constexpr (probe_enabled_v<P>) probes[lane.trial].on_visit(lane.at);
+      kernel_prefetch(g, lane.at);
+      lane.read_phase = false;
+    } else {
+      const auto nbrs = g.neighbors(lane.at);
+      const std::size_t degree = nbrs.size();
+      OVERCOUNT_HOT_EXPECTS(degree > 0);
+      Rng& rng = streams[lane.trial];
+      const double sojourn = rng.exponential(static_cast<double>(degree));
+      if constexpr (probe_enabled_v<P>)
+        probes[lane.trial].on_sojourn(std::min(sojourn, lane.remaining));
+      lane.remaining -= sojourn;
+      if (lane.remaining <= 0.0) {
+        // the timer died at lane.at: one sample delivered
+        if constexpr (probe_enabled_v<P>)
+          probes[lane.trial].sample_end(lane.walk_hops);
+        lane.trial_hops += lane.walk_hops;
+        ++lane.samples;
+        if (!lane.seen.insert(lane.at).second) {
+          ++lane.collisions;
+          if constexpr (probe_enabled_v<P>)
+            probes[lane.trial].on_collision(lane.samples -
+                                            lane.prev_collision_at);
+          lane.prev_collision_at = lane.samples;
+        }
+        if (lane.collisions >= ell) {
+          out[lane.trial] = {lane.samples, lane.trial_hops};
+          if (next_trial < out.size()) {
+            start_trial(lane);
+          } else {
+            lanes[li] = std::move(lanes.back());
+            lanes.pop_back();
+          }
+        } else {
+          start_walk(lane);
+        }
+        continue;
+      }
+      lane.ptr = kernel_detail::draw_step(nbrs, rng);
+      ++lane.walk_hops;
+      lane.read_phase = true;
+    }
+    ++li;
+  }
+}
+
+}  // namespace overcount

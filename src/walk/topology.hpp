@@ -18,11 +18,13 @@ concept OverlayTopology = requires(const G& g, NodeId v) {
   { g.neighbors(v) } -> std::convertible_to<std::span<const NodeId>>;
 };
 
-/// Uniformly random neighbour of v. Requires degree(v) > 0.
+/// Uniformly random neighbour of v. Requires degree(v) > 0 — checked per
+/// step only when OVERCOUNT_HOT_CHECKS is on (Debug/RelWithDebInfo/
+/// sanitizers); batch entry points validate origins unconditionally.
 template <OverlayTopology G>
 NodeId random_neighbor(const G& g, NodeId v, Rng& rng) {
   const auto nbrs = g.neighbors(v);
-  OVERCOUNT_EXPECTS(!nbrs.empty());
+  OVERCOUNT_HOT_EXPECTS(!nbrs.empty());
   return nbrs[rng.uniform_below(nbrs.size())];
 }
 

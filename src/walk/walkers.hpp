@@ -76,7 +76,7 @@ SampleResult ctrw_sample(const G& g, NodeId origin, double timer, Rng& rng,
   if constexpr (probe_enabled_v<P>) probe.walk_begin(origin);
   for (;;) {
     const auto degree = g.degree(at);
-    OVERCOUNT_EXPECTS(degree > 0);
+    OVERCOUNT_HOT_EXPECTS(degree > 0);
     const double sojourn = rng.exponential(static_cast<double>(degree));
     if constexpr (probe_enabled_v<P>)
       probe.on_sojourn(std::min(sojourn, remaining));
@@ -105,7 +105,7 @@ SampleResult deterministic_ctrw_sample(const G& g, NodeId origin,
   double remaining = timer;
   for (;;) {
     const auto degree = g.degree(at);
-    OVERCOUNT_EXPECTS(degree > 0);
+    OVERCOUNT_HOT_EXPECTS(degree > 0);
     remaining -= 1.0 / static_cast<double>(degree);
     if (remaining <= 0.0) {
       out.node = at;

@@ -1,0 +1,148 @@
+// Distributional regression tests for the interleaved walk kernel: beyond
+// bit-equivalence with the scalar path, the kernel-driven draws must obey
+// the laws the estimators rest on. On K_{5,11} — degree classes 11 and 5,
+// both non-powers-of-two, so a modulo-bias bug in neighbour selection
+// cannot hide — kernel-driven random_neighbor must be uniform per degree
+// class (chi-square) and the CTRW sojourns must be Exp(d_v) per class (KS),
+// exactly the Section 4.1 premises of Lemma 1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "runtime/parallel_runner.hpp"
+#include "util/tests.hpp"
+#include "walk/kernel.hpp"
+
+namespace overcount {
+namespace {
+
+/// Records one walk's full trajectory: the node sequence (origin first) and
+/// the per-visit sojourn times, in event order. sojourns[i] was spent at
+/// nodes[i]; the last sojourn of a walk is truncated by the timer.
+struct TraceProbe {
+  static constexpr bool enabled = true;
+  std::vector<std::uint64_t>* nodes;
+  std::vector<double>* sojourns;
+  void walk_begin(std::uint64_t origin) { nodes->push_back(origin); }
+  void on_visit(std::uint64_t node) { nodes->push_back(node); }
+  void on_sojourn(double dt) { sojourns->push_back(dt); }
+  void on_reject() {}
+  void on_collision(std::uint64_t) {}
+  void tour_end(std::uint64_t, bool) {}
+  void sample_end(std::uint64_t) {}
+};
+
+static_assert(WalkProbe<TraceProbe>);
+
+struct Traces {
+  std::vector<std::vector<std::uint64_t>> nodes;
+  std::vector<std::vector<double>> sojourns;
+};
+
+/// Runs `walks` CTRW sampling walks through ctrw_kernel at full interleave
+/// width and returns every trajectory.
+Traces run_kernel_traces(const Graph& g, NodeId origin, std::size_t walks,
+                         double timer, std::uint64_t seed) {
+  Traces traces;
+  traces.nodes.resize(walks);
+  traces.sojourns.resize(walks);
+  std::vector<TraceProbe> probes;
+  probes.reserve(walks);
+  for (std::size_t i = 0; i < walks; ++i)
+    probes.push_back({&traces.nodes[i], &traces.sojourns[i]});
+  auto streams = derive_streams(seed, walks);
+  std::vector<SampleResult> out(walks);
+  ctrw_kernel(g, origin, timer, std::span<Rng>(streams),
+              std::span<SampleResult>(out), kDefaultKernelWidth,
+              std::span<TraceProbe>(probes));
+  return traces;
+}
+
+constexpr std::size_t kLeft = 5;    // nodes 0..4, degree 11
+constexpr std::size_t kRight = 11;  // nodes 5..15, degree 5
+constexpr std::size_t kWalks = 600;
+constexpr double kTimer = 8.0;
+constexpr std::uint64_t kSeed = 0x5EEDC0DE;
+constexpr double kAlpha = 1e-3;
+
+std::size_t neighbor_rank(const Graph& g, NodeId u, NodeId v) {
+  const auto nbrs = g.neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  EXPECT_TRUE(it != nbrs.end() && *it == v);
+  return static_cast<std::size_t>(it - nbrs.begin());
+}
+
+TEST(KernelStatistical, RandomNeighborUniformPerDegreeClass) {
+  const Graph g = complete_bipartite(kLeft, kRight);
+  const auto traces = run_kernel_traces(g, 0, kWalks, kTimer, kSeed);
+
+  // Pool the neighbour rank of every transition, split by the degree class
+  // of the departing node. Left nodes (degree 11) all see the same sorted
+  // neighbour list, so rank pooling is exact; same for right (degree 5).
+  std::vector<std::size_t> left_ranks(kRight, 0), right_ranks(kLeft, 0);
+  for (const auto& walk : traces.nodes) {
+    for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+      const auto u = static_cast<NodeId>(walk[i]);
+      const auto v = static_cast<NodeId>(walk[i + 1]);
+      if (u < kLeft)
+        ++left_ranks[neighbor_rank(g, u, v)];
+      else
+        ++right_ranks[neighbor_rank(g, u, v)];
+    }
+  }
+  const std::size_t left_total =
+      std::accumulate(left_ranks.begin(), left_ranks.end(), std::size_t{0});
+  const std::size_t right_total =
+      std::accumulate(right_ranks.begin(), right_ranks.end(), std::size_t{0});
+  ASSERT_GT(left_total, 5000u);   // enough transitions for the test to bite
+  ASSERT_GT(right_total, 5000u);
+
+  const auto left = chi_square_uniform(left_ranks);
+  EXPECT_GT(left.p_value, kAlpha)
+      << "degree-11 class: chi2=" << left.statistic << " over " << left_total
+      << " transitions";
+  const auto right = chi_square_uniform(right_ranks);
+  EXPECT_GT(right.p_value, kAlpha)
+      << "degree-5 class: chi2=" << right.statistic << " over " << right_total
+      << " transitions";
+}
+
+TEST(KernelStatistical, CtrwSojournsExponentialPerDegreeClass) {
+  const Graph g = complete_bipartite(kLeft, kRight);
+  const auto traces = run_kernel_traces(g, 0, kWalks, kTimer, kSeed + 1);
+
+  // sojourns[i] was drawn Exp(d(nodes[i])); the walk's final sojourn is
+  // truncated by the dying timer (the probe sees min(sojourn, remaining)),
+  // so drop it before testing the law.
+  std::vector<double> deg11, deg5;
+  for (std::size_t w = 0; w < traces.nodes.size(); ++w) {
+    const auto& nodes = traces.nodes[w];
+    const auto& sojourns = traces.sojourns[w];
+    ASSERT_EQ(nodes.size(), sojourns.size());
+    for (std::size_t i = 0; i + 1 < sojourns.size(); ++i) {
+      if (nodes[i] < kLeft)
+        deg11.push_back(sojourns[i]);
+      else
+        deg5.push_back(sojourns[i]);
+    }
+  }
+  ASSERT_GT(deg11.size(), 5000u);
+  ASSERT_GT(deg5.size(), 5000u);
+
+  const auto ks11 = ks_test(
+      deg11, [](double x) { return 1.0 - std::exp(-11.0 * x); });
+  EXPECT_GT(ks11.p_value, kAlpha)
+      << "degree-11 sojourns: D=" << ks11.statistic << " n=" << deg11.size();
+  const auto ks5 = ks_test(
+      deg5, [](double x) { return 1.0 - std::exp(-5.0 * x); });
+  EXPECT_GT(ks5.p_value, kAlpha)
+      << "degree-5 sojourns: D=" << ks5.statistic << " n=" << deg5.size();
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,256 @@
+// The interleaved walk kernel's whole value rests on one claim: it is a
+// pure reordering of memory traffic, not of randomness. These tests pin the
+// claim bit-for-bit — every per-tour estimate, step count, sample, S&C
+// trial and folded WalkStats produced through the batch APIs must equal the
+// scalar reference exactly, for widths {1, 2, 4, 16} x threads {1, 2, 8},
+// probed and unprobed, including max_steps truncation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "graph/generators.hpp"
+#include "walk/kernel.hpp"
+
+namespace overcount {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xFEEDBEEF;
+const std::size_t kWidths[] = {1, 2, 4, 16};
+const unsigned kThreads[] = {1, 2, 8};
+
+Graph test_graph() {
+  Rng rng(99);
+  return balanced_random_graph(400, rng);
+}
+
+void expect_same_walk_stats(const WalkStats& a, const WalkStats& b) {
+  EXPECT_EQ(a.walks, b.walks);
+  EXPECT_EQ(a.visits, b.visits);
+  EXPECT_EQ(a.revisits, b.revisits);
+  EXPECT_EQ(a.rejects, b.rejects);
+  EXPECT_EQ(a.tours, b.tours);
+  EXPECT_EQ(a.completed_tours, b.completed_tours);
+  EXPECT_EQ(a.truncated_tours, b.truncated_tours);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.sojourn_time, b.sojourn_time);  // bitwise: tree-reduced
+  EXPECT_EQ(a.tour_steps.count, b.tour_steps.count);
+  EXPECT_EQ(a.tour_steps.sum, b.tour_steps.sum);
+  EXPECT_EQ(a.sample_hops.count, b.sample_hops.count);
+  EXPECT_EQ(a.sample_hops.sum, b.sample_hops.sum);
+  EXPECT_EQ(a.collision_gaps.count, b.collision_gaps.count);
+  EXPECT_EQ(a.collision_gaps.sum, b.collision_gaps.sum);
+}
+
+TEST(KernelWidth, ResolutionOrder) {
+  EXPECT_EQ(resolved_kernel_width(8), 8u);  // explicit setting wins
+  unsetenv("OVERCOUNT_KERNEL_WIDTH");
+  EXPECT_EQ(resolved_kernel_width(0), kDefaultKernelWidth);
+  setenv("OVERCOUNT_KERNEL_WIDTH", "4", 1);
+  EXPECT_EQ(resolved_kernel_width(0), 4u);
+  EXPECT_EQ(resolved_kernel_width(32), 32u);  // still beats the environment
+  setenv("OVERCOUNT_KERNEL_WIDTH", "not-a-number", 1);
+  EXPECT_EQ(resolved_kernel_width(0), kDefaultKernelWidth);
+  unsetenv("OVERCOUNT_KERNEL_WIDTH");
+}
+
+TEST(KernelEquivalence, ToursBitIdenticalToScalarAcrossWidthsAndThreads) {
+  const Graph g = test_graph();
+  const std::size_t m = 48;
+
+  // Scalar reference: the pre-kernel path, one stream per walk.
+  auto streams = derive_streams(kSeed, m);
+  std::vector<TourEstimate> reference;
+  reference.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    reference.push_back(random_tour_size(g, 0, streams[i]));
+
+  for (std::size_t width : kWidths) {
+    for (unsigned threads : kThreads) {
+      SCOPED_TRACE(::testing::Message()
+                   << "width=" << width << " threads=" << threads);
+      ParallelRunner runner(threads, width);
+      const auto batch = run_tours_size(g, 0, m, kSeed, runner);
+      ASSERT_EQ(batch.tours.size(), m);
+      EXPECT_EQ(batch.stats.tasks, m);  // chunking must not leak
+      for (std::size_t i = 0; i < m; ++i) {
+        EXPECT_EQ(batch.tours[i].value, reference[i].value);  // bitwise
+        EXPECT_EQ(batch.tours[i].steps, reference[i].steps);
+        EXPECT_EQ(batch.tours[i].completed, reference[i].completed);
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, ProbedToursFoldIdenticalWalkStats) {
+  const Graph g = test_graph();
+  const std::size_t m = 48;
+
+  // Scalar probed reference, folded exactly like the batch APIs fold.
+  auto streams = derive_streams(kSeed, m);
+  std::vector<WalkStats> per_walk(m);
+  std::vector<TourEstimate> reference;
+  reference.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    WalkStatsProbe probe(per_walk[i]);
+    reference.push_back(random_tour_size(g, 0, streams[i], ~0ULL, probe));
+  }
+  const WalkStats folded = detail::fold_walk_stats(per_walk);
+
+  for (std::size_t width : kWidths) {
+    for (unsigned threads : kThreads) {
+      SCOPED_TRACE(::testing::Message()
+                   << "width=" << width << " threads=" << threads);
+      ParallelRunner runner(threads, width);
+      WalkStats walk_stats;
+      const auto batch =
+          run_tours_size_probed(g, 0, m, kSeed, runner, walk_stats);
+      for (std::size_t i = 0; i < m; ++i) {
+        EXPECT_EQ(batch.tours[i].value, reference[i].value);
+        EXPECT_EQ(batch.tours[i].steps, reference[i].steps);
+      }
+      expect_same_walk_stats(walk_stats, folded);
+      EXPECT_EQ(walk_stats.tours, m);
+      EXPECT_EQ(walk_stats.tour_steps.sum, batch.total_steps);
+    }
+  }
+}
+
+TEST(KernelEquivalence, MaxStepsTruncationParity) {
+  // On a ring every tour is long, so tight caps truncate aggressively; the
+  // kernel must flag and cap exactly like the scalar loop, including the
+  // max_steps == 1 edge (first step checked before any accumulation).
+  const Graph g = ring(64);
+  const std::size_t m = 32;
+  for (std::uint64_t max_steps : {std::uint64_t{1}, std::uint64_t{5},
+                                  std::uint64_t{200}}) {
+    auto streams = derive_streams(kSeed, m);
+    std::vector<TourEstimate> reference;
+    reference.reserve(m);
+    for (std::size_t i = 0; i < m; ++i)
+      reference.push_back(random_tour_size(g, 7, streams[i], max_steps));
+
+    for (std::size_t width : kWidths) {
+      for (unsigned threads : kThreads) {
+        SCOPED_TRACE(::testing::Message()
+                     << "max_steps=" << max_steps << " width=" << width
+                     << " threads=" << threads);
+        ParallelRunner runner(threads, width);
+        WalkStats walk_stats;
+        const auto batch = run_tours_size_probed(g, 7, m, kSeed, runner,
+                                                 walk_stats, max_steps);
+        std::size_t truncated = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+          EXPECT_EQ(batch.tours[i].value, reference[i].value);
+          EXPECT_EQ(batch.tours[i].steps, reference[i].steps);
+          EXPECT_EQ(batch.tours[i].completed, reference[i].completed);
+          if (!reference[i].completed) ++truncated;
+        }
+        EXPECT_EQ(batch.truncated, truncated);
+        EXPECT_EQ(walk_stats.truncated_tours, truncated);
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, CtrwSamplesBitIdenticalToScalar) {
+  const Graph g = test_graph();
+  const std::size_t m = 40;
+  const double timer = 3.0;
+
+  auto streams = derive_streams(kSeed, m);
+  std::vector<SampleResult> reference;
+  reference.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    reference.push_back(ctrw_sample(g, 0, timer, streams[i]));
+
+  for (std::size_t width : kWidths) {
+    for (unsigned threads : kThreads) {
+      SCOPED_TRACE(::testing::Message()
+                   << "width=" << width << " threads=" << threads);
+      ParallelRunner runner(threads, width);
+      const auto batch = run_samples(g, 0, m, timer, kSeed, runner);
+      WalkStats walk_stats;
+      const auto probed =
+          run_samples_probed(g, 0, m, timer, kSeed, runner, walk_stats);
+      EXPECT_EQ(batch.stats.tasks, m);
+      for (std::size_t i = 0; i < m; ++i) {
+        EXPECT_EQ(batch.samples[i].node, reference[i].node);
+        EXPECT_EQ(batch.samples[i].hops, reference[i].hops);
+        EXPECT_EQ(probed.samples[i].node, reference[i].node);
+        EXPECT_EQ(probed.samples[i].hops, reference[i].hops);
+      }
+      EXPECT_EQ(walk_stats.samples, m);
+      EXPECT_EQ(walk_stats.sample_hops.sum, batch.total_hops);
+    }
+  }
+}
+
+TEST(KernelEquivalence, ScTrialsBitIdenticalToScalar) {
+  const Graph g = test_graph();
+  const std::size_t trials = 24;
+  const std::size_t ell = 4;
+  const double timer = 2.5;
+
+  auto streams = derive_streams(kSeed, trials);
+  std::vector<ScEstimate> reference;
+  reference.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    SampleCollideEstimator estimator(g, 0, timer, ell, streams[i]);
+    reference.push_back(estimator.estimate());
+  }
+
+  for (std::size_t width : kWidths) {
+    for (unsigned threads : kThreads) {
+      SCOPED_TRACE(::testing::Message()
+                   << "width=" << width << " threads=" << threads);
+      ParallelRunner runner(threads, width);
+      const auto batch =
+          run_sc_trials(g, 0, trials, timer, ell, kSeed, runner);
+      WalkStats walk_stats;
+      const auto probed = run_sc_trials_probed(g, 0, trials, timer, ell,
+                                               kSeed, runner, walk_stats);
+      EXPECT_EQ(batch.stats.tasks, trials);
+      for (std::size_t i = 0; i < trials; ++i) {
+        SCOPED_TRACE(::testing::Message() << "trial=" << i);
+        EXPECT_EQ(batch.trials[i].ml, reference[i].ml);  // bitwise
+        EXPECT_EQ(batch.trials[i].simple, reference[i].simple);
+        EXPECT_EQ(batch.trials[i].n_minus, reference[i].n_minus);
+        EXPECT_EQ(batch.trials[i].n_plus, reference[i].n_plus);
+        EXPECT_EQ(batch.trials[i].samples, reference[i].samples);
+        EXPECT_EQ(batch.trials[i].hops, reference[i].hops);
+        EXPECT_EQ(batch.trials[i].replies, reference[i].replies);
+        EXPECT_EQ(probed.trials[i].ml, reference[i].ml);
+        EXPECT_EQ(probed.trials[i].samples, reference[i].samples);
+        EXPECT_EQ(probed.trials[i].hops, reference[i].hops);
+      }
+      EXPECT_EQ(walk_stats.collisions, trials * ell);
+    }
+  }
+}
+
+// The direct kernel API must agree with itself at any width, including a
+// width wider than the batch (lanes simply refill less).
+TEST(KernelEquivalence, DirectKernelWidthInvariance) {
+  const Graph g = test_graph();
+  const std::size_t m = 20;
+  std::vector<TourEstimate> by_width[2];
+  std::size_t slot = 0;
+  for (std::size_t width : {std::size_t{3}, std::size_t{64}}) {
+    auto streams = derive_streams(kSeed, m);
+    std::vector<TourEstimate> out(m);
+    tour_kernel(
+        g, 0, [](NodeId) { return 1.0; }, std::span<Rng>(streams),
+        std::span<TourEstimate>(out), width);
+    by_width[slot++] = std::move(out);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(by_width[0][i].value, by_width[1][i].value);
+    EXPECT_EQ(by_width[0][i].steps, by_width[1][i].steps);
+  }
+}
+
+}  // namespace
+}  // namespace overcount

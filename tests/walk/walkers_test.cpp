@@ -25,6 +25,10 @@ TEST(RandomNeighbor, OnlyReturnsNeighbors) {
   }
 }
 
+// The per-step degree check is a hot-path contract: compiled out in plain
+// Release builds (OVERCOUNT_HOT_CHECKS, util/contracts.hpp), where only the
+// batch entry points validate origins (tests/walk/contract_gating_test.cpp).
+#if OVERCOUNT_HOT_CHECKS
 TEST(RandomNeighbor, RequiresNonIsolatedNode) {
   GraphBuilder b(3);
   b.add_edge(0, 1);
@@ -32,6 +36,7 @@ TEST(RandomNeighbor, RequiresNonIsolatedNode) {
   Rng rng(1);
   EXPECT_THROW(random_neighbor(g, 2, rng), precondition_error);
 }
+#endif
 
 TEST(RandomNeighbor, UniformOverNeighbors) {
   Rng rng(2);
