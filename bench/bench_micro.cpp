@@ -17,6 +17,7 @@
 #include "core/overcount.hpp"
 #include "des/simulator.hpp"
 #include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_runner.hpp"
 #include "walk/kernel.hpp"
 #include "walk/walkers.hpp"
@@ -121,6 +122,40 @@ BENCHMARK(BM_RandomTourKernel)
     ->Arg(8)
     ->Arg(16)
     ->Arg(32);
+
+// Same kernel workload as BM_RandomTourKernel at width 16, but with a live
+// TraceRecorder installed, so every tour records a lifecycle span
+// (obs/trace.hpp). The acceptance bound is <= 5% items/s below the untraced
+// width:16 run — spans are per WALK (hundreds of steps), so two clock reads
+// per tour must disappear into the DRAM noise. The headline value
+// rt_kernel_trace_overhead records the measured fraction.
+void BM_RandomTourKernelTraced(benchmark::State& state) {
+  const Graph& g = balanced_graph();
+  const std::size_t width = 16;
+  const std::size_t walks = 64;
+  const auto master = derive_streams(3, walks);
+  std::vector<TourEstimate> out(walks);
+  TraceRecorder* previous = TraceRecorder::active();
+  TraceRecorder recorder;  // rings overwrite oldest: bounded regardless of
+  recorder.install();      // how long the benchmark loops
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    auto streams = master;  // identical walks every iteration
+    tour_kernel(
+        g, 0, [](NodeId) { return 1.0; }, std::span<Rng>(streams),
+        std::span<TourEstimate>(out), width);
+    for (const auto& t : out) steps += t.steps;
+    benchmark::DoNotOptimize(out.data());
+  }
+  if (previous != nullptr)
+    previous->install();  // hand back to an OVERCOUNT_TRACE_JSON recorder
+  else
+    recorder.uninstall();
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.counters["events_recorded"] =
+      static_cast<double>(recorder.events().size());
+}
+BENCHMARK(BM_RandomTourKernelTraced);
 
 // Kernel-vs-scalar pair for the Sample & Collide inner loop: the same 16
 // trials, serially one-by-one (scalar path) vs interleaved in one band
@@ -332,6 +367,16 @@ int main(int argc, char** argv) {
       reporter.items_per_second("BM_RandomTourKernel/width:16");
   if (scalar_rate > 0.0 && kernel_rate > 0.0)
     record_value("rt_kernel_speedup_width16", kernel_rate / scalar_rate);
+
+  // Tracing overhead headline: fraction of width-16 kernel throughput lost
+  // with a live recorder (acceptance: <= 0.05 plus measurement noise). Kept
+  // out of the committed baseline's diffed counters — the baseline diff
+  // reports new counters as informational only.
+  const double traced_rate =
+      reporter.items_per_second("BM_RandomTourKernelTraced");
+  if (kernel_rate > 0.0 && traced_rate > 0.0)
+    record_value("rt_kernel_trace_overhead",
+                 (kernel_rate - traced_rate) / kernel_rate);
 
   // A small probed batch so the micro artifact also carries histogram and
   // walk-stats sections (the same schema the figure benches emit).

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 namespace overcount::bench {
 
@@ -140,6 +141,30 @@ void write_report() {
   std::cout << "# telemetry: wrote " << path.string() << '\n';
 }
 
+// Span tracing for a whole bench run (OVERCOUNT_TRACE_JSON=<file>): the
+// recorder is installed by the first preamble() and the Chrome trace_event
+// file is written at process exit, after the last walk quiesced. One ring
+// per thread, bounded memory, overwrite-oldest — see obs/trace.hpp.
+std::string trace_json_path() {
+  const char* value = std::getenv("OVERCOUNT_TRACE_JSON");
+  return value == nullptr ? std::string{} : std::string{value};
+}
+
+TraceRecorder& trace_recorder() {
+  static TraceRecorder r;
+  return r;
+}
+
+void write_trace() {
+  trace_recorder().uninstall();
+  const std::string path = trace_json_path();
+  if (path.empty()) return;
+  if (write_chrome_trace_file(
+          path, trace_recorder(),
+          report().name.empty() ? "bench" : report().name))
+    std::cout << "# trace: wrote " << path << '\n';
+}
+
 void print_histogram_line(const std::string& label, const Log2Histogram& h) {
   std::cout << "# hist: " << label << " count=" << h.count;
   if (!h.empty()) {
@@ -203,6 +228,10 @@ void preamble(const std::string& figure, const std::string& description) {
   if (!report().writer_registered) {
     report().writer_registered = true;
     std::atexit(write_report);
+    if (!trace_json_path().empty()) {
+      trace_recorder().install();
+      std::atexit(write_trace);
+    }
   }
   std::cout << "==============================================\n"
             << "# bench: " << figure << '\n'

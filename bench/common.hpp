@@ -9,6 +9,8 @@
 //                      threads; results are bit-identical at any setting)
 //   OVERCOUNT_JSON     directory for machine-readable telemetry; when set,
 //                      each bench writes BENCH_<name>.json there on exit
+//   OVERCOUNT_TRACE_JSON  file for a Chrome/Perfetto trace_event span trace
+//                      of the whole run (obs/trace.hpp); written on exit
 // Output format: a `# figure:` header, `# series:` blocks with "name x y"
 // rows (plot-ready), an ASCII shape preview, and `# paper:` lines recording
 // what the original reports so the shapes can be compared directly.

@@ -7,12 +7,25 @@
 // population genuinely IS larger across the measurement window), and
 // per-hop loss censors long Random Tours, so the RT phase runs loss-free.
 //
+// Live introspection (obs/): OVERCOUNT_METRICS_PORT=9464 serves the DES
+// event counters at /metrics while the simulation runs (curl -s
+// localhost:9464/metrics), and OVERCOUNT_TRACE_JSON=/tmp/churn-trace.json
+// records a per-event span trace for ui.perfetto.dev. A scripted scraper
+// (CI's tracing-smoke job) can set OVERCOUNT_METRICS_HOLD_S=<seconds> to
+// keep the endpoint alive after the simulation finishes until one scrape
+// has been served (or the deadline passes).
+//
 //   $ ./churn_stress
+#include <chrono>
+#include <cstdlib>
+#include <thread>
 #include <functional>
 #include <iomanip>
 #include <iostream>
 
 #include "core/overcount.hpp"
+#include "obs/expose.hpp"
+#include "obs/trace.hpp"
 #include "protocols/random_tour_protocol.hpp"
 #include "protocols/sampling_protocol.hpp"
 
@@ -27,6 +40,15 @@ int main() {
                "departure per 200 time units\n\n";
 
   Simulator sim;
+  // Live introspection, both opt-in: the scrape endpoint watches the DES
+  // counters while the simulation runs, the recorder captures a span per
+  // fired event. Neither touches any Rng (estimates stay bit-identical).
+  MetricsRegistry registry;
+  sim.attach_metrics(registry);
+  const auto server = maybe_serve_metrics(registry);
+  const char* trace_path = std::getenv("OVERCOUNT_TRACE_JSON");
+  TraceRecorder recorder;
+  if (trace_path != nullptr && *trace_path != '\0') recorder.install();
   // 0.2% per-hop loss: a sampling walk of ~80 hops still completes ~85% of
   // the time, so timeouts recover the rest without dominating.
   Network net(sim, overlay, {1.0, 1.0}, 0.002, rng.split());
@@ -120,5 +142,23 @@ int main() {
             << 100.0 * static_cast<double>(net.messages_lost()) /
                    static_cast<double>(net.messages_sent())
             << "%)\n";
+  if (trace_path != nullptr && *trace_path != '\0') {
+    recorder.uninstall();
+    if (write_chrome_trace_file(trace_path, recorder, "churn_stress"))
+      std::cerr << "# trace: wrote " << trace_path << '\n';
+  }
+  const char* hold = std::getenv("OVERCOUNT_METRICS_HOLD_S");
+  if (server != nullptr && hold != nullptr && *hold != '\0') {
+    // Keep the scrape endpoint alive for an external scraper, returning as
+    // soon as it has collected one sample of the finished run.
+    const std::uint64_t served_before = server->requests_served();
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::atof(hold)));
+    while (server->requests_served() == served_before &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
   return 0;
 }

@@ -1,23 +1,54 @@
 // Continuous size monitoring of a churning overlay — the dynamic scenario
-// of the paper's Section 5.3, packaged as a dashboard-style monitor.
+// of the paper's Section 5.3, packaged as a dashboard-style monitor that is
+// ITSELF monitored over HTTP.
+//
 // A flash crowd arrives, then a correlated failure takes out a quarter of
 // the peers; a CUSUM-guarded SizeMonitor tracks both from Sample & Collide
-// estimates, while an obs/ MetricsRegistry watches the machinery itself:
-// every walk the estimator launches reports into the registry through a
-// RegistryProbe, and the monitor's resets are counted alongside. The live
-// table therefore shows WHAT the monitor believes and WHAT IT COST, and the
-// run ends with a full metrics snapshot.
+// estimates, while an obs/ MetricsRegistry watches the machinery: every
+// walk the estimator launches reports into the registry through a
+// RegistryProbe, and the monitor's resets are counted alongside. The
+// registry is served live by an obs/expose.hpp MetricsHttpServer, and the
+// dashboard table is built by polling the server's own /snapshot.json —
+// the same bytes an external scraper would see, so the example doubles as
+// an end-to-end test of the exposition path.
 //
-//   $ ./overlay_monitor
+//   $ ./overlay_monitor                         # ephemeral port
+//   $ OVERCOUNT_METRICS_PORT=9464 ./overlay_monitor &
+//   $ curl -s localhost:9464/metrics            # Prometheus exposition
+//   $ curl -s localhost:9464/snapshot.json | python3 -m json.tool
+//   $ curl -s localhost:9464/healthz
+//
+// Span tracing rides along: OVERCOUNT_TRACE_JSON=/tmp/monitor-trace.json
+// records every estimator walk and writes a Chrome/Perfetto trace_event
+// file at exit (open it at ui.perfetto.dev).
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 
 #include "core/monitor.hpp"
 #include "core/overcount.hpp"
-#include "obs/export.hpp"
+#include "obs/expose.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "sim/scenario.hpp"
+
+namespace {
+
+/// Counter value out of a polled /snapshot.json body; 0 when absent.
+std::uint64_t polled_counter(const overcount::JsonValue& snapshot,
+                             const std::string& name) {
+  const auto* counters = snapshot.find("counters");
+  if (counters == nullptr) return 0;
+  const auto* value = counters->find(name);
+  return value == nullptr
+             ? 0
+             : static_cast<std::uint64_t>(value->as_number());
+}
+
+}  // namespace
 
 int main() {
   using namespace overcount;
@@ -38,6 +69,21 @@ int main() {
   RegistryProbe probe(registry, "walk");
   Counter& estimates = registry.counter("monitor.estimates");
   Counter& resets = registry.counter("monitor.resets");
+
+  // Serve the registry for the whole run: OVERCOUNT_METRICS_PORT when set,
+  // otherwise an ephemeral port (still printed, still curl-able while the
+  // run lasts). The dashboard below reads through this server.
+  std::unique_ptr<MetricsHttpServer> server = maybe_serve_metrics(registry);
+  if (server == nullptr) {
+    server = std::make_unique<MetricsHttpServer>(registry, 0);
+    std::cerr << "# metrics: serving http://127.0.0.1:" << server->port()
+              << "/metrics (set OVERCOUNT_METRICS_PORT to pin)\n";
+  }
+
+  // Optional span trace of every estimator walk (OVERCOUNT_TRACE_JSON).
+  const char* trace_path = std::getenv("OVERCOUNT_TRACE_JSON");
+  TraceRecorder recorder;
+  if (trace_path != nullptr && *trace_path != '\0') recorder.install();
 
   MonitorConfig config;
   config.window = 20;
@@ -62,19 +108,36 @@ int main() {
     if (monitor.feed(estimate.simple)) resets.inc();
 
     if (run % 3 == 0) {
-      const auto snap = registry.snapshot();
+      // Dashboard row via the HTTP endpoint, not registry.snapshot():
+      // what the table shows is exactly what a scraper would have seen.
+      const std::string body =
+          http_get_body(server->port(), "/snapshot.json");
+      if (body.empty()) {
+        std::cerr << "error: polling /snapshot.json failed\n";
+        return 1;
+      }
+      const JsonValue snap = parse_json(body);
       std::cout << std::setw(3) << run << "   " << std::setw(8)
                 << g.component_size(probe_node) << "   " << std::setw(8)
                 << monitor.value() << "   " << std::setw(6)
-                << snap.counter_or_zero("walk.walks") << "   " << std::setw(8)
-                << snap.counter_or_zero("walk.visits") << "   " << std::setw(5)
-                << snap.counter_or_zero("monitor.resets") << '\n';
+                << polled_counter(snap, "walk.walks") << "   " << std::setw(8)
+                << polled_counter(snap, "walk.visits") << "   "
+                << std::setw(5) << polled_counter(snap, "monitor.resets")
+                << '\n';
     }
   }
 
   std::cout << "\nchanges detected by the CUSUM monitor: "
             << monitor.changes_detected() << " (expected 2)\n"
-            << "\nfinal metrics snapshot:\n";
-  print_snapshot(std::cout, registry.snapshot());
+            << "\nfinal Prometheus exposition (GET /metrics, "
+            << server->requests_served() << " requests served):\n"
+            << http_get_body(server->port(), "/metrics");
+
+  if (trace_path != nullptr && *trace_path != '\0') {
+    recorder.uninstall();
+    if (write_chrome_trace_file(trace_path, recorder, "overlay_monitor"))
+      std::cerr << "# trace: wrote " << trace_path << '\n';
+  }
+  server->stop();
   return 0;
 }

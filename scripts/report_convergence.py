@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Render convergence time-series JSON (obs/timeseries.cpp) as a terminal
+report: the estimate-vs-truth trajectory, the spend axis, and a verdict on
+whether the run converged.
+
+Usage: report_convergence.py <timeseries.json>... [--rel-tol F] [--strict]
+
+For each file (schema 1: {schema, kind, truth, points: [{walks, steps,
+estimate, half_width, wall_s}]}):
+  * prints one row per point: walks, cumulative steps, estimate, relative
+    error against the truth (when known), and the predicted half-width;
+  * draws an ASCII trajectory of the relative error on a log-ish scale;
+  * declares the run CONVERGED when the final estimate is within --rel-tol
+    of the truth (default 0.15), and reports the first point from which the
+    trajectory stayed inside that band;
+  * flags NON-CONVERGENCE (exit 1 with --strict) otherwise, or when the
+    trajectory is empty.
+
+Files without a recorded truth are reported descriptively (no verdict):
+the script still prints the trajectory and the half-width column so drift
+is visible.
+"""
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+BAR_WIDTH = 40
+
+
+def fmt(x, width=12):
+    if x is None or (isinstance(x, float) and not math.isfinite(x)):
+        return "-".rjust(width)
+    if isinstance(x, float):
+        return f"{x:.4g}".rjust(width)
+    return str(x).rjust(width)
+
+
+def error_bar(rel_err):
+    """|####      | — bar length ~ log10 of the relative error, so one
+    character is roughly a fifth of a decade; full bar at >= 100% error."""
+    if rel_err is None or not math.isfinite(rel_err):
+        return " " * BAR_WIDTH
+    if rel_err <= 0:
+        return ""
+    # map [1e-4, 1] -> [0, BAR_WIDTH]
+    scaled = (math.log10(max(rel_err, 1e-4)) + 4.0) / 4.0
+    return "#" * max(1, round(scaled * BAR_WIDTH))
+
+
+def report(path, rel_tol):
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL {path}: does not parse: {e}")
+        return False
+    if doc.get("schema") != 1:
+        print(f"FAIL {path}: unexpected schema {doc.get('schema')!r}")
+        return False
+    points = doc.get("points", [])
+    truth = doc.get("truth")
+    kind = doc.get("kind", "?")
+    print(f"== {path.name}: {kind}, {len(points)} points, "
+          f"truth={'unknown' if truth is None else f'{truth:g}'}")
+    if not points:
+        print("FAIL: empty trajectory")
+        return False
+
+    header = (f"{'walks':>10} {'steps':>14} {'estimate':>12} "
+              f"{'rel_err':>12} {'pred_hw':>12} {'wall_s':>9}  trajectory")
+    print(header)
+    settled = None
+    for i, p in enumerate(points):
+        rel = None
+        if truth:
+            rel = abs(p["estimate"] - truth) / abs(truth)
+            if rel <= rel_tol:
+                if settled is None:
+                    settled = i
+            else:
+                settled = None
+        print(f"{p['walks']:>10} {p['steps']:>14} "
+              f"{fmt(p['estimate'])} {fmt(rel)} {fmt(p.get('half_width'))} "
+              f"{p['wall_s']:>9.3f}  |{error_bar(rel)}")
+
+    if truth is None:
+        print("note: no ground truth recorded; descriptive report only")
+        return True
+    final_rel = abs(points[-1]["estimate"] - truth) / abs(truth)
+    if settled is not None:
+        p = points[settled]
+        print(f"CONVERGED: within {rel_tol:.0%} of truth from walk "
+              f"{p['walks']} ({p['steps']} steps, {p['wall_s']:.3f}s); "
+              f"final rel_err {final_rel:.2%}")
+        return True
+    print(f"NON-CONVERGENCE: final estimate {points[-1]['estimate']:.4g} "
+          f"is {final_rel:.1%} from truth {truth:g} "
+          f"(tolerance {rel_tol:.0%})")
+    return False
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Report convergence trajectories recorded by "
+                    "TimeSeriesRecorder")
+    parser.add_argument("files", type=Path, nargs="+",
+                        help="timeseries JSON file(s)")
+    parser.add_argument("--rel-tol", type=float, default=0.15,
+                        help="relative tolerance for the converged verdict "
+                             "(default 0.15)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any run fails to converge")
+    args = parser.parse_args(argv)
+
+    ok = True
+    for path in args.files:
+        ok = report(path, args.rel_tol) and ok
+        print()
+    return 0 if ok or not args.strict else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

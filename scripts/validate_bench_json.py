@@ -20,7 +20,10 @@ Throughput counters (names ending in `per_second` or containing
 `speedup`) are higher-is-better: they fail only when the current value
 drops more than `--tolerance` below baseline. All other matched counters
 fail when they deviate from baseline by more than the tolerance in either
-direction. The CI perf-smoke job runs this against the committed
+direction. Counters matched by --counters that the CURRENT artifact adds
+but the baseline lacks are printed as informational `new` lines and never
+fail the diff, so a bench can grow instrumentation without forcing a
+baseline refresh. The CI perf-smoke job runs this against the committed
 bench/baselines/BENCH_micro.json with --counters over BM_RandomTour*
 items_per_second, so a >25% regression of the walk hot path fails CI.
 
@@ -191,6 +194,16 @@ def diff_against_baseline(files, baseline_path, counter_re, tolerance):
                 f"baseline diff: '{key}' regressed {rel:+.1%} "
                 f"(tolerance {tolerance:.0%}): baseline={base:.6g}, "
                 f"current={cur:.6g}")
+
+    # Counters that exist only in the CURRENT artifact are reported but
+    # never fail the diff: a bench adding instrumentation (new counters)
+    # must not force a baseline refresh — the committed baseline is only a
+    # floor for the counters it already records.
+    new_keys = sorted(k for k in cur_values
+                      if counter_re.search(k) and k not in base_values)
+    for key in new_keys:
+        print(f"new  {key}: current={cur_values[key]:.6g} "
+              f"(not in baseline; informational only)")
     return errors
 
 

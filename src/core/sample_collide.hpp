@@ -20,6 +20,7 @@
 #include <unordered_set>
 
 #include "core/sampling.hpp"
+#include "obs/trace.hpp"
 
 namespace overcount {
 
@@ -127,6 +128,11 @@ class SampleCollideEstimator {
   /// plain measurements are bit-identical.
   template <WalkProbe P>
   ScEstimate estimate(P&& probe) {
+    // One span per measurement plus an instant per collision; trace calls
+    // never touch the Rng, so traced runs stay bit-identical (obs/trace.hpp).
+    TraceSpan measurement_span("sc", "sc.estimate", "ell",
+                               static_cast<std::uint64_t>(ell_));
+    const bool tracing = trace_active();
     CollisionTracker tracker;
     const std::uint64_t hops_before = sampler_.total_hops();
     [[maybe_unused]] std::uint64_t previous_collision_at = 0;
@@ -135,6 +141,9 @@ class SampleCollideEstimator {
       if (collided) {
         if constexpr (probe_enabled_v<P>)
           probe.on_collision(tracker.samples() - previous_collision_at);
+        if (tracing)
+          trace_instant("sc", "sc.collision", "gap",
+                        tracker.samples() - previous_collision_at);
         previous_collision_at = tracker.samples();
       }
     }

@@ -1,5 +1,9 @@
 #include "des/simulator.hpp"
 
+// Header-only tracing, same layering note as runtime/parallel_runner.cpp:
+// no overcount_obs symbols are referenced from the des library.
+#include "obs/trace.hpp"
+
 namespace overcount {
 
 Simulator::EventId Simulator::schedule_at(SimTime t, Action action) {
@@ -37,7 +41,15 @@ bool Simulator::step() {
       events_->inc();
       queue_depth_->record(pending());
     }
-    action();
+    if (trace_active()) {
+      // Span per fired event, tagged with its id; sim-time is not wall-time,
+      // so the span measures handler wall cost while `id` lets a Perfetto
+      // query join against the schedule order.
+      TraceSpan event_span("des", "des.event", "id", ev.id);
+      action();
+    } else {
+      action();
+    }
     return true;
   }
   return false;

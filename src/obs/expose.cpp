@@ -1,0 +1,247 @@
+#include "obs/expose.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+
+namespace overcount {
+
+namespace {
+
+/// Shortest round-trip decimal for a gauge value (the same contract the
+/// JSON writer uses); NaN renders as Prometheus' literal "NaN".
+std::string format_double(double v) {
+  if (v != v) return "NaN";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string("0");
+}
+
+void append_histogram(std::string& out, const std::string& name,
+                      const Log2Histogram& h) {
+  out += "# TYPE " + name + " histogram\n";
+  // Cumulative le-buckets over the non-empty prefix: bucket i of the log2
+  // histogram holds values <= bucket_upper(i), which IS a Prometheus `le`
+  // boundary. Past the last non-empty bucket every further line would
+  // repeat the count, so stop there and let +Inf close the series.
+  std::uint64_t cumulative = 0;
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i)
+    if (h.buckets[i] != 0) last = i;
+  for (std::size_t i = 0; i <= last && h.count != 0; ++i) {
+    cumulative += h.buckets[i];
+    out += name + "_bucket{le=\"" +
+           std::to_string(Log2Histogram::bucket_upper(i)) + "\"} " +
+           std::to_string(cumulative) + "\n";
+  }
+  out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+  out += name + "_sum " + std::to_string(h.sum) + "\n";
+  out += name + "_count " + std::to_string(h.count) + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string pname = prometheus_name(name);
+    if (pname.size() < 6 || pname.compare(pname.size() - 6, 6, "_total") != 0)
+      pname += "_total";
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + format_double(value) + "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms)
+    append_histogram(out, prometheus_name(name), hist);
+  return out;
+}
+
+MetricsHttpServer::MetricsHttpServer(const MetricsRegistry& registry,
+                                     std::uint16_t port)
+    : registry_(registry) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("metrics: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("metrics: cannot bind 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::stop() {
+  if (!stopping_.exchange(true) && thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::serve_loop() {
+  // poll with a short timeout so stop() is observed within ~100 ms even
+  // when no scraper ever connects.
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void MetricsHttpServer::handle_connection(int client_fd) {
+  char buf[2048];
+  const ssize_t got = ::recv(client_fd, buf, sizeof(buf) - 1, 0);
+  if (got <= 0) return;
+  buf[got] = '\0';
+  // "GET <path> HTTP/1.x" — everything else 400s.
+  std::string method, path;
+  {
+    std::istringstream line(std::string(buf, static_cast<std::size_t>(got)));
+    line >> method >> path;
+  }
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    body = "only GET is served\n";
+  } else if (path == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = render_prometheus(registry_.snapshot());
+  } else if (path == "/snapshot.json") {
+    content_type = "application/json";
+    std::ostringstream os;
+    JsonWriter w(os);
+    write_json(w, registry_.snapshot());
+    os << '\n';
+    body = os.str();
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else {
+    status = "404 Not Found";
+    body = "routes: /metrics /snapshot.json /healthz\n";
+  }
+  std::string response = "HTTP/1.1 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" +
+                         body;
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n = ::send(client_fd, response.data() + sent,
+                             response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::unique_ptr<MetricsHttpServer> maybe_serve_metrics(
+    const MetricsRegistry& registry) {
+  const char* env = std::getenv("OVERCOUNT_METRICS_PORT");
+  if (env == nullptr || *env == '\0') return nullptr;
+  unsigned long port = 0;
+  char* end = nullptr;
+  port = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || port > 65535) {
+    std::cerr << "# metrics: ignoring OVERCOUNT_METRICS_PORT='" << env
+              << "' (not a port)\n";
+    return nullptr;
+  }
+  try {
+    auto server = std::make_unique<MetricsHttpServer>(
+        registry, static_cast<std::uint16_t>(port));
+    std::cerr << "# metrics: serving http://127.0.0.1:" << server->port()
+              << "/metrics\n";
+    return server;
+  } catch (const std::exception& e) {
+    std::cerr << "# metrics: " << e.what() << '\n';
+    return nullptr;
+  }
+}
+
+std::string http_get_body(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t split = response.find("\r\n\r\n");
+  if (split == std::string::npos) return {};
+  return response.substr(split + 4);
+}
+
+}  // namespace overcount

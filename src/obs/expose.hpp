@@ -1,0 +1,96 @@
+// Live metrics exposition: Prometheus text format rendering plus a
+// dependency-free blocking HTTP server for scraping a MetricsRegistry.
+//
+// The paper's estimators are built for LIVE overlays — a monitor watching a
+// running network wants the current walk counters without stopping the run.
+// MetricsHttpServer serves exactly that: GET /metrics renders a registry
+// snapshot in the Prometheus text exposition format (counters as *_total,
+// log2 histograms as cumulative le-buckets), GET /snapshot.json returns the
+// same snapshot as the obs/export JSON object, and GET /healthz answers a
+// liveness probe. The server binds 127.0.0.1 only and handles one request
+// per connection — it is a scrape target, not a web framework.
+//
+// Snapshots are taken with MetricsRegistry::snapshot(), which is safe while
+// walkers are writing (obs/metrics.hpp); serving never touches any Rng, so a
+// scraped run produces bit-identical estimates.
+//
+// Opt-in wiring: maybe_serve_metrics(registry) starts a server when the
+// OVERCOUNT_METRICS_PORT environment variable is a valid port (0 picks an
+// ephemeral port; the bound port is printed to stderr), and returns nullptr
+// otherwise. Long-running examples call this once at startup.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace overcount {
+
+/// Renders a snapshot in the Prometheus text exposition format (version
+/// 0.0.4). Metric names are sanitised to [a-zA-Z0-9_:] (dots become
+/// underscores); counters get a `_total` suffix; histograms render as
+/// cumulative `_bucket{le="..."}` lines over the non-empty prefix of the
+/// log2 buckets plus the mandatory `+Inf` bucket, `_sum` and `_count`.
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// `name` mapped into the Prometheus metric-name alphabet.
+std::string prometheus_name(const std::string& name);
+
+/// Minimal blocking HTTP/1.1 server exposing one MetricsRegistry. Routes:
+///   GET /metrics        text/plain; version=0.0.4  (render_prometheus)
+///   GET /snapshot.json  application/json           (obs/export write_json)
+///   GET /healthz        "ok"
+/// Anything else answers 404. One serving thread, one request per
+/// connection; stop() (and the destructor) joins the thread within one
+/// poll interval (~100 ms).
+class MetricsHttpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (port 0 = ephemeral) and starts serving.
+  /// Throws std::runtime_error when the socket cannot be bound.
+  MetricsHttpServer(const MetricsRegistry& registry, std::uint16_t port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// The actually bound port (differs from the constructor argument when
+  /// that was 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting and joins the serving thread. Idempotent.
+  void stop();
+
+  /// Requests served so far (any route).
+  std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int client_fd);
+
+  const MetricsRegistry& registry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread thread_;
+};
+
+/// Starts a MetricsHttpServer when OVERCOUNT_METRICS_PORT names a valid
+/// port, printing the endpoint to stderr; returns nullptr when the variable
+/// is unset, empty, or unparsable (with a stderr note when malformed).
+std::unique_ptr<MetricsHttpServer> maybe_serve_metrics(
+    const MetricsRegistry& registry);
+
+/// One-shot HTTP GET against 127.0.0.1:`port` returning the response BODY
+/// (status line and headers stripped), or an empty string on any error.
+/// This is the client side used by examples/overlay_monitor to poll its own
+/// endpoint and by tests; it speaks just enough HTTP/1.0 for that.
+std::string http_get_body(std::uint16_t port, const std::string& path);
+
+}  // namespace overcount

@@ -1,0 +1,45 @@
+#include "obs/timeseries.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "obs/json.hpp"
+
+namespace overcount {
+
+void write_json(JsonWriter& w, const TimeSeriesRecorder& recorder) {
+  w.begin_object();
+  w.kv("schema", 1);
+  w.kv("kind", recorder.kind());
+  // NaN truth renders as JSON null (JsonWriter contract): "no ground truth"
+  // round-trips without a sentinel value.
+  w.kv("truth", recorder.truth());
+  w.key("points");
+  w.begin_array();
+  for (const auto& p : recorder.points()) {
+    w.begin_object();
+    w.kv("walks", p.walks);
+    w.kv("steps", p.steps);
+    w.kv("estimate", p.estimate);
+    w.kv("half_width", p.half_width);
+    w.kv("wall_s", p.wall_seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+bool write_timeseries_file(const std::string& path,
+                           const TimeSeriesRecorder& recorder) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "# timeseries: cannot open " << path << '\n';
+    return false;
+  }
+  JsonWriter w(out);
+  write_json(w, recorder);
+  out << '\n';
+  return true;
+}
+
+}  // namespace overcount

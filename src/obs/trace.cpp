@@ -1,0 +1,110 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace overcount {
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard lock(mutex_);
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t available = std::min<std::uint64_t>(head, capacity_);
+    // Oldest surviving event first: when the ring wrapped, that is slot
+    // head % capacity (the next one to be overwritten).
+    for (std::uint64_t k = 0; k < available; ++k) {
+      const std::uint64_t seq = head - available + k;
+      out.push_back(ring->slots[seq & (capacity_ - 1)]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+namespace {
+
+void write_event(JsonWriter& w, const TraceEvent& e) {
+  w.begin_object();
+  w.kv("name", e.name != nullptr ? e.name : "?");
+  w.kv("cat", e.cat != nullptr ? e.cat : "overcount");
+  w.kv("ph", std::string(1, e.phase));
+  w.kv("pid", 1);
+  w.kv("tid", e.tid);
+  w.kv("ts", e.ts_us);
+  if (e.phase == 'X') w.kv("dur", e.dur_us);
+  if (e.phase == 'i') w.kv("s", "t");  // instant scope: thread
+  if (e.arg_name != nullptr) {
+    w.key("args");
+    w.begin_object();
+    w.kv(e.arg_name, e.arg);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_metadata(JsonWriter& w, const char* name, std::uint32_t tid,
+                    const std::string& value) {
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("ph", "M");
+  w.kv("pid", 1);
+  w.kv("tid", tid);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", value);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder,
+                        const std::string& process_name) {
+  const auto events = recorder.events();
+  // Compact output: a trace of a real run is tens of thousands of events,
+  // and Perfetto does not care about whitespace.
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  write_metadata(w, "process_name", 0, process_name);
+  std::set<std::uint32_t> tids;
+  for (const auto& e : events) tids.insert(e.tid);
+  for (const std::uint32_t tid : tids)
+    write_metadata(w, "thread_name", tid,
+                   "worker-" + std::to_string(tid));
+  for (const auto& e : events) write_event(w, e);
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("dropped_events", recorder.dropped_events());
+  w.kv("recording_threads",
+       static_cast<std::uint64_t>(recorder.thread_count()));
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const TraceRecorder& recorder,
+                             const std::string& process_name) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "# trace: cannot open " << path << '\n';
+    return false;
+  }
+  write_chrome_trace(out, recorder, process_name);
+  return true;
+}
+
+}  // namespace overcount

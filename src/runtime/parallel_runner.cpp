@@ -3,6 +3,11 @@
 #include <chrono>
 #include <ctime>
 
+// Header-only span tracing (obs/trace.hpp): the runtime layer stays below
+// obs in the link graph — TraceSpan and the active-recorder check are all
+// inline, so no overcount_obs symbols are referenced from here.
+#include "obs/trace.hpp"
+
 namespace overcount {
 
 std::vector<Rng> derive_streams(std::uint64_t seed, std::size_t n) {
@@ -40,6 +45,8 @@ void ParallelRunner::dispatch(std::size_t n,
                               BatchStats* stats) {
   const auto wall_start = std::chrono::steady_clock::now();
   const std::clock_t cpu_start = std::clock();
+  TraceSpan batch_span("runner", "runner.dispatch", "tasks",
+                       static_cast<std::uint64_t>(n));
   if (n > 0) {
     {
       std::lock_guard lock(mutex_);
@@ -81,10 +88,21 @@ void ParallelRunner::worker_loop() {
       job = job_;
       size = job_size_;
     }
+    // Per-task spans only when a recorder is live: the check is hoisted out
+    // of the pull loop, so the untraced path stays one atomic load per
+    // BATCH, not per task.
+    const bool tracing = trace_active();
     for (std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
          i < size;
-         i = next_index_.fetch_add(1, std::memory_order_relaxed))
-      (*job)(i);
+         i = next_index_.fetch_add(1, std::memory_order_relaxed)) {
+      if (tracing) {
+        TraceSpan task_span("runner", "runner.task", "index",
+                            static_cast<std::uint64_t>(i));
+        (*job)(i);
+      } else {
+        (*job)(i);
+      }
+    }
     {
       std::lock_guard lock(mutex_);
       if (--active_workers_ == 0) done_cv_.notify_all();

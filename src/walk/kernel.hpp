@@ -46,6 +46,7 @@
 // them here adds no link dependency, so the walk library stays below core.
 #include "core/random_tour.hpp"
 #include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "walk/topology.hpp"
 #include "walk/walkers.hpp"
 
@@ -116,13 +117,20 @@ void tour_kernel(const G& g, NodeId origin, F&& f, std::span<Rng> streams,
     NodeId at;             // node being processed (process phase)
     double counter;        // scalar random_tour's X accumulator
     std::uint64_t steps;
+    std::uint64_t trace_t0;  // span start (only written when tracing)
     const NodeId* ptr;     // adjacency element the next read phase loads
     bool read_phase;
   };
 
+  // Tracing is checked ONCE per kernel call: lane lifecycle spans cost two
+  // clock reads per WALK when a recorder is installed, and a dead branch
+  // otherwise. No trace call touches any stream, so traced batches stay
+  // bit-identical (obs/trace.hpp).
+  const bool tracing = trace_active();
   std::size_t next_walk = 0;
   auto start = [&](Lane& lane) {
     lane.walk = next_walk++;
+    if (tracing) lane.trace_t0 = trace_now_us();
     if constexpr (probe_enabled_v<P>) probes[lane.walk].walk_begin(origin);
     lane.counter = counter0;
     lane.ptr = kernel_detail::draw_step(origin_nbrs, streams[lane.walk]);
@@ -143,6 +151,8 @@ void tour_kernel(const G& g, NodeId origin, F&& f, std::span<Rng> streams,
         const bool completed = at == origin;
         if constexpr (probe_enabled_v<P>)
           probes[lane.walk].tour_end(lane.steps, completed);
+        if (tracing)
+          trace_complete("walk", "tour", lane.trace_t0, "steps", lane.steps);
         out[lane.walk] = {d_origin * lane.counter, lane.steps, completed};
         if (next_walk < out.size()) {
           start(lane);
@@ -188,13 +198,18 @@ void ctrw_kernel(const G& g, NodeId origin, double timer,
     NodeId at;
     double remaining;
     std::uint64_t hops;
+    std::uint64_t trace_t0;  // span start (only written when tracing)
     const NodeId* ptr;
     bool read_phase;
   };
 
+  // One active-recorder check per kernel call; spans are per WALK, never per
+  // step, and touch no stream (see tour_kernel).
+  const bool tracing = trace_active();
   std::size_t next_walk = 0;
   auto start = [&](Lane& lane) {
     lane.walk = next_walk++;
+    if (tracing) lane.trace_t0 = trace_now_us();
     if constexpr (probe_enabled_v<P>) probes[lane.walk].walk_begin(origin);
     lane.at = origin;
     lane.remaining = timer;
@@ -226,6 +241,9 @@ void ctrw_kernel(const G& g, NodeId origin, double timer,
       if (lane.remaining <= 0.0) {
         if constexpr (probe_enabled_v<P>)
           probes[lane.walk].sample_end(lane.hops);
+        if (tracing)
+          trace_complete("walk", "ctrw_sample", lane.trace_t0, "hops",
+                         lane.hops);
         out[lane.walk] = {lane.at, lane.hops};
         if (next_walk < out.size()) {
           start(lane);
@@ -272,6 +290,7 @@ void sc_kernel(const G& g, NodeId origin, double timer, std::size_t ell,
     std::uint64_t collisions;
     std::uint64_t trial_hops;
     std::uint64_t prev_collision_at;
+    std::uint64_t trace_t0;  // trial span start (only written when tracing)
     // current sampling walk
     NodeId at;
     double remaining;
@@ -280,6 +299,9 @@ void sc_kernel(const G& g, NodeId origin, double timer, std::size_t ell,
     bool read_phase;
   };
 
+  // One active-recorder check per kernel call; one span per TRIAL plus an
+  // instant per collision — never per step (see tour_kernel).
+  const bool tracing = trace_active();
   std::size_t next_trial = 0;
   auto start_walk = [&](Lane& lane) {
     if constexpr (probe_enabled_v<P>) probes[lane.trial].walk_begin(origin);
@@ -290,6 +312,7 @@ void sc_kernel(const G& g, NodeId origin, double timer, std::size_t ell,
   };
   auto start_trial = [&](Lane& lane) {
     lane.trial = next_trial++;
+    if (tracing) lane.trace_t0 = trace_now_us();
     lane.seen.clear();
     lane.samples = 0;
     lane.collisions = 0;
@@ -330,9 +353,15 @@ void sc_kernel(const G& g, NodeId origin, double timer, std::size_t ell,
           if constexpr (probe_enabled_v<P>)
             probes[lane.trial].on_collision(lane.samples -
                                             lane.prev_collision_at);
+          if (tracing)
+            trace_instant("walk", "sc.collision", "gap",
+                          lane.samples - lane.prev_collision_at);
           lane.prev_collision_at = lane.samples;
         }
         if (lane.collisions >= ell) {
+          if (tracing)
+            trace_complete("walk", "sc.trial", lane.trace_t0, "samples",
+                           lane.samples);
           out[lane.trial] = {lane.samples, lane.trial_hops};
           if (next_trial < out.size()) {
             start_trial(lane);

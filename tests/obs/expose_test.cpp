@@ -1,0 +1,124 @@
+// The exposition contract: render_prometheus emits valid text-format 0.0.4
+// (sanitised names, *_total counters, cumulative le-buckets closed by +Inf)
+// and MetricsHttpServer serves exactly that over loopback HTTP without
+// perturbing the registry.
+#include "obs/expose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace overcount {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(PrometheusName, SanitisesToMetricAlphabet) {
+  EXPECT_EQ(prometheus_name("walk.visits"), "walk_visits");
+  EXPECT_EQ(prometheus_name("sc:trial-hops"), "sc:trial_hops");
+  EXPECT_EQ(prometheus_name("already_fine_09"), "already_fine_09");
+  // Leading digit and empty names get a protective underscore.
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST(RenderPrometheus, CountersGetTotalSuffixOnce) {
+  MetricsRegistry registry;
+  registry.counter("walk.visits").add(3);
+  registry.counter("walk.steps_total").add(7);
+  const std::string text = render_prometheus(registry.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE walk_visits_total counter\n"));
+  EXPECT_TRUE(contains(text, "walk_visits_total 3\n"));
+  // A name already ending in _total is not doubled.
+  EXPECT_TRUE(contains(text, "walk_steps_total 7\n"));
+  EXPECT_FALSE(contains(text, "walk_steps_total_total"));
+}
+
+TEST(RenderPrometheus, GaugesRenderRoundTripDecimal) {
+  MetricsRegistry registry;
+  registry.gauge("walk.sojourn_time").set(1.5);
+  const std::string text = render_prometheus(registry.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE walk_sojourn_time gauge\n"));
+  EXPECT_TRUE(contains(text, "walk_sojourn_time 1.5\n"));
+}
+
+TEST(RenderPrometheus, HistogramBucketsAreCumulativeAndClosedByInf) {
+  MetricsRegistry registry;
+  AtomicHistogram& h = registry.histogram("walk.tour_steps");
+  h.record(1);   // bucket le="1"
+  h.record(2);   // bucket le="3"
+  h.record(3);   // bucket le="3"
+  const std::string text = render_prometheus(registry.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE walk_tour_steps histogram\n"));
+  EXPECT_TRUE(contains(text, "walk_tour_steps_bucket{le=\"1\"} 1\n"));
+  EXPECT_TRUE(contains(text, "walk_tour_steps_bucket{le=\"3\"} 3\n"));
+  EXPECT_TRUE(contains(text, "walk_tour_steps_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(contains(text, "walk_tour_steps_sum 6\n"));
+  EXPECT_TRUE(contains(text, "walk_tour_steps_count 3\n"));
+}
+
+TEST(RenderPrometheus, EmptyHistogramStillClosesWithInf) {
+  MetricsRegistry registry;
+  registry.histogram("quiet");
+  const std::string text = render_prometheus(registry.snapshot());
+  EXPECT_TRUE(contains(text, "quiet_bucket{le=\"+Inf\"} 0\n"));
+  EXPECT_TRUE(contains(text, "quiet_count 0\n"));
+  // No finite bucket line precedes +Inf for an empty histogram.
+  EXPECT_FALSE(contains(text, "quiet_bucket{le=\"0\"}"));
+}
+
+TEST(MetricsHttpServer, ServesMetricsSnapshotAndHealth) {
+  MetricsRegistry registry;
+  registry.counter("walk.visits").add(42);
+  registry.gauge("walk.sojourn_time").set(2.25);
+  registry.histogram("walk.tour_steps").record(5);
+
+  MetricsHttpServer server(registry, 0);  // ephemeral port
+  ASSERT_NE(server.port(), 0);
+
+  EXPECT_EQ(http_get_body(server.port(), "/healthz"), "ok\n");
+
+  const std::string metrics = http_get_body(server.port(), "/metrics");
+  EXPECT_TRUE(contains(metrics, "walk_visits_total 42\n"));
+  EXPECT_TRUE(contains(metrics, "walk_sojourn_time 2.25\n"));
+  EXPECT_TRUE(contains(metrics, "walk_tour_steps_bucket{le=\"+Inf\"} 1\n"));
+
+  const std::string snapshot = http_get_body(server.port(), "/snapshot.json");
+  const JsonValue doc = parse_json(snapshot);
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("walk.visits"), nullptr);
+  EXPECT_EQ(counters->find("walk.visits")->as_number(), 42.0);
+
+  const std::string missing = http_get_body(server.port(), "/nope");
+  EXPECT_TRUE(contains(missing, "routes:"));
+
+  // The server is live: counter bumps appear on the next scrape.
+  registry.counter("walk.visits").add(1);
+  EXPECT_TRUE(contains(http_get_body(server.port(), "/metrics"),
+                       "walk_visits_total 43\n"));
+
+  EXPECT_GE(server.requests_served(), 5u);
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_EQ(http_get_body(server.port(), "/healthz"), "");  // gone
+}
+
+TEST(MetricsHttpServer, HttpGetBodyFailsCleanlyAgainstClosedPort) {
+  MetricsRegistry registry;
+  std::uint16_t freed_port = 0;
+  {
+    MetricsHttpServer server(registry, 0);
+    freed_port = server.port();
+  }
+  EXPECT_EQ(http_get_body(freed_port, "/metrics"), "");
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,103 @@
+// Regression pins for Log2Histogram::percentile: the rank-interpolated
+// read-out at exact bucket boundaries, and the degenerate empty /
+// single-bucket cases where the [min, max] clamp must collapse every
+// quantile to the one recorded value.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "obs/histogram.hpp"
+
+namespace overcount {
+namespace {
+
+TEST(Log2HistogramPercentile, EmptyHistogramIsNanAtEveryQuantile) {
+  const Log2Histogram h;
+  EXPECT_TRUE(std::isnan(h.percentile(0.0)));
+  EXPECT_TRUE(std::isnan(h.percentile(0.5)));
+  EXPECT_TRUE(std::isnan(h.percentile(0.99)));
+  EXPECT_TRUE(std::isnan(h.percentile(1.0)));
+}
+
+TEST(Log2HistogramPercentile, SingleValueCollapsesAllQuantiles) {
+  // One observation: whatever the in-bucket interpolation says, the clamp
+  // to [min, max] = [5, 5] must return exactly 5 for every q.
+  Log2Histogram h;
+  h.record(5);
+  EXPECT_EQ(h.percentile(0.0), 5.0);
+  EXPECT_EQ(h.percentile(0.5), 5.0);
+  EXPECT_EQ(h.percentile(0.99), 5.0);
+  EXPECT_EQ(h.percentile(1.0), 5.0);
+  EXPECT_EQ(h.percentile(0.5), h.percentile(0.99));  // p50 == p99
+}
+
+TEST(Log2HistogramPercentile, SingleBucketWithSpreadClampsToObservedRange) {
+  // Both values land in bucket [512, 1023]; interpolation alone would
+  // report 767.5 for p50, but nothing below 1000 was ever observed.
+  Log2Histogram h;
+  h.record(1000);
+  h.record(1023);
+  EXPECT_EQ(h.percentile(0.50), 1000.0);  // clamped up to min
+  EXPECT_EQ(h.percentile(0.99), 1023.0);
+}
+
+TEST(Log2HistogramPercentile, RepeatedValueKeepsP50EqualToP99) {
+  Log2Histogram h;
+  for (int i = 0; i < 3; ++i) h.record(6);
+  EXPECT_EQ(h.percentile(0.5), 6.0);
+  EXPECT_EQ(h.percentile(0.99), 6.0);
+}
+
+TEST(Log2HistogramPercentile, BucketUpperBoundariesAreRecoveredExactly) {
+  // One observation at each bucket UPPER boundary: the rank interpolation
+  // reaches frac = 1 inside each bucket, i.e. exactly the boundary value.
+  Log2Histogram h;
+  h.record(1);
+  h.record(3);
+  h.record(7);
+  h.record(15);
+  EXPECT_EQ(h.percentile(0.25), 1.0);
+  EXPECT_EQ(h.percentile(0.50), 3.0);
+  EXPECT_EQ(h.percentile(0.75), 7.0);
+  EXPECT_EQ(h.percentile(1.00), 15.0);
+}
+
+TEST(Log2HistogramPercentile, InterpolatesWithinAPartiallyFilledBucket) {
+  // Two observations in bucket [4, 7]: p50 targets rank 1 of 2, so the
+  // interpolated read is lo + 0.5 * (hi - lo) = 5.5 (inside [min, max]).
+  Log2Histogram h;
+  h.record(4);
+  h.record(7);
+  EXPECT_EQ(h.percentile(0.50), 5.5);
+  EXPECT_EQ(h.percentile(0.99), 7.0);
+}
+
+TEST(Log2HistogramPercentile, ZeroBucketBoundary) {
+  // 0 is its own bucket: p50 of {0, 1} reads the zero bucket exactly, and
+  // the next rank crosses into bucket [1, 1].
+  Log2Histogram h;
+  h.record(0);
+  h.record(1);
+  EXPECT_EQ(h.percentile(0.50), 0.0);
+  EXPECT_EQ(h.percentile(0.99), 1.0);
+}
+
+TEST(Log2HistogramPercentile, QuantilesAreMonotoneAndClampedToRange) {
+  Log2Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  double prev = h.percentile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = h.percentile(q);
+    EXPECT_GE(cur, prev);
+    EXPECT_GE(cur, 1.0);
+    EXPECT_LE(cur, 1000.0);
+    prev = cur;
+  }
+  // Out-of-range q is clamped, not undefined.
+  EXPECT_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(1.5), h.percentile(1.0));
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,225 @@
+// The convergence-monitoring determinism contract: a monitored batch run
+// (core/convergence.hpp) returns results BIT-IDENTICAL to the plain batch
+// of the same (seed, m) at any thread count and recording interval, and the
+// recorded trajectory itself is reproducible and exports as versioned JSON.
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/convergence.hpp"
+#include "core/parallel.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "obs/json.hpp"
+
+namespace overcount {
+namespace {
+
+Graph test_graph() {
+  Rng rng(77);
+  return largest_component(balanced_random_graph(400, rng));
+}
+
+TEST(TimeSeriesRecorder, RecordsPointsWithMetadata) {
+  TimeSeriesRecorder rec("random_tour", 400.0);
+  EXPECT_TRUE(rec.empty());
+  EXPECT_TRUE(rec.has_truth());
+  rec.record(10, 1000, 390.0, 0.5);
+  rec.record(20, 2100, 405.0, 0.3);
+  ASSERT_EQ(rec.points().size(), 2u);
+  EXPECT_EQ(rec.kind(), "random_tour");
+  EXPECT_EQ(rec.points()[0].walks, 10u);
+  EXPECT_EQ(rec.points()[1].steps, 2100u);
+  EXPECT_GE(rec.points()[1].wall_seconds, rec.points()[0].wall_seconds);
+
+  TimeSeriesRecorder no_truth("sample_collide");
+  EXPECT_FALSE(no_truth.has_truth());
+}
+
+TEST(TimeSeriesRecorder, SettledAtFindsLastEntryIntoTheBand) {
+  TimeSeriesRecorder rec("rt", 100.0);
+  rec.record(1, 0, 150.0, 0.0);  // outside 5%
+  rec.record(2, 0, 104.0, 0.0);  // inside
+  rec.record(3, 0, 120.0, 0.0);  // leaves again
+  rec.record(4, 0, 101.0, 0.0);  // inside for good
+  rec.record(5, 0, 103.0, 0.0);
+  EXPECT_EQ(rec.settled_at(0.05), 3u);
+  EXPECT_EQ(rec.settled_at(0.5), 0u);
+  EXPECT_EQ(rec.settled_at(0.001), rec.points().size());  // never settles
+
+  TimeSeriesRecorder no_truth("rt");
+  no_truth.record(1, 0, 100.0, 0.0);
+  EXPECT_EQ(no_truth.settled_at(0.05), no_truth.points().size());
+}
+
+TEST(TimeSeriesRecorder, JsonExportRoundTrips) {
+  TimeSeriesRecorder rec("random_tour", 400.0);
+  rec.record(10, 1234, 395.5, 0.25);
+  const std::string path = "/tmp/overcount_timeseries_test.json";
+  ASSERT_TRUE(write_timeseries_file(path, rec));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = parse_json(buffer.str());
+  EXPECT_EQ(doc.find("schema")->as_number(), 1.0);
+  EXPECT_EQ(doc.find("kind")->as_string(), "random_tour");
+  EXPECT_EQ(doc.find("truth")->as_number(), 400.0);
+  const JsonValue* points = doc.find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->as_array().size(), 1u);
+  const JsonValue& p = points->as_array()[0];
+  EXPECT_EQ(p.find("walks")->as_number(), 10.0);
+  EXPECT_EQ(p.find("steps")->as_number(), 1234.0);
+  EXPECT_EQ(p.find("estimate")->as_number(), 395.5);
+  EXPECT_EQ(p.find("half_width")->as_number(), 0.25);
+  std::remove(path.c_str());
+
+  // Unknown truth serialises as null, not NaN (which JSON cannot carry).
+  TimeSeriesRecorder no_truth("sc");
+  no_truth.record(1, 1, 1.0, 0.1);
+  std::ostringstream os;
+  JsonWriter w(os);
+  write_json(w, no_truth);
+  const JsonValue doc2 = parse_json(os.str());
+  EXPECT_TRUE(doc2.find("truth")->is_null());
+}
+
+TEST(ConvergenceRun, MonitoredToursBitIdenticalToPlainBatch) {
+  const Graph g = test_graph();
+  constexpr std::size_t kTours = 257;  // deliberately not interval-aligned
+  constexpr std::uint64_t kSeed = 21;
+  ParallelRunner base_runner(4);
+  const auto plain = run_tours_size(g, 0, kTours, kSeed, base_runner);
+
+  for (const unsigned threads : {1u, 8u}) {
+    for (const std::size_t interval : {std::size_t{0}, std::size_t{7}}) {
+      ParallelRunner runner(threads);
+      TimeSeriesRecorder rec;
+      ConvergenceOptions opts;
+      opts.interval = interval;
+      const auto monitored = run_tours_size_converging(g, 0, kTours, kSeed,
+                                                       runner, rec, opts);
+      EXPECT_EQ(monitored.sum, plain.sum);  // bitwise, not approximate
+      EXPECT_EQ(monitored.total_steps, plain.total_steps);
+      EXPECT_EQ(monitored.completed, plain.completed);
+      EXPECT_EQ(monitored.truncated, plain.truncated);
+      ASSERT_EQ(monitored.tours.size(), plain.tours.size());
+      for (std::size_t i = 0; i < kTours; ++i) {
+        EXPECT_EQ(monitored.tours[i].value, plain.tours[i].value);
+        EXPECT_EQ(monitored.tours[i].steps, plain.tours[i].steps);
+        EXPECT_EQ(monitored.tours[i].completed, plain.tours[i].completed);
+      }
+      // The final snapshot IS the batch estimate (same prefix reduction).
+      ASSERT_FALSE(rec.empty());
+      EXPECT_EQ(rec.points().back().walks, kTours);
+      EXPECT_EQ(rec.points().back().steps, plain.total_steps);
+      EXPECT_EQ(rec.points().back().estimate, plain.mean());
+    }
+  }
+}
+
+TEST(ConvergenceRun, TrajectoryIsIdenticalAcrossThreadCounts) {
+  const Graph g = test_graph();
+  ConvergenceOptions opts;
+  opts.interval = 16;
+  ParallelRunner one(1);
+  ParallelRunner many(8);
+  TimeSeriesRecorder rec_one;
+  TimeSeriesRecorder rec_many;
+  run_tours_size_converging(g, 0, 128, 5, one, rec_one, opts);
+  run_tours_size_converging(g, 0, 128, 5, many, rec_many, opts);
+  ASSERT_EQ(rec_one.points().size(), rec_many.points().size());
+  for (std::size_t i = 0; i < rec_one.points().size(); ++i) {
+    EXPECT_EQ(rec_one.points()[i].walks, rec_many.points()[i].walks);
+    EXPECT_EQ(rec_one.points()[i].steps, rec_many.points()[i].steps);
+    EXPECT_EQ(rec_one.points()[i].estimate, rec_many.points()[i].estimate);
+  }
+}
+
+TEST(ConvergenceRun, MonitoredScTrialsBitIdenticalToPlainBatch) {
+  const Graph g = test_graph();
+  constexpr std::size_t kTrials = 33;
+  constexpr std::size_t kEll = 8;
+  constexpr std::uint64_t kSeed = 33;
+  ParallelRunner base_runner(4);
+  const auto plain =
+      run_sc_trials(g, 0, kTrials, 5.0, kEll, kSeed, base_runner);
+
+  for (const unsigned threads : {1u, 8u}) {
+    ParallelRunner runner(threads);
+    TimeSeriesRecorder rec;
+    ConvergenceOptions opts;
+    opts.interval = 5;
+    const auto monitored = run_sc_converging(g, 0, kTrials, 5.0, kEll, kSeed,
+                                             runner, rec, opts);
+    EXPECT_EQ(monitored.sum_simple, plain.sum_simple);
+    EXPECT_EQ(monitored.sum_ml, plain.sum_ml);
+    EXPECT_EQ(monitored.total_hops, plain.total_hops);
+    ASSERT_EQ(monitored.trials.size(), plain.trials.size());
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      EXPECT_EQ(monitored.trials[i].simple, plain.trials[i].simple);
+      EXPECT_EQ(monitored.trials[i].ml, plain.trials[i].ml);
+      EXPECT_EQ(monitored.trials[i].hops, plain.trials[i].hops);
+    }
+    ASSERT_FALSE(rec.empty());
+    EXPECT_EQ(rec.points().back().walks, kTrials);
+    EXPECT_EQ(rec.points().back().estimate, plain.mean_simple());
+  }
+}
+
+TEST(ConvergenceRun, RecordsTheoryHalfWidthsWhenInputsKnown) {
+  const Graph g = test_graph();
+  ParallelRunner runner(2);
+  ConvergenceOptions opts;
+  opts.interval = 32;
+  opts.lambda2 = 0.2;
+  opts.avg_degree =
+      2.0 * static_cast<double>(g.num_edges()) /
+      static_cast<double>(g.num_nodes());
+  opts.truth = static_cast<double>(g.num_nodes());
+  TimeSeriesRecorder rec;
+  run_tours_size_converging(g, 0, 128, 9, runner, rec, opts);
+  ASSERT_GE(rec.points().size(), 2u);
+  EXPECT_EQ(rec.kind(), "random_tour");
+  EXPECT_TRUE(rec.has_truth());
+  std::uint64_t prev_walks = 0;
+  for (const auto& p : rec.points()) {
+    EXPECT_GT(p.walks, prev_walks);  // strictly increasing snapshots
+    prev_walks = p.walks;
+    EXPECT_TRUE(std::isfinite(p.half_width));
+    // eps(m) = sqrt(2 d_bar / (lambda2 m delta)), checked literally.
+    const double expected =
+        std::sqrt(2.0 * opts.avg_degree /
+                  (opts.lambda2 * static_cast<double>(p.walks) * opts.delta));
+    EXPECT_DOUBLE_EQ(p.half_width, expected);
+  }
+  // Half-widths shrink as walks accumulate.
+  EXPECT_LT(rec.points().back().half_width, rec.points().front().half_width);
+
+  // Without theory inputs the half-width is NaN but the trajectory stands.
+  TimeSeriesRecorder bare_rec;
+  run_tours_size_converging(g, 0, 64, 9, runner, bare_rec);
+  ASSERT_FALSE(bare_rec.empty());
+  EXPECT_TRUE(std::isnan(bare_rec.points().front().half_width));
+  EXPECT_FALSE(bare_rec.has_truth());
+
+  // S&C half-width is 1.96/sqrt(ell k).
+  TimeSeriesRecorder sc_rec;
+  ConvergenceOptions sc_opts;
+  sc_opts.interval = 4;
+  run_sc_converging(g, 0, 12, 5.0, 8, 3, runner, sc_rec, sc_opts);
+  ASSERT_FALSE(sc_rec.empty());
+  EXPECT_EQ(sc_rec.kind(), "sample_collide");
+  const auto& last = sc_rec.points().back();
+  EXPECT_DOUBLE_EQ(last.half_width, 1.96 / std::sqrt(8.0 * 12.0));
+}
+
+}  // namespace
+}  // namespace overcount

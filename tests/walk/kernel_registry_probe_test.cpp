@@ -1,0 +1,149 @@
+// Satellite of the introspection layer: driving RegistryProbes through the
+// interleaved walk kernels must stream EXACTLY the metrics the scalar walks
+// stream. Counters and histogram buckets are order-independent integer sums,
+// so they compare bitwise at any width; the one double gauge (CTRW sojourn
+// time) is accumulated in lane-interleaved order by the kernels, so it is
+// compared to within floating-point reassociation tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/random_tour.hpp"
+#include "core/sample_collide.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "walk/kernel.hpp"
+
+namespace overcount {
+namespace {
+
+Graph test_graph() {
+  Rng rng(77);
+  return largest_component(balanced_random_graph(400, rng));
+}
+
+std::vector<RegistryProbe> make_probes(MetricsRegistry& registry,
+                                       std::size_t n) {
+  std::vector<RegistryProbe> probes;
+  probes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) probes.emplace_back(registry, "walk");
+  return probes;
+}
+
+void expect_snapshots_match(const MetricsSnapshot& scalar,
+                            const MetricsSnapshot& kernel,
+                            bool exact_gauges) {
+  ASSERT_EQ(scalar.counters.size(), kernel.counters.size());
+  for (std::size_t i = 0; i < scalar.counters.size(); ++i) {
+    EXPECT_EQ(scalar.counters[i].first, kernel.counters[i].first);
+    EXPECT_EQ(scalar.counters[i].second, kernel.counters[i].second)
+        << scalar.counters[i].first;
+  }
+  ASSERT_EQ(scalar.histograms.size(), kernel.histograms.size());
+  for (std::size_t i = 0; i < scalar.histograms.size(); ++i) {
+    EXPECT_EQ(scalar.histograms[i].first, kernel.histograms[i].first);
+    const Log2Histogram& a = scalar.histograms[i].second;
+    const Log2Histogram& b = kernel.histograms[i].second;
+    EXPECT_EQ(a.count, b.count) << scalar.histograms[i].first;
+    EXPECT_EQ(a.sum, b.sum) << scalar.histograms[i].first;
+    EXPECT_EQ(a.min, b.min) << scalar.histograms[i].first;
+    EXPECT_EQ(a.max, b.max) << scalar.histograms[i].first;
+    for (std::size_t k = 0; k < Log2Histogram::kBuckets; ++k)
+      EXPECT_EQ(a.buckets[k], b.buckets[k]) << scalar.histograms[i].first;
+  }
+  ASSERT_EQ(scalar.gauges.size(), kernel.gauges.size());
+  for (std::size_t i = 0; i < scalar.gauges.size(); ++i) {
+    EXPECT_EQ(scalar.gauges[i].first, kernel.gauges[i].first);
+    const double a = scalar.gauges[i].second;
+    const double b = kernel.gauges[i].second;
+    if (exact_gauges) {
+      EXPECT_EQ(a, b) << scalar.gauges[i].first;
+    } else {
+      EXPECT_NEAR(a, b, 1e-9 * std::max(1.0, std::abs(a)))
+          << scalar.gauges[i].first;
+    }
+  }
+}
+
+TEST(KernelRegistryProbe, TourKernelStreamsScalarMetricsAtAnyWidth) {
+  const Graph g = test_graph();
+  constexpr std::size_t kWalks = 48;
+  constexpr std::uint64_t kSeed = 5;
+  auto f = [](NodeId) { return 1.0; };
+
+  MetricsRegistry scalar_registry;
+  std::vector<TourEstimate> scalar_out(kWalks);
+  {
+    auto streams = derive_streams(kSeed, kWalks);
+    auto probes = make_probes(scalar_registry, kWalks);
+    for (std::size_t i = 0; i < kWalks; ++i)
+      scalar_out[i] = random_tour(g, 0, f, streams[i], ~0ULL, probes[i]);
+  }
+  const auto scalar_snap = scalar_registry.snapshot();
+  EXPECT_EQ(scalar_snap.counter_or_zero("walk.tours"), kWalks);
+
+  for (const std::size_t width : {std::size_t{1}, std::size_t{16}}) {
+    MetricsRegistry registry;
+    auto streams = derive_streams(kSeed, kWalks);
+    auto probes = make_probes(registry, kWalks);
+    std::vector<TourEstimate> out(kWalks);
+    tour_kernel(g, 0, f, std::span<Rng>(streams),
+                std::span<TourEstimate>(out), width, ~0ULL,
+                std::span<RegistryProbe>(probes));
+    for (std::size_t i = 0; i < kWalks; ++i) {
+      EXPECT_EQ(out[i].value, scalar_out[i].value);  // bitwise
+      EXPECT_EQ(out[i].steps, scalar_out[i].steps);
+    }
+    // Tours never touch the sojourn gauge, so even gauges compare bitwise.
+    expect_snapshots_match(scalar_snap, registry.snapshot(),
+                           /*exact_gauges=*/true);
+  }
+}
+
+TEST(KernelRegistryProbe, ScKernelStreamsScalarMetricsAtAnyWidth) {
+  const Graph g = test_graph();
+  constexpr std::size_t kTrials = 12;
+  constexpr std::size_t kEll = 6;
+  constexpr double kTimer = 5.0;
+  constexpr std::uint64_t kSeed = 23;
+
+  MetricsRegistry scalar_registry;
+  std::vector<ScEstimate> scalar_out(kTrials);
+  {
+    auto streams = derive_streams(kSeed, kTrials);
+    auto probes = make_probes(scalar_registry, kTrials);
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      SampleCollideEstimator estimator(g, 0, kTimer, kEll, streams[i]);
+      scalar_out[i] = estimator.estimate(probes[i]);
+    }
+  }
+  const auto scalar_snap = scalar_registry.snapshot();
+  EXPECT_EQ(scalar_snap.counter_or_zero("walk.collisions"), kTrials * kEll);
+
+  for (const std::size_t width : {std::size_t{1}, std::size_t{16}}) {
+    MetricsRegistry registry;
+    auto streams = derive_streams(kSeed, kTrials);
+    auto probes = make_probes(registry, kTrials);
+    std::vector<ScTrialRaw> raw(kTrials);
+    sc_kernel(g, 0, kTimer, kEll, std::span<Rng>(streams),
+              std::span<ScTrialRaw>(raw), width,
+              std::span<RegistryProbe>(probes));
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      EXPECT_EQ(raw[i].samples, scalar_out[i].samples);
+      EXPECT_EQ(raw[i].hops, scalar_out[i].hops);
+    }
+    // The sojourn gauge sums doubles in interleaved lane order; everything
+    // else is integer arithmetic and must match bitwise.
+    expect_snapshots_match(scalar_snap, registry.snapshot(),
+                           /*exact_gauges=*/false);
+  }
+}
+
+}  // namespace
+}  // namespace overcount
