@@ -1,0 +1,226 @@
+// Serving-layer bench: request latency percentiles and cache behaviour of
+// the EstimateService under concurrent mixed load (size + degree-sum,
+// Random Tour + Sample & Collide, spread accuracy targets) over a lightly
+// churning overlay. The headline values — serve.request_latency_p50_us /
+// _p99_us (lower-is-better in baseline diffs) and serve.cache_hit_ratio —
+// land in BENCH_serve.json for validate_bench_json.py.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "serve/service.hpp"
+#include "serve/source.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+}  // namespace
+
+int main() {
+  using namespace overcount;
+  using namespace overcount::bench;
+
+  preamble("serve",
+           "estimate-serving broker: latency percentiles, cache hit ratio "
+           "and load-shedding under concurrent mixed queries");
+  paper_note(
+      "each query's (eps, delta) target is inverted into a tour budget via "
+      "eps = sqrt(2 d_bar / (lambda2 m delta)) (Prop. 2), so serving cost "
+      "tracks the requested accuracy, not the caller count");
+
+  Rng master(master_seed());
+  Rng graph_rng = master.split();
+  Rng churn_rng = master.split();
+  DynamicGraph graph(make_balanced(graph_rng));
+  std::mutex graph_mutex;
+  const std::size_t base_alive = graph.num_alive();
+
+  ServiceConfig config;
+  config.threads = worker_threads();
+  config.queue_capacity = 64;
+  config.freshness.base_ttl_us = 2'000'000;
+  config.seed = master_seed() + 1;
+  EstimateService service(dynamic_graph_source(graph, graph_mutex), config);
+
+  const int clients = 4;
+  const int per_client = static_cast<int>(runs(150));
+
+  std::atomic<bool> churning{true};
+  std::thread churn([&] {
+    Rng local = churn_rng;
+    while (churning.load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard lock(graph_mutex);
+        churn_join(graph, TopologyKind::kBalanced, local, 3, 10);
+        if (graph.num_alive() > base_alive) churn_leave(graph, local);
+      }
+      // Slow enough that versions survive a few batches: the bench measures
+      // both the miss path (fresh batches) and the hit path (cached serves).
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    }
+  });
+
+  struct ClientTally {
+    std::vector<double> latencies_us;       ///< every kOk response
+    std::vector<double> miss_latencies_us;  ///< kOk responses that ran walks
+    std::uint64_t ok = 0, hits = 0, coalesced = 0, rejected = 0,
+                  deadline_missed = 0, failed = 0;
+  };
+  std::vector<ClientTally> tallies(clients);
+
+  auto client = [&](int id) {
+    ClientTally& t = tallies[static_cast<std::size_t>(id)];
+    t.latencies_us.reserve(static_cast<std::size_t>(per_client));
+    for (int q = 0; q < per_client; ++q) {
+      EstimateRequest req;
+      switch ((id + q) % 4) {
+        case 0:
+          req = EstimateRequest{QueryKind::kSize,
+                                EstimateMethod::kRandomTour, 0.3, 0.2};
+          break;
+        case 1:
+          req = EstimateRequest{QueryKind::kDegreeSum,
+                                EstimateMethod::kRandomTour, 0.4, 0.2};
+          break;
+        case 2:
+          req = EstimateRequest{QueryKind::kSize,
+                                EstimateMethod::kRandomTour, 0.2, 0.1};
+          break;
+        default:
+          req = EstimateRequest{QueryKind::kSize,
+                                EstimateMethod::kSampleCollide, 0.5, 0.3};
+          break;
+      }
+      const EstimateResponse resp = service.query(req);
+      switch (resp.status) {
+        case ServeStatus::kOk:
+          ++t.ok;
+          t.latencies_us.push_back(static_cast<double>(resp.latency_us));
+          if (!resp.cache_hit)
+            t.miss_latencies_us.push_back(static_cast<double>(resp.latency_us));
+          if (resp.cache_hit) ++t.hits;
+          if (resp.coalesced) ++t.coalesced;
+          break;
+        case ServeStatus::kRejected:
+          ++t.rejected;
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              std::min<std::uint64_t>(resp.retry_after_us, 20'000)));
+          break;
+        case ServeStatus::kDeadlineMiss:
+          ++t.deadline_missed;
+          break;
+        case ServeStatus::kFailed:
+          ++t.failed;
+          break;
+      }
+    }
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  SerialTimer load_timer;
+  std::vector<std::thread> workers;
+  for (int id = 0; id < clients; ++id) workers.emplace_back(client, id);
+  for (auto& w : workers) w.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  churning.store(false, std::memory_order_relaxed);
+  churn.join();
+  service.stop();
+
+  ClientTally total;
+  for (const ClientTally& t : tallies) {
+    total.ok += t.ok;
+    total.hits += t.hits;
+    total.coalesced += t.coalesced;
+    total.rejected += t.rejected;
+    total.deadline_missed += t.deadline_missed;
+    total.failed += t.failed;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              t.latencies_us.begin(), t.latencies_us.end());
+    total.miss_latencies_us.insert(total.miss_latencies_us.end(),
+                                   t.miss_latencies_us.begin(),
+                                   t.miss_latencies_us.end());
+  }
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+  std::sort(total.miss_latencies_us.begin(), total.miss_latencies_us.end());
+  const double p50 = percentile(total.latencies_us, 0.50);
+  const double p90 = percentile(total.latencies_us, 0.90);
+  const double p99 = percentile(total.latencies_us, 0.99);
+  const double miss_p50 = percentile(total.miss_latencies_us, 0.50);
+  const double miss_p99 = percentile(total.miss_latencies_us, 0.99);
+  const double hit_ratio =
+      total.ok > 0 ? static_cast<double>(total.hits) /
+                         static_cast<double>(total.ok)
+                   : 0.0;
+  const auto snap = service.metrics().snapshot();
+  const double batches = snap.counter_or_zero("serve.batches");
+  const double walks = snap.counter_or_zero("serve.walks");
+  const double steps = snap.counter_or_zero("serve.steps");
+  const double queries =
+      static_cast<double>(clients) * static_cast<double>(per_client);
+
+  // The runtime-counter row for the whole serving run: tasks = successful
+  // responses, steps = walk steps the broker actually spent. Clients block
+  // on futures, so parallel efficiency here reflects the broker, not them.
+  emit_batch("serve.load",
+             load_timer.finish(static_cast<std::size_t>(total.ok),
+                               static_cast<std::uint64_t>(steps)));
+  Log2Histogram latency_hist;
+  for (double v : total.latencies_us)
+    latency_hist.record(static_cast<std::uint64_t>(v));
+  emit_histogram("serve.request_latency_us", latency_hist);
+  Log2Histogram miss_hist;
+  for (double v : total.miss_latencies_us)
+    miss_hist.record(static_cast<std::uint64_t>(v));
+  emit_histogram("serve.miss_latency_us", miss_hist);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"queries", format_double(queries, 0)});
+  table.add_row({"ok", format_double(static_cast<double>(total.ok), 0)});
+  table.add_row({"cache hit ratio", format_double(hit_ratio, 3)});
+  table.add_row(
+      {"coalesced", format_double(static_cast<double>(total.coalesced), 0)});
+  table.add_row(
+      {"rejected", format_double(static_cast<double>(total.rejected), 0)});
+  table.add_row({"failed",
+                 format_double(static_cast<double>(total.failed), 0)});
+  table.add_row({"latency p50 (us)", format_double(p50, 0)});
+  table.add_row({"latency p90 (us)", format_double(p90, 0)});
+  table.add_row({"latency p99 (us)", format_double(p99, 0)});
+  table.add_row({"miss latency p50 (us)", format_double(miss_p50, 0)});
+  table.add_row({"miss latency p99 (us)", format_double(miss_p99, 0)});
+  table.add_row({"batches run", format_double(batches, 0)});
+  table.add_row({"walks spent", format_double(walks, 0)});
+  table.print(std::cout);
+
+  record_value("serve.queries", queries);
+  record_value("serve.ok", static_cast<double>(total.ok));
+  record_value("serve.request_latency_p50_us", p50);
+  record_value("serve.request_latency_p90_us", p90);
+  record_value("serve.request_latency_p99_us", p99);
+  record_value("serve.miss_latency_p50_us", miss_p50);
+  record_value("serve.miss_latency_p99_us", miss_p99);
+  record_value("serve.cache_hit_ratio", hit_ratio);
+  record_value("serve.coalesced", static_cast<double>(total.coalesced));
+  record_value("serve.rejected", static_cast<double>(total.rejected));
+  record_value("serve.failed", static_cast<double>(total.failed));
+  record_value("serve.batches", batches);
+  record_value("serve.walks", walks);
+  record_value("serve.throughput_qps", wall_s > 0.0 ? queries / wall_s : 0.0);
+  return total.failed == 0 ? 0 : 1;
+}

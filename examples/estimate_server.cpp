@@ -1,0 +1,208 @@
+// Estimate serving end to end: an EstimateService brokering concurrent
+// size/aggregate queries over a CHURNING overlay, observable over HTTP
+// while it runs.
+//
+// Four client threads fire mixed queries — size and degree-sum, Random
+// Tour and Sample & Collide, various (epsilon, delta) targets, deadlines
+// attached — while a churn thread joins and removes peers under the graph
+// mutex. The service translates each accuracy target into a walk budget
+// (paper Section 3.4 / Section 4), serves repeats from its freshness-aware
+// cache, coalesces identical concurrent misses into single batches, and
+// load-sheds when the bounded queue fills. A MetricsHttpServer exports the
+// serve.* family live; /readyz reports 503 until the service has warmed
+// (first batch landed), then 200 — distinct from /healthz liveness.
+//
+//   $ ./estimate_server                          # full load, ephemeral port
+//   $ OVERCOUNT_SERVE_FAST=1 ./estimate_server   # CI smoke shape
+//   $ OVERCOUNT_METRICS_PORT=9464 ./estimate_server &
+//   $ curl -s localhost:9464/metrics | grep serve_
+//   $ curl -s -o /dev/null -w '%{http_code}\n' localhost:9464/readyz
+//
+// Exit code: non-zero when responses with deadlines miss more often than
+// OVERCOUNT_SERVE_DEADLINE_BUDGET allows (default: unlimited; the CI
+// serve-smoke job sets 0 in fast mode — generous deadlines, so a miss
+// means the broker stalled, not that the machine was slow).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "obs/expose.hpp"
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+#include "serve/source.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return static_cast<std::uint64_t>(std::strtoull(raw, nullptr, 10));
+}
+
+}  // namespace
+
+int main() {
+  using namespace overcount;
+
+  const bool fast = env_u64("OVERCOUNT_SERVE_FAST", 0) != 0;
+  const std::size_t nodes = fast ? 500 : 2000;
+  const int clients = 4;
+  const int queries_per_client = fast ? 24 : 120;
+  // ~0 = no budget enforced; the CI smoke job sets 0.
+  const std::uint64_t miss_budget =
+      env_u64("OVERCOUNT_SERVE_DEADLINE_BUDGET", ~0ULL);
+
+  Rng rng(77);
+  Rng build_rng = rng.split();
+  Rng churn_rng = rng.split();
+  DynamicGraph graph(balanced_random_graph(nodes, build_rng));
+  std::mutex graph_mutex;
+
+  MetricsRegistry registry;
+  ServiceConfig config;
+  config.queue_capacity = 32;
+  config.freshness.base_ttl_us = 2'000'000;
+  config.refresh_period_us = fast ? 0 : 250'000;  // background refresher
+  config.seed = 78;
+  config.metrics = &registry;
+  EstimateService service(dynamic_graph_source(graph, graph_mutex), config);
+
+  // Export the same registry the service writes into; readiness = warmed.
+  MetricsHttpServer http(registry,
+                         static_cast<std::uint16_t>(
+                             env_u64("OVERCOUNT_METRICS_PORT", 0)));
+  http.set_ready_check([&service] { return service.warmed(); });
+  std::cerr << "# metrics: http://127.0.0.1:" << http.port()
+            << "/metrics — /readyz 503 until the first batch lands\n";
+
+  std::atomic<bool> churning{true};
+  std::thread churn([&] {
+    Rng local = churn_rng;
+    while (churning.load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard lock(graph_mutex);
+        churn_join(graph, TopologyKind::kBalanced, local, 3, 10);
+        if (graph.num_alive() > nodes) churn_leave(graph, local);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(fast ? 60 : 25));
+    }
+  });
+
+  struct Tally {
+    std::atomic<std::uint64_t> ok{0}, hits{0}, coalesced{0}, rejected{0},
+        deadline_missed{0}, failed{0}, latency_sum_us{0};
+  };
+  Tally tally;
+
+  auto client = [&](int id) {
+    for (int q = 0; q < queries_per_client; ++q) {
+      EstimateRequest req;
+      switch ((id + q) % 4) {
+        case 0:  // the common cheap ask: cached size, loose target
+          req = EstimateRequest{QueryKind::kSize,
+                                EstimateMethod::kRandomTour, 0.3, 0.2};
+          break;
+        case 1:  // aggregate query over the same machinery
+          req = EstimateRequest{QueryKind::kDegreeSum,
+                                EstimateMethod::kRandomTour, 0.4, 0.2};
+          break;
+        case 2:  // tighter target: bigger budget, cache rarely suffices
+          req = EstimateRequest{QueryKind::kSize,
+                                EstimateMethod::kRandomTour, 0.2, 0.1};
+          break;
+        default:  // the paper's other estimator
+          req = EstimateRequest{QueryKind::kSize,
+                                EstimateMethod::kSampleCollide, 0.5, 0.3};
+          break;
+      }
+      // Generous deadline: a miss means the broker stalled, not load.
+      req.deadline_us = service.now_us() + 10'000'000;
+      const EstimateResponse resp = service.query(req);
+      switch (resp.status) {
+        case ServeStatus::kOk:
+          tally.ok.fetch_add(1);
+          tally.latency_sum_us.fetch_add(resp.latency_us);
+          if (resp.cache_hit) tally.hits.fetch_add(1);
+          if (resp.coalesced) tally.coalesced.fetch_add(1);
+          break;
+        case ServeStatus::kRejected:
+          tally.rejected.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              std::min<std::uint64_t>(resp.retry_after_us, 50'000)));
+          break;
+        case ServeStatus::kDeadlineMiss:
+          tally.deadline_missed.fetch_add(1);
+          break;
+        case ServeStatus::kFailed:
+          tally.failed.fetch_add(1);
+          break;
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  for (int id = 0; id < clients; ++id) workers.emplace_back(client, id);
+  for (auto& w : workers) w.join();
+  churning.store(false, std::memory_order_relaxed);
+  churn.join();
+  service.stop();
+
+  const auto snap = registry.snapshot();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(clients) * queries_per_client;
+  std::cout << "queries          " << total << "\n"
+            << "ok               " << tally.ok.load() << "\n"
+            << "cache hits       " << tally.hits.load() << "\n"
+            << "coalesced        " << tally.coalesced.load() << "\n"
+            << "rejected (shed)  " << tally.rejected.load() << "\n"
+            << "deadline missed  " << tally.deadline_missed.load() << "\n"
+            << "failed           " << tally.failed.load() << "\n"
+            << "batches run      " << snap.counter_or_zero("serve.batches")
+            << "\n"
+            << "walks spent      " << snap.counter_or_zero("serve.walks")
+            << "\n"
+            << "refreshes        " << snap.counter_or_zero("serve.refreshes")
+            << "\n"
+            << "invalidations    "
+            << snap.counter_or_zero("serve.cache_invalidations") << "\n";
+  if (tally.ok.load() > 0)
+    std::cout << "mean ok latency  "
+              << tally.latency_sum_us.load() / tally.ok.load() << " us\n";
+
+  std::cout << "\nserve.* exposition (GET /metrics):\n";
+  const std::string metrics = http_get_body(http.port(), "/metrics");
+  std::istringstream lines(metrics);
+  for (std::string line; std::getline(lines, line);)
+    if (line.rfind("serve_", 0) == 0 ||
+        line.rfind("# TYPE serve_", 0) == 0)
+      std::cout << line << '\n';
+
+  int readyz_status = 0;
+  http_get_body(http.port(), "/readyz", &readyz_status);
+  std::cout << "\n/readyz after warm-up: " << readyz_status << "\n";
+
+  if (tally.ok.load() == 0) {
+    std::cerr << "error: no query succeeded\n";
+    return 1;
+  }
+  if (readyz_status != 200) {
+    std::cerr << "error: /readyz not 200 after warm-up\n";
+    return 1;
+  }
+  if (miss_budget != ~0ULL && tally.deadline_missed.load() > miss_budget) {
+    std::cerr << "error: " << tally.deadline_missed.load()
+              << " deadline misses exceed budget " << miss_budget << "\n";
+    return 1;
+  }
+  return 0;
+}

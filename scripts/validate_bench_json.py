@@ -18,8 +18,11 @@ counters of the artifact with the same bench name as the baseline file
 against the baseline's values, with a per-counter relative tolerance.
 Throughput counters (names ending in `per_second` or containing
 `speedup`) are higher-is-better: they fail only when the current value
-drops more than `--tolerance` below baseline. All other matched counters
-fail when they deviate from baseline by more than the tolerance in either
+drops more than `--tolerance` below baseline. Latency counters (names
+containing `latency`, e.g. the serve layer's request-latency percentiles)
+are lower-is-better: they fail only when the current value rises more
+than the tolerance above baseline. All other matched counters fail when
+they deviate from baseline by more than the tolerance in either
 direction. Counters matched by --counters that the CURRENT artifact adds
 but the baseline lacks are printed as informational `new` lines and never
 fail the diff, so a bench can grow instrumentation without forcing a
@@ -146,6 +149,10 @@ def higher_is_better(counter):
     return counter.endswith("per_second") or "speedup" in counter
 
 
+def lower_is_better(counter):
+    return "latency" in counter
+
+
 def diff_against_baseline(files, baseline_path, counter_re, tolerance):
     """Compares matched `values` counters against the committed baseline.
 
@@ -184,6 +191,8 @@ def diff_against_baseline(files, baseline_path, counter_re, tolerance):
         rel = (cur - base) / abs(base)
         if higher_is_better(key):
             ok = rel >= -tolerance  # only a drop is a regression
+        elif lower_is_better(key):
+            ok = rel <= tolerance  # only a rise is a regression
         else:
             ok = abs(rel) <= tolerance
         marker = "ok  " if ok else "FAIL"

@@ -41,6 +41,7 @@ NodeId DynamicGraph::add_node(std::span<const NodeId> targets) {
   alive_.push_back(true);
   alive_pos_.push_back(alive_list_.size());
   alive_list_.push_back(v);
+  ++version_;
   for (NodeId t : targets) add_edge(v, t);
   return v;
 }
@@ -52,6 +53,7 @@ void DynamicGraph::add_edge(NodeId u, NodeId v) {
   adjacency_[u].push_back(v);
   adjacency_[v].push_back(u);
   ++num_edges_;
+  ++version_;
 }
 
 void DynamicGraph::erase_directed(NodeId from, NodeId to) {
@@ -67,6 +69,7 @@ void DynamicGraph::remove_edge(NodeId u, NodeId v) {
   erase_directed(u, v);
   erase_directed(v, u);
   --num_edges_;
+  ++version_;
 }
 
 void DynamicGraph::remove_node(NodeId v) {
@@ -82,6 +85,7 @@ void DynamicGraph::remove_node(NodeId v) {
   alive_list_[pos] = last;
   alive_pos_[last] = pos;
   alive_list_.pop_back();
+  ++version_;
 }
 
 NodeId DynamicGraph::random_alive_node(Rng& rng) const {

@@ -47,6 +47,14 @@ class DynamicGraph {
 
   bool has_edge(NodeId u, NodeId v) const;
 
+  /// Monotonically increasing topology version: bumped once by every
+  /// mutation (add_node counts its edges too — one bump per add_edge it
+  /// performs plus one for the node). Two equal versions therefore mean
+  /// the topology is unchanged, so a consumer that snapshots the graph can
+  /// detect staleness by comparing versions (the serve-layer cache keys its
+  /// invalidation on exactly this).
+  std::uint64_t version() const noexcept { return version_; }
+
   /// Adds an alive node connected to `targets` (all must be alive, distinct,
   /// and not equal to the new node). Returns the new node's id.
   NodeId add_node(std::span<const NodeId> targets);
@@ -86,6 +94,7 @@ class DynamicGraph {
   std::vector<NodeId> alive_list_;      // ids of alive nodes
   std::vector<std::size_t> alive_pos_;  // v -> index in alive_list_
   std::size_t num_edges_ = 0;
+  std::uint64_t version_ = 0;
 
   void erase_directed(NodeId from, NodeId to);
 };

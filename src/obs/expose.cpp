@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +21,44 @@
 namespace overcount {
 
 namespace {
+
+/// Reads from `fd` until the HTTP header terminator, the buffer cap, EOF,
+/// or ~2 s of client silence — a slow client trickling its request one
+/// byte at a time cannot hold the serving thread hostage, and a request
+/// split across packets (perfectly legal TCP) is reassembled instead of
+/// being misparsed from its first fragment.
+std::string read_request(int fd) {
+  std::string request;
+  char buf[2048];
+  for (int rounds = 0; rounds < 20; ++rounds) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) break;  // silence or error: parse what we have
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    request.append(buf, static_cast<std::size_t>(got));
+    if (request.find("\r\n\r\n") != std::string::npos) break;
+    if (request.size() > 16 * 1024) break;  // header cap; answer 400 below
+  }
+  return request;
+}
+
+/// Sends the whole buffer, retrying short writes and EINTR; MSG_NOSIGNAL
+/// turns a client that hung up mid-response into an EPIPE error instead of
+/// a process-killing SIGPIPE. Returns false when the client is gone.
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
 
 /// Shortest round-trip decimal for a gauge value (the same contract the
 /// JSON writer uses); NaN renders as Prometheus' literal "NaN".
@@ -135,15 +174,18 @@ void MetricsHttpServer::serve_loop() {
   }
 }
 
+void MetricsHttpServer::set_ready_check(std::function<bool()> ready) {
+  std::lock_guard lock(ready_mutex_);
+  ready_check_ = std::move(ready);
+}
+
 void MetricsHttpServer::handle_connection(int client_fd) {
-  char buf[2048];
-  const ssize_t got = ::recv(client_fd, buf, sizeof(buf) - 1, 0);
-  if (got <= 0) return;
-  buf[got] = '\0';
+  const std::string request = read_request(client_fd);
+  if (request.empty()) return;
   // "GET <path> HTTP/1.x" — everything else 400s.
   std::string method, path;
   {
-    std::istringstream line(std::string(buf, static_cast<std::size_t>(got)));
+    std::istringstream line(request);
     line >> method >> path;
   }
   std::string status = "200 OK";
@@ -164,22 +206,27 @@ void MetricsHttpServer::handle_connection(int client_fd) {
     body = os.str();
   } else if (path == "/healthz") {
     body = "ok\n";
+  } else if (path == "/readyz") {
+    std::function<bool()> check;
+    {
+      std::lock_guard lock(ready_mutex_);
+      check = ready_check_;
+    }
+    if (!check || check()) {
+      body = "ready\n";
+    } else {
+      status = "503 Service Unavailable";
+      body = "warming\n";
+    }
   } else {
     status = "404 Not Found";
-    body = "routes: /metrics /snapshot.json /healthz\n";
+    body = "routes: /metrics /snapshot.json /healthz /readyz\n";
   }
-  std::string response = "HTTP/1.1 " + status +
-                         "\r\nContent-Type: " + content_type +
-                         "\r\nContent-Length: " + std::to_string(body.size()) +
-                         "\r\nConnection: close\r\n\r\n" +
-                         body;
-  std::size_t sent = 0;
-  while (sent < response.size()) {
-    const ssize_t n = ::send(client_fd, response.data() + sent,
-                             response.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) break;
-    sent += static_cast<std::size_t>(n);
-  }
+  const std::string response =
+      "HTTP/1.1 " + status + "\r\nContent-Type: " + content_type +
+      "\r\nContent-Length: " + std::to_string(body.size()) +
+      "\r\nConnection: close\r\n\r\n" + body;
+  send_all(client_fd, response);
   served_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -207,7 +254,9 @@ std::unique_ptr<MetricsHttpServer> maybe_serve_metrics(
   }
 }
 
-std::string http_get_body(std::uint16_t port, const std::string& path) {
+std::string http_get_body(std::uint16_t port, const std::string& path,
+                          int* status_out) {
+  if (status_out != nullptr) *status_out = 0;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return {};
   sockaddr_in addr{};
@@ -221,15 +270,9 @@ std::string http_get_body(std::uint16_t port, const std::string& path) {
   }
   const std::string request =
       "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
-  std::size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      ::close(fd);
-      return {};
-    }
-    sent += static_cast<std::size_t>(n);
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    return {};
   }
   std::string response;
   char buf[4096];
@@ -241,6 +284,12 @@ std::string http_get_body(std::uint16_t port, const std::string& path) {
   ::close(fd);
   const std::size_t split = response.find("\r\n\r\n");
   if (split == std::string::npos) return {};
+  if (status_out != nullptr) {
+    // "HTTP/1.x NNN ..." — the code sits after the first space.
+    const std::size_t space = response.find(' ');
+    if (space != std::string::npos && space + 4 <= split)
+      *status_out = std::atoi(response.c_str() + space + 1);
+  }
   return response.substr(split + 4);
 }
 

@@ -22,7 +22,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -43,10 +45,19 @@ std::string prometheus_name(const std::string& name);
 /// Minimal blocking HTTP/1.1 server exposing one MetricsRegistry. Routes:
 ///   GET /metrics        text/plain; version=0.0.4  (render_prometheus)
 ///   GET /snapshot.json  application/json           (obs/export write_json)
-///   GET /healthz        "ok"
+///   GET /healthz        "ok" — liveness: the serving thread is up
+///   GET /readyz         readiness: 200 "ready" when the ready check (see
+///                       set_ready_check) passes, 503 "warming" otherwise.
+///                       Distinct from /healthz so a warming process (e.g.
+///                       an estimate server with an empty cache) reports
+///                       "loaded but not yet serving" without being killed
+///                       by a liveness probe.
 /// Anything else answers 404. One serving thread, one request per
 /// connection; stop() (and the destructor) joins the thread within one
-/// poll interval (~100 ms).
+/// poll interval (~100 ms). Slow or misbehaving clients cannot wedge or
+/// kill the server: requests are read with a bounded poll deadline, writes
+/// retry on EINTR and partial sends, and every send uses MSG_NOSIGNAL so a
+/// client that closes mid-response never raises SIGPIPE.
 class MetricsHttpServer {
  public:
   /// Binds 127.0.0.1:`port` (port 0 = ephemeral) and starts serving.
@@ -56,6 +67,14 @@ class MetricsHttpServer {
 
   MetricsHttpServer(const MetricsHttpServer&) = delete;
   MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Installs the /readyz predicate. Called from the serving thread on
+  /// every /readyz request, so it must be thread-safe and cheap. Without
+  /// one installed, /readyz answers ready (a server with nothing to warm
+  /// is ready by definition). Install before exposing the port to probes;
+  /// the handler snapshots the callback under a lock, so replacing it
+  /// while serving is safe.
+  void set_ready_check(std::function<bool()> ready);
 
   /// The actually bound port (differs from the constructor argument when
   /// that was 0).
@@ -78,6 +97,8 @@ class MetricsHttpServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> served_{0};
+  std::mutex ready_mutex_;
+  std::function<bool()> ready_check_;  // guarded by ready_mutex_
   std::thread thread_;
 };
 
@@ -90,7 +111,11 @@ std::unique_ptr<MetricsHttpServer> maybe_serve_metrics(
 /// One-shot HTTP GET against 127.0.0.1:`port` returning the response BODY
 /// (status line and headers stripped), or an empty string on any error.
 /// This is the client side used by examples/overlay_monitor to poll its own
-/// endpoint and by tests; it speaks just enough HTTP/1.0 for that.
-std::string http_get_body(std::uint16_t port, const std::string& path);
+/// endpoint and by tests; it speaks just enough HTTP/1.0 for that. When
+/// `status_out` is non-null it receives the numeric status code (0 on
+/// transport error), so callers can tell a 503 /readyz "warming" apart
+/// from a 200.
+std::string http_get_body(std::uint16_t port, const std::string& path,
+                          int* status_out = nullptr);
 
 }  // namespace overcount

@@ -1,0 +1,139 @@
+// Bounded earliest-deadline-first work queue: the admission-control and
+// scheduling primitive under the estimate-serving broker (src/serve/).
+//
+// Semantics:
+//  * try_push never blocks: a full (or closed) queue refuses the item and
+//    the CALLER load-sheds (reject-with-retry-after at the serve layer).
+//    Bounding the queue is the whole point — under overload the queue
+//    depth, and with it the tail latency, must not grow without bound.
+//  * pop_earliest returns the item with the smallest (deadline, sequence)
+//    pair: earliest-deadline-first, with the admission sequence number
+//    breaking ties so two items with the same deadline (including the
+//    common "no deadline" case) leave in FIFO order. Ordering is a pure
+//    function of the pushed (deadline, seq) pairs — never of timing — so a
+//    single consumer drains a given admission history in one deterministic
+//    order.
+//  * set_paused(true) keeps pop_earliest blocked even when items are
+//    queued; tests use this to build a known queue state before letting
+//    the broker run.
+//  * close() wakes every blocked pop_earliest with nullopt and makes all
+//    further pushes fail; drain() then hands the still-queued items back
+//    to the owner (the serve layer fails their waiters instead of silently
+//    dropping them).
+//
+// The queue stores items in admission order and scans for the minimum on
+// pop: capacities are small (tens of batches), so O(n) pop with zero
+// allocation beats a heap's bookkeeping, and the scan makes the tie-break
+// rule obvious.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+template <typename T>
+class DeadlineQueue {
+ public:
+  explicit DeadlineQueue(std::size_t capacity) : capacity_(capacity) {
+    OVERCOUNT_EXPECTS(capacity > 0);
+    entries_.reserve(capacity);
+  }
+
+  DeadlineQueue(const DeadlineQueue&) = delete;
+  DeadlineQueue& operator=(const DeadlineQueue&) = delete;
+
+  /// Admits `item` unless the queue is full or closed. Never blocks.
+  bool try_push(T item, std::uint64_t deadline_us, std::uint64_t seq) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || entries_.size() >= capacity_) return false;
+      entries_.push_back(Entry{deadline_us, seq, std::move(item)});
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available and the queue is unpaused, then
+  /// returns the earliest-(deadline, seq) item. Returns nullopt once the
+  /// queue is closed (queued items are then the owner's to drain()).
+  std::optional<T> pop_earliest() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || (!paused_ && !entries_.empty()); });
+    if (closed_) return std::nullopt;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      const Entry& b = entries_[best];
+      if (e.deadline_us < b.deadline_us ||
+          (e.deadline_us == b.deadline_us && e.seq < b.seq))
+        best = i;
+    }
+    T out = std::move(entries_[best].item);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(best));
+    return out;
+  }
+
+  /// Removes and returns everything still queued, in admission order.
+  std::vector<T> drain() {
+    std::lock_guard lock(mutex_);
+    std::vector<T> out;
+    out.reserve(entries_.size());
+    for (Entry& e : entries_) out.push_back(std::move(e.item));
+    entries_.clear();
+    return out;
+  }
+
+  /// While paused, pop_earliest blocks even when items are available.
+  void set_paused(bool paused) {
+    {
+      std::lock_guard lock(mutex_);
+      paused_ = paused;
+    }
+    cv_.notify_all();
+  }
+
+  /// Fails all further pushes and wakes every blocked pop with nullopt.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t deadline_us;
+    std::uint64_t seq;
+    T item;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;  // guarded by mutex_
+  bool paused_ = false;         // guarded by mutex_
+  bool closed_ = false;         // guarded by mutex_
+};
+
+}  // namespace overcount

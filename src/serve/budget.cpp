@@ -1,0 +1,95 @@
+#include "serve/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spectral/laplacian.hpp"
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+GraphProfile profile_graph(const Graph& g, NodeId origin,
+                           std::uint64_t version, double lambda2_hint,
+                           std::size_t lanczos_iters, std::uint64_t seed) {
+  OVERCOUNT_EXPECTS(g.num_nodes() > 0);
+  OVERCOUNT_EXPECTS(origin < g.num_nodes());
+  GraphProfile profile;
+  profile.nodes = g.num_nodes();
+  profile.avg_degree = static_cast<double>(g.total_degree()) /
+                       static_cast<double>(g.num_nodes());
+  profile.lambda2 = lambda2_hint > 0.0
+                        ? lambda2_hint
+                        : spectral_gap_lanczos(g, lanczos_iters, seed);
+  profile.origin_degree = g.degree(origin);
+  profile.version = version;
+  return profile;
+}
+
+std::size_t BudgetPlanner::clamp(std::size_t walks) const {
+  return std::clamp(walks, limits_.min_walks, limits_.max_walks);
+}
+
+double BudgetPlanner::tour_epsilon(const GraphProfile& profile, std::size_t m,
+                                   double delta) {
+  OVERCOUNT_EXPECTS(m > 0 && delta > 0.0);
+  OVERCOUNT_EXPECTS(profile.lambda2 > 0.0 && profile.avg_degree > 0.0);
+  return std::sqrt(2.0 * profile.avg_degree /
+                   (profile.lambda2 * static_cast<double>(m) * delta));
+}
+
+double BudgetPlanner::sc_epsilon(std::size_t k, std::size_t ell,
+                                 double delta) {
+  OVERCOUNT_EXPECTS(k > 0 && ell > 0 && delta > 0.0);
+  return std::sqrt(1.0 / (static_cast<double>(ell) *
+                          static_cast<double>(k) * delta));
+}
+
+BudgetPlan BudgetPlanner::plan_tours(const GraphProfile& profile,
+                                     double epsilon, double delta) const {
+  OVERCOUNT_EXPECTS(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+  OVERCOUNT_EXPECTS(profile.lambda2 > 0.0 && profile.avg_degree > 0.0);
+  OVERCOUNT_EXPECTS(profile.origin_degree > 0);
+  // m = ceil(2 d_bar / (lambda_2 eps^2 delta)); the ceil keeps the achieved
+  // half-width at or under the request even before clamping.
+  const double exact = 2.0 * profile.avg_degree /
+                       (profile.lambda2 * epsilon * epsilon * delta);
+  const double capped = std::min(
+      std::ceil(exact), static_cast<double>(limits_.max_walks));
+  BudgetPlan plan;
+  plan.walks = clamp(static_cast<std::size_t>(capped));
+  plan.epsilon = tour_epsilon(profile, plan.walks, delta);
+  // E[T_i] = 2|E| / d_i = n d_bar / d_origin steps per tour (Section 3.2).
+  const double per_tour = static_cast<double>(profile.nodes) *
+                          profile.avg_degree /
+                          static_cast<double>(profile.origin_degree);
+  plan.expected_steps = static_cast<std::uint64_t>(
+      std::ceil(per_tour * static_cast<double>(plan.walks)));
+  return plan;
+}
+
+BudgetPlan BudgetPlanner::plan_sc(const GraphProfile& profile, double epsilon,
+                                  double delta, std::size_t ell,
+                                  double timer) const {
+  OVERCOUNT_EXPECTS(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+  OVERCOUNT_EXPECTS(ell > 0 && timer > 0.0);
+  const double exact =
+      1.0 / (static_cast<double>(ell) * epsilon * epsilon * delta);
+  const double capped = std::min(
+      std::ceil(exact), static_cast<double>(limits_.max_walks));
+  BudgetPlan plan;
+  plan.walks = clamp(static_cast<std::size_t>(capped));
+  plan.epsilon = sc_epsilon(plan.walks, ell, delta);
+  // Per trial: ~ sqrt(2 ell n) samples until ell collisions (birthday
+  // bound), each a CTRW of ~ timer * d_bar hops (rate-d_v exponential
+  // clocks spend ~1/d_v per hop).
+  const double samples_per_trial =
+      std::sqrt(2.0 * static_cast<double>(ell) *
+                static_cast<double>(profile.nodes));
+  const double hops_per_sample = timer * profile.avg_degree;
+  plan.expected_steps = static_cast<std::uint64_t>(
+      std::ceil(samples_per_trial * hops_per_sample *
+                static_cast<double>(plan.walks)));
+  return plan;
+}
+
+}  // namespace overcount

@@ -1,0 +1,91 @@
+// Accuracy-to-work translation: turns a request's (epsilon, delta) target
+// into a tour/trial budget using the paper's error formulas, plus the
+// graph profile (n, d_bar, lambda_2) those formulas need.
+//
+//  * Random Tours (Section 3.4, Chebyshev over Prop. 2's variance bound):
+//    eps(m) = sqrt(2 d_bar / (lambda_2 m delta)), so the budget is the
+//    inversion m = ceil(2 d_bar / (lambda_2 eps^2 delta)).
+//  * Sample & Collide (Section 4, Lemma 2): one trial of accuracy ell has
+//    relative MSE ~ 1/ell; the mean of k trials has variance ~ 1/(ell k),
+//    and Chebyshev gives P(|err| > eps) <= 1/(ell k eps^2), so
+//    k = ceil(1 / (ell eps^2 delta)).
+//
+// Budgets are clamped to [min_walks, max_walks] and the plan reports the
+// epsilon the CLAMPED budget actually achieves — a response never claims a
+// tighter half-width than the walks it ran can justify. The plan also
+// carries the expected step cost (E[T_i] = 2|E| / d_i per tour, Section
+// 3.2), which is what the service's admission control charges against its
+// outstanding-step budget.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace overcount {
+
+/// The theory inputs of the error formulas for one snapshot, cached by the
+/// service per topology version (the Lanczos gap is the expensive part).
+struct GraphProfile {
+  std::size_t nodes = 0;
+  double avg_degree = 0.0;    ///< d_bar = 2|E| / n
+  double lambda2 = 0.0;       ///< spectral gap of the snapshot
+  std::size_t origin_degree = 0;
+  std::uint64_t version = 0;  ///< topology version the profile reflects
+};
+
+/// Profiles `g` as seen at `version`. `lambda2_hint` > 0 skips the Lanczos
+/// solve (a deployment that knows its topology class can pin the gap);
+/// otherwise lambda_2 is estimated by spectral_gap_lanczos(g, lanczos_iters,
+/// seed).
+GraphProfile profile_graph(const Graph& g, NodeId origin,
+                           std::uint64_t version, double lambda2_hint = 0.0,
+                           std::size_t lanczos_iters = 96,
+                           std::uint64_t seed = 1);
+
+/// One planned batch: how many walks, what half-width they buy, and what
+/// they are expected to cost in walk steps.
+struct BudgetPlan {
+  std::size_t walks = 0;        ///< tours (RT) or trials (S&C)
+  double epsilon = 0.0;         ///< half-width the clamped budget achieves
+  std::uint64_t expected_steps = 0;  ///< admission-control cost estimate
+};
+
+class BudgetPlanner {
+ public:
+  struct Limits {
+    std::size_t min_walks = 8;
+    std::size_t max_walks = 1 << 20;
+  };
+
+  BudgetPlanner() = default;
+  explicit BudgetPlanner(Limits limits) : limits_(limits) {}
+
+  /// Random Tour plan for a relative half-width `epsilon` at confidence
+  /// 1 - `delta` on a graph shaped like `profile`.
+  BudgetPlan plan_tours(const GraphProfile& profile, double epsilon,
+                        double delta) const;
+
+  /// Sample & Collide plan: k trials of accuracy `ell` each; expected cost
+  /// uses the per-trial sample count ~ sqrt(2 ell n) (birthday bound) times
+  /// `timer` * d_bar hops per CTRW sample.
+  BudgetPlan plan_sc(const GraphProfile& profile, double epsilon,
+                     double delta, std::size_t ell, double timer) const;
+
+  /// eps(m): the half-width m tours achieve on `profile` at `delta`.
+  static double tour_epsilon(const GraphProfile& profile, std::size_t m,
+                             double delta);
+
+  /// Half-width of the mean of k S&C trials of accuracy ell at `delta`.
+  static double sc_epsilon(std::size_t k, std::size_t ell, double delta);
+
+  const Limits& limits() const noexcept { return limits_; }
+
+ private:
+  std::size_t clamp(std::size_t walks) const;
+
+  Limits limits_{};
+};
+
+}  // namespace overcount

@@ -1,0 +1,47 @@
+#include "serve/source.hpp"
+
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+GraphSource static_graph_source(const Graph& g, NodeId origin) {
+  OVERCOUNT_EXPECTS(origin < g.num_nodes());
+  OVERCOUNT_EXPECTS(g.degree(origin) > 0);
+  GraphSource source;
+  source.snapshot = [&g, origin] { return GraphSnapshot{g, origin, 0}; };
+  source.version = [] { return std::uint64_t{0}; };
+  return source;
+}
+
+GraphSource dynamic_graph_source(const DynamicGraph& g, std::mutex& mutex,
+                                 NodeId preferred_origin) {
+  GraphSource source;
+  source.snapshot = [&g, &mutex, preferred_origin] {
+    std::lock_guard lock(mutex);
+    std::vector<NodeId> old_to_new;
+    GraphSnapshot snap;
+    // Version and topology are read under one critical section: a snapshot
+    // stamped with a version from a different instant would defeat the
+    // cache's staleness comparison.
+    snap.version = g.version();
+    snap.graph = g.snapshot(&old_to_new);
+    NodeId origin = preferred_origin;
+    if (origin >= g.num_slots() || !g.alive(origin) || g.degree(origin) == 0) {
+      origin = NodeId(~0u);
+      for (NodeId v : g.alive_nodes()) {
+        if (g.degree(v) > 0 && (origin == NodeId(~0u) || v < origin))
+          origin = v;
+      }
+      OVERCOUNT_ENSURES(origin != NodeId(~0u));  // graph must have an edge
+    }
+    snap.origin = old_to_new[origin];
+    return snap;
+  };
+  source.version = [&g, &mutex] {
+    std::lock_guard lock(mutex);
+    return g.version();
+  };
+  return source;
+}
+
+}  // namespace overcount

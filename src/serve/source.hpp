@@ -1,0 +1,57 @@
+// Where the service gets the overlay from: a pair of callbacks instead of
+// a graph reference, so the same EstimateService front end can serve a
+// static Graph, a churning DynamicGraph, or (eventually) a remote overlay
+// behind an RPC snapshot.
+//
+// The `version` callback is the cheap staleness probe — it backs cache
+// invalidation and the churn-rate TTL scaling and is called on every
+// query. The `snapshot` callback is the expensive one — it materialises a
+// compacted static Graph for a batch and is only called when the broker
+// actually dispatches one. Both are invoked from service threads
+// concurrently with whoever mutates the underlying graph, so sources over
+// mutable graphs MUST lock: the DynamicGraph helper below takes the
+// caller's mutex for exactly that reason, and pairs every snapshot with
+// the version observed under the SAME critical section (a snapshot
+// without its version is unusable for invalidation — the serve cache
+// would have nothing to compare against).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "graph/dynamic_graph.hpp"
+#include "graph/graph.hpp"
+#include "serve/types.hpp"
+
+namespace overcount {
+
+/// One batch-ready view of the overlay: a compacted static graph, the
+/// probing origin within it, and the topology version it reflects.
+struct GraphSnapshot {
+  Graph graph;
+  NodeId origin = 0;
+  std::uint64_t version = 0;
+};
+
+struct GraphSource {
+  /// Materialises a snapshot; called on the broker thread per batch.
+  std::function<GraphSnapshot()> snapshot;
+  /// Current topology version; cheap, called on every query.
+  std::function<std::uint64_t()> version;
+};
+
+/// Source over an immutable Graph: version is constant 0, snapshots are
+/// copies. `origin` must have positive degree.
+GraphSource static_graph_source(const Graph& g, NodeId origin = 0);
+
+/// Source over a live DynamicGraph, synchronised by `mutex`: every access
+/// (snapshot AND version) locks it, so the owner must take the same mutex
+/// around churn. Snapshots compact the alive nodes and map
+/// `preferred_origin` through; when it has died or lost all its edges the
+/// lowest-id alive node with positive degree (deterministic for a given
+/// churn history) stands in.
+GraphSource dynamic_graph_source(const DynamicGraph& g, std::mutex& mutex,
+                                 NodeId preferred_origin = 0);
+
+}  // namespace overcount

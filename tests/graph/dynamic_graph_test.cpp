@@ -43,6 +43,35 @@ TEST(DynamicGraph, AddIsolatedNode) {
   EXPECT_TRUE(d.check_invariants());
 }
 
+TEST(DynamicGraph, VersionBumpsOnEveryMutation) {
+  DynamicGraph d(ring(5));
+  EXPECT_EQ(d.version(), 0u);  // construction is version 0
+
+  std::uint64_t last = d.version();
+  const NodeId v = d.add_node(std::vector<NodeId>{0, 2});
+  EXPECT_GT(d.version(), last);  // node + 2 edges, strictly monotone
+  last = d.version();
+
+  d.add_edge(v, 3);
+  EXPECT_EQ(d.version(), last + 1);
+  last = d.version();
+
+  d.remove_edge(v, 3);
+  EXPECT_EQ(d.version(), last + 1);
+  last = d.version();
+
+  d.remove_node(v);
+  EXPECT_EQ(d.version(), last + 1);
+  last = d.version();
+
+  // Read-only operations never bump.
+  (void)d.has_edge(0, 1);
+  (void)d.component_size(0);
+  (void)d.snapshot();
+  (void)d.check_invariants();
+  EXPECT_EQ(d.version(), last);
+}
+
 TEST(DynamicGraph, RemoveNodeTakesEdges) {
   DynamicGraph d(complete(4));
   d.remove_node(2);

@@ -99,6 +99,11 @@ TEST(Integration, ProtocolAndDirectPathsAgree) {
   // estimate distributions with a KS test.
   Rng rng(5);
   DynamicGraph graph(largest_component(balanced_random_graph(500, rng)));
+  // Record the topology version with the snapshot: the comparison below is
+  // only apples-to-apples while the live graph has not drifted from what
+  // the direct path measured (no churn runs here, and the assertion at the
+  // end pins that).
+  const std::uint64_t snapshot_version = graph.version();
   const Graph snapshot = graph.snapshot();
 
   std::vector<double> direct;
@@ -123,6 +128,9 @@ TEST(Integration, ProtocolAndDirectPathsAgree) {
   const Ecdf b(std::move(protocol));
   // Two-sample KS at n = m = 40: reject only blatant mismatches.
   EXPECT_LT(a.ks_distance(b), 0.35);
+  // The live graph must not have drifted from the recorded snapshot
+  // version, or the two distributions measured different populations.
+  EXPECT_EQ(graph.version(), snapshot_version);
 }
 
 TEST(Integration, AttributeAggregationThroughChurn) {

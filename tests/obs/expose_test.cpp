@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -108,6 +109,30 @@ TEST(MetricsHttpServer, ServesMetricsSnapshotAndHealth) {
   server.stop();
   server.stop();  // idempotent
   EXPECT_EQ(http_get_body(server.port(), "/healthz"), "");  // gone
+}
+
+TEST(MetricsHttpServer, ReadyzIsDistinctFromHealthz) {
+  MetricsRegistry registry;
+  MetricsHttpServer server(registry, 0);
+  ASSERT_NE(server.port(), 0);
+
+  // No readiness check installed: /readyz degrades to liveness.
+  int status = 0;
+  EXPECT_EQ(http_get_body(server.port(), "/readyz", &status), "ready\n");
+  EXPECT_EQ(status, 200);
+
+  // "Loaded but not warmed": 503 on /readyz while /healthz stays 200, so
+  // an orchestrator keeps the process alive but routes no traffic yet.
+  std::atomic<bool> warmed{false};
+  server.set_ready_check([&] { return warmed.load(); });
+  EXPECT_EQ(http_get_body(server.port(), "/readyz", &status), "warming\n");
+  EXPECT_EQ(status, 503);
+  EXPECT_EQ(http_get_body(server.port(), "/healthz", &status), "ok\n");
+  EXPECT_EQ(status, 200);
+
+  warmed.store(true);
+  EXPECT_EQ(http_get_body(server.port(), "/readyz", &status), "ready\n");
+  EXPECT_EQ(status, 200);
 }
 
 TEST(MetricsHttpServer, HttpGetBodyFailsCleanlyAgainstClosedPort) {

@@ -1,0 +1,90 @@
+// Statistical property of the budget planner: the m tours it prescribes
+// for an (epsilon, delta) target actually deliver that error on the
+// paper's graph families. Chebyshev over the Prop. 2 variance bound is
+// conservative, so the observed violation rate of |estimate/n - 1| > eps
+// across independent planned batches must sit inside delta with room to
+// spare. Fixed seeds: deterministic regression checks, not flaky ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/parallel.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "serve/budget.hpp"
+
+namespace overcount {
+namespace {
+
+void check_planned_budget_achieves_error(const Graph& g, double epsilon,
+                                         double delta, std::uint64_t seed) {
+  const auto n = static_cast<double>(g.num_nodes());
+  const GraphProfile profile = profile_graph(g, 0, /*version=*/0);
+  ASSERT_GT(profile.lambda2, 0.0);
+  BudgetPlanner::Limits limits;
+  limits.max_walks = std::size_t{1} << 17;
+  BudgetPlanner planner(limits);
+  const BudgetPlan plan = planner.plan_tours(profile, epsilon, delta);
+  ASSERT_LE(plan.epsilon, epsilon + 1e-12)
+      << "budget was clamped below the target; the check would be vacuous";
+
+  ParallelRunner runner(4);
+  const int reps = 40;
+  int violations = 0;
+  for (int r = 0; r < reps; ++r) {
+    const TourBatch batch =
+        run_tours_size(g, 0, plan.walks, seed + static_cast<std::uint64_t>(r),
+                       runner);
+    ASSERT_TRUE(batch.ok());
+    const double rel = std::abs(batch.mean() / n - 1.0);
+    if (rel > epsilon) ++violations;
+  }
+  // The guarantee is P(violation) <= delta per batch; allow the binomial
+  // wiggle of 40 draws on top. In practice the loose Chebyshev budget
+  // makes violations rare to nonexistent.
+  EXPECT_LE(violations, static_cast<int>(std::ceil(delta * reps)) + 2)
+      << "planned m=" << plan.walks << " achieved eps=" << plan.epsilon;
+}
+
+TEST(BudgetStatistical, PlannedToursAchieveTargetOnBalancedRandom) {
+  Rng rng(401);
+  const Graph g = largest_component(balanced_random_graph(200, rng));
+  check_planned_budget_achieves_error(g, /*epsilon=*/0.3, /*delta=*/0.2,
+                                      /*seed=*/402);
+}
+
+TEST(BudgetStatistical, PlannedToursAchieveTargetOnScaleFree) {
+  Rng rng(403);
+  const Graph g = barabasi_albert(200, 3, rng);
+  check_planned_budget_achieves_error(g, /*epsilon=*/0.3, /*delta=*/0.2,
+                                      /*seed=*/404);
+}
+
+TEST(BudgetStatistical, TighterEpsilonShrinksObservedSpread) {
+  // Sanity on the scaling direction: the planner's budget for eps=0.15
+  // yields an empirical relative error clearly below the one for eps=0.6.
+  Rng rng(405);
+  const Graph g = largest_component(balanced_random_graph(150, rng));
+  const auto n = static_cast<double>(g.num_nodes());
+  const GraphProfile profile = profile_graph(g, 0, 0);
+  BudgetPlanner::Limits limits;
+  limits.max_walks = std::size_t{1} << 17;
+  BudgetPlanner planner(limits);
+  ParallelRunner runner(4);
+  auto mean_abs_error = [&](double epsilon, std::uint64_t seed) {
+    const BudgetPlan plan = planner.plan_tours(profile, epsilon, 0.2);
+    double total = 0.0;
+    const int reps = 12;
+    for (int r = 0; r < reps; ++r) {
+      const TourBatch batch = run_tours_size(
+          g, 0, plan.walks, seed + static_cast<std::uint64_t>(r), runner);
+      total += std::abs(batch.mean() / n - 1.0);
+    }
+    return total / reps;
+  };
+  EXPECT_LT(mean_abs_error(0.15, 500), mean_abs_error(0.6, 600));
+}
+
+}  // namespace
+}  // namespace overcount

@@ -1,0 +1,119 @@
+// BudgetPlanner unit contract: the paper's error formulas invert to the
+// documented budgets, clamping is honest (the reported epsilon matches the
+// clamped budget, never the request), and profiling fills the formula
+// inputs consistently.
+#include "serve/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace overcount {
+namespace {
+
+GraphProfile toy_profile() {
+  GraphProfile p;
+  p.nodes = 100;
+  p.avg_degree = 4.0;
+  p.lambda2 = 0.5;
+  p.origin_degree = 4;
+  p.version = 7;
+  return p;
+}
+
+TEST(BudgetPlanner, TourBudgetInvertsThePaperFormula) {
+  const GraphProfile p = toy_profile();
+  BudgetPlanner planner;
+  const double eps = 0.2;
+  const double delta = 0.1;
+  const BudgetPlan plan = planner.plan_tours(p, eps, delta);
+  // m = ceil(2 d_bar / (lambda2 eps^2 delta)) = ceil(8 / (0.5*0.04*0.1)).
+  const auto expected = static_cast<std::size_t>(
+      std::ceil(2.0 * p.avg_degree / (p.lambda2 * eps * eps * delta)));
+  EXPECT_EQ(plan.walks, expected);
+  // The achieved half-width never exceeds the request...
+  EXPECT_LE(plan.epsilon, eps + 1e-12);
+  // ...and re-plugging m into eps(m) reproduces it.
+  EXPECT_DOUBLE_EQ(plan.epsilon,
+                   BudgetPlanner::tour_epsilon(p, plan.walks, delta));
+}
+
+TEST(BudgetPlanner, TighterTargetsCostMoreWalks) {
+  const GraphProfile p = toy_profile();
+  BudgetPlanner planner;
+  const auto loose = planner.plan_tours(p, 0.5, 0.1);
+  const auto tight = planner.plan_tours(p, 0.1, 0.1);
+  const auto confident = planner.plan_tours(p, 0.5, 0.01);
+  EXPECT_GT(tight.walks, loose.walks);
+  EXPECT_GT(confident.walks, loose.walks);
+}
+
+TEST(BudgetPlanner, ClampReportsTheEpsilonActuallyBought) {
+  const GraphProfile p = toy_profile();
+  BudgetPlanner::Limits limits;
+  limits.min_walks = 8;
+  limits.max_walks = 64;
+  BudgetPlanner planner(limits);
+  // A target far tighter than 64 walks can deliver: clamped to the cap,
+  // and the reported epsilon is the (larger) one 64 walks achieve.
+  const auto capped = planner.plan_tours(p, 0.01, 0.1);
+  EXPECT_EQ(capped.walks, 64u);
+  EXPECT_DOUBLE_EQ(capped.epsilon,
+                   BudgetPlanner::tour_epsilon(p, 64, 0.1));
+  EXPECT_GT(capped.epsilon, 0.01);
+  // A target so loose the floor takes over: epsilon only improves.
+  const auto floored = planner.plan_tours(p, 5.0, 0.5);
+  EXPECT_EQ(floored.walks, 8u);
+  EXPECT_LE(floored.epsilon, 5.0);
+}
+
+TEST(BudgetPlanner, TourCostUsesExpectedReturnTime) {
+  const GraphProfile p = toy_profile();
+  BudgetPlanner planner;
+  const auto plan = planner.plan_tours(p, 0.2, 0.1);
+  // E[T] = n d_bar / d_origin = 100 steps per tour here.
+  const double per_tour = static_cast<double>(p.nodes) * p.avg_degree /
+                          static_cast<double>(p.origin_degree);
+  EXPECT_EQ(plan.expected_steps,
+            static_cast<std::uint64_t>(
+                std::ceil(per_tour * static_cast<double>(plan.walks))));
+}
+
+TEST(BudgetPlanner, ScBudgetInvertsTheChebyshevBound) {
+  const GraphProfile p = toy_profile();
+  BudgetPlanner planner;
+  const double eps = 0.25;
+  const double delta = 0.1;
+  const std::size_t ell = 16;
+  const auto plan = planner.plan_sc(p, eps, delta, ell, /*timer=*/10.0);
+  const auto expected = static_cast<std::size_t>(
+      std::ceil(1.0 / (static_cast<double>(ell) * eps * eps * delta)));
+  EXPECT_EQ(plan.walks, std::max<std::size_t>(expected, 8));
+  EXPECT_LE(plan.epsilon, eps + 1e-12);
+  EXPECT_DOUBLE_EQ(plan.epsilon,
+                   BudgetPlanner::sc_epsilon(plan.walks, ell, delta));
+  EXPECT_GT(plan.expected_steps, 0u);
+}
+
+TEST(ProfileGraph, HintSkipsLanczosAndFillsShape) {
+  const Graph g = ring(12);
+  const GraphProfile p = profile_graph(g, 0, /*version=*/42,
+                                       /*lambda2_hint=*/0.33);
+  EXPECT_EQ(p.nodes, 12u);
+  EXPECT_DOUBLE_EQ(p.avg_degree, 2.0);
+  EXPECT_DOUBLE_EQ(p.lambda2, 0.33);  // hint taken verbatim, no solve
+  EXPECT_EQ(p.origin_degree, 2u);
+  EXPECT_EQ(p.version, 42u);
+}
+
+TEST(ProfileGraph, LanczosGapMatchesExactOnSmallGraph) {
+  const Graph g = ring(12);
+  const GraphProfile p = profile_graph(g, 0, 0);
+  EXPECT_NEAR(p.lambda2, spectral_gap_exact(g), 1e-6);
+}
+
+}  // namespace
+}  // namespace overcount
