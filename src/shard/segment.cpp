@@ -1,0 +1,53 @@
+#include "shard/segment.hpp"
+
+#include "runtime/parallel_runner.hpp"
+
+namespace overcount {
+
+SegmentStore::SegmentStore(const ShardedGraph& g, StitchConfig cfg)
+    : graph_(&g), cfg_(cfg) {
+  OVERCOUNT_EXPECTS(cfg_.segment_length >= 1);
+  // Per-node streams: the v-th split of the stitch master, a pure function
+  // of (seed, v). Deriving over ALL nodes (not just boundary ones) keeps a
+  // node's stream stable across shard counts and partition policies.
+  auto streams = derive_streams(cfg_.seed, g.num_nodes());
+  for (std::uint32_t s = 0; s < g.num_shards(); ++s) {
+    for (const NodeId v : g.shard(s).boundary) {
+      Pool& pool = pools_[v];
+      pool.stream = streams[v];
+      pool.ready.resize(cfg_.segments_per_node);
+      for (auto& seg : pool.ready) fill(seg, v, pool.stream);
+    }
+  }
+}
+
+void SegmentStore::fill(WalkSegment& seg, NodeId v, Rng& stream) const {
+  const std::size_t lambda = cfg_.segment_length;
+  seg.nodes.resize(lambda + 1);
+  seg.sojourns.resize(lambda);
+  seg.nodes[0] = v;
+  NodeId at = v;
+  for (std::size_t i = 0; i < lambda; ++i) {
+    const auto d = graph_->degree(at);
+    OVERCOUNT_EXPECTS(d > 0);
+    seg.sojourns[i] = stream.exponential(static_cast<double>(d));
+    const auto nbrs = graph_->neighbors(at);
+    at = nbrs[stream.uniform_below(nbrs.size())];
+    seg.nodes[i + 1] = at;
+  }
+  generated_.fetch_add(1, std::memory_order_relaxed);
+}
+
+const WalkSegment* SegmentStore::take(NodeId v) {
+  const auto it = pools_.find(v);
+  if (it == pools_.end()) return nullptr;
+  Pool& pool = it->second;
+  if (pool.next < pool.ready.size()) return &pool.ready[pool.next++];
+  // Pool exhausted: synthesize a fresh segment from the node's persisted
+  // stream. Every take() returns previously unconsumed randomness, so
+  // segment reuse can never correlate walks.
+  fill(pool.scratch, v, pool.stream);
+  return &pool.scratch;
+}
+
+}  // namespace overcount

@@ -1,0 +1,90 @@
+// The wire format of the sharded walk engine: a walk that steps onto a
+// node its current shard does not own is frozen into a compact WalkToken
+// and pushed to the owner's mailbox, where the next superstep thaws it and
+// keeps walking. The token is everything a walk IS — id, position, step
+// count, accumulator, RNG state — so handing one off moves the walk without
+// copying any graph state, exactly the migration Das Sarma et al. perform
+// between distributed machines.
+//
+// Determinism: mailboxes accept whole per-source bundles and drain them
+// sorted by source shard. Within a bundle tokens keep their push order, and
+// each source pushes at most one bundle per superstep, so the drain order —
+// and therefore every downstream probe event and RNG draw — is a pure
+// function of the walk schedule, never of thread timing.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace overcount {
+
+/// What kind of walk a token carries (selects the thaw loop and the
+/// interpretation of `steps`/`acc`).
+enum class WalkKind : std::uint8_t {
+  kTour,      ///< Random Tour; steps = walk steps, acc = counter X
+  kSample,    ///< CTRW sample;  steps = hops,       acc = remaining timer
+  kScWalk,    ///< one CTRW walk inside an S&C trial (same fields as kSample)
+  kScReport,  ///< finished S&C walk reporting home; at = sampled node,
+              ///< steps = hops of that walk, rng = stream to continue with
+};
+
+/// A frozen in-flight walk. 48 bytes: small enough that a handoff is one
+/// cheap vector push, and nothing graph-sized ever crosses shards.
+struct WalkToken {
+  std::uint32_t walk = 0;  ///< batch slot (tour/sample index, or trial id)
+  WalkKind kind = WalkKind::kTour;
+  NodeId at = 0;           ///< current node (already visited/checked)
+  std::uint64_t steps = 0;
+  double acc = 0.0;
+  Rng rng{0};
+};
+
+/// MPSC mailbox for one shard. Producers (other shards' workers) push one
+/// bundle per superstep; the engine's driver drains everything between the
+/// superstep barriers, so the drain never races a push and a bundle from
+/// round r is always delivered in round r+1. The mutex is uncontended in
+/// the common case — S producers touch it at most once per superstep each.
+class ShardMailbox {
+ public:
+  /// Enqueues `tokens` from `source` shard. Empty bundles are dropped.
+  void push_bundle(std::uint32_t source, std::vector<WalkToken> tokens) {
+    if (tokens.empty()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    bundles_.emplace_back(source, std::move(tokens));
+  }
+
+  /// Removes and returns every pending token, ordered by source shard
+  /// (bundle push order preserved within a source). Also reports the
+  /// drained depth so the engine can histogram mailbox pressure.
+  std::vector<WalkToken> drain(std::size_t* depth = nullptr) {
+    std::vector<std::pair<std::uint32_t, std::vector<WalkToken>>> bundles;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      bundles.swap(bundles_);
+    }
+    std::stable_sort(bundles.begin(), bundles.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<WalkToken> out;
+    std::size_t total = 0;
+    for (const auto& [src, tokens] : bundles) total += tokens.size();
+    out.reserve(total);
+    for (auto& [src, tokens] : bundles)
+      out.insert(out.end(), tokens.begin(), tokens.end());
+    if (depth != nullptr) *depth = total;
+    return out;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::pair<std::uint32_t, std::vector<WalkToken>>> bundles_;
+};
+
+}  // namespace overcount

@@ -1,0 +1,280 @@
+// Structural invariants of the sharded graph layer, fuzzed over the
+// estimator graph zoo, both partition policies and a sweep of shard counts:
+// the plan must be a bijection, the shard CSR slices must tile the source
+// adjacency exactly (every directed edge present exactly once, rows
+// verbatim), ghost tables must round-trip, and — through the engine — every
+// token pushed must be drained (issued == retired conservation, or a walk
+// was lost/duplicated in the mail).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "shard/engine.hpp"
+#include "shard/partition.hpp"
+#include "shard/segment.hpp"
+#include "test_helpers.hpp"
+
+namespace overcount {
+namespace {
+
+const std::uint32_t kShardCounts[] = {1, 2, 3, 4, 8};
+
+/// Both policies, so every invariant is checked against a non-trivial owner
+/// assignment too.
+std::vector<const Partitioner*> policies() {
+  static const ContiguousRangePartitioner contiguous;
+  static const DegreeBalancedPartitioner balanced;
+  return {&contiguous, &balanced};
+}
+
+class ShardProperty : public ::testing::TestWithParam<testing::GraphCase> {};
+
+TEST_P(ShardProperty, PlanIsABijection) {
+  Rng rng(2024);
+  const Graph g = GetParam().make(rng);
+  for (const Partitioner* policy : policies()) {
+    for (const std::uint32_t shards : kShardCounts) {
+      const ShardPlan plan = make_shard_plan(g, shards, *policy);
+      ASSERT_EQ(plan.num_nodes(), g.num_nodes());
+      ASSERT_EQ(plan.num_shards(), shards);
+      std::size_t covered = 0;
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        const auto owned = plan.nodes_of(s);
+        covered += owned.size();
+        for (std::uint32_t l = 0; l < owned.size(); ++l) {
+          const NodeId v = owned[l];
+          EXPECT_EQ(plan.shard_of(v), s);
+          EXPECT_EQ(plan.local_id(v), l);
+          EXPECT_EQ(plan.global_id(s, l), v);
+          if (l > 0) {
+            EXPECT_LT(owned[l - 1], v);  // local ids ascend
+          }
+        }
+      }
+      EXPECT_EQ(covered, g.num_nodes());  // with the per-node checks above:
+                                          // every node exactly once
+    }
+  }
+}
+
+TEST_P(ShardProperty, ShardSlicesTileTheSourceAdjacencyExactly) {
+  Rng rng(2025);
+  const Graph g = GetParam().make(rng);
+  for (const Partitioner* policy : policies()) {
+    for (const std::uint32_t shards : kShardCounts) {
+      const ShardPlan plan = make_shard_plan(g, shards, *policy);
+      const ShardedGraph sharded(g, plan);
+      std::size_t directed_edges = 0;
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        const auto& shard = sharded.shard(s);
+        ASSERT_EQ(shard.offsets.size(), shard.nodes.size() + 1);
+        for (std::uint32_t l = 0; l < shard.nodes.size(); ++l) {
+          const NodeId v = shard.nodes[l];
+          const auto source_row = g.neighbors(v);
+          const auto local_row = shard.neighbors(l);
+          directed_edges += local_row.size();
+          ASSERT_EQ(local_row.size(), source_row.size());
+          for (std::size_t k = 0; k < source_row.size(); ++k)
+            EXPECT_EQ(local_row[k], source_row[k]);  // verbatim row order
+        }
+      }
+      // Every directed edge of the source appears in exactly one slice:
+      // rows are verbatim and each node has exactly one owner, so matching
+      // the total closes the count.
+      EXPECT_EQ(directed_edges, sharded.total_degree());
+      std::size_t source_total = 0;
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        source_total += g.degree(v);
+      EXPECT_EQ(directed_edges, source_total);
+    }
+  }
+}
+
+TEST_P(ShardProperty, GhostTablesRoundTripAndCoverExactlyTheCrossEdges) {
+  Rng rng(2026);
+  const Graph g = GetParam().make(rng);
+  for (const Partitioner* policy : policies()) {
+    for (const std::uint32_t shards : kShardCounts) {
+      const ShardPlan plan = make_shard_plan(g, shards, *policy);
+      const ShardedGraph sharded(g, plan);
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        const auto& shard = sharded.shard(s);
+        // Every ghost entry names a non-owned node and round-trips through
+        // the plan's coordinate system.
+        for (const auto& [target, ref] : shard.ghosts) {
+          EXPECT_NE(plan.shard_of(target), s);
+          EXPECT_EQ(ref.shard, plan.shard_of(target));
+          EXPECT_EQ(ref.local, plan.local_id(target));
+          EXPECT_EQ(plan.global_id(ref.shard, ref.local), target);
+        }
+        // Every cross-shard adjacency target has a ghost entry, and the
+        // boundary list holds exactly the owned nodes with one.
+        std::unordered_set<NodeId> crossing_targets;
+        std::unordered_set<NodeId> boundary_nodes;
+        for (std::uint32_t l = 0; l < shard.nodes.size(); ++l) {
+          for (const NodeId t : shard.neighbors(l)) {
+            if (plan.shard_of(t) == s) continue;
+            crossing_targets.insert(t);
+            boundary_nodes.insert(shard.nodes[l]);
+            const GhostRef ref = sharded.resolve(s, t);
+            EXPECT_EQ(plan.global_id(ref.shard, ref.local), t);
+          }
+        }
+        EXPECT_EQ(shard.ghosts.size(), crossing_targets.size());
+        ASSERT_EQ(shard.boundary.size(), boundary_nodes.size());
+        for (const NodeId b : shard.boundary) {
+          EXPECT_TRUE(boundary_nodes.contains(b));
+          EXPECT_EQ(plan.shard_of(b), s);
+        }
+      }
+      // resolve() must also work for nodes no edge of `s` points at (the
+      // stitched fast path can land anywhere) via the plan fallback.
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        for (const NodeId v :
+             {NodeId{0}, static_cast<NodeId>(g.num_nodes() - 1)}) {
+          const GhostRef ref = sharded.resolve(s, v);
+          EXPECT_EQ(ref.shard, plan.shard_of(v));
+          EXPECT_EQ(ref.local, plan.local_id(v));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ShardProperty, TokenConservationAcrossAllEstimators) {
+  Rng rng(2027);
+  const Graph g = GetParam().make(rng);
+  NodeId origin = 0;
+  while (g.degree(origin) == 0) ++origin;
+
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    SCOPED_TRACE(::testing::Message() << "S=" << shards);
+    const ShardPlan plan = make_shard_plan(g, shards);
+    const ShardedGraph sharded(g, plan);
+    ParallelRunner runner(4);
+    MetricsRegistry metrics;
+    ShardedWalkEngine engine(sharded, runner, &metrics);
+
+    const std::size_t m = 24;
+    engine.run_tours(origin, m, [](NodeId) { return 1.0; }, 0xC0FFEE);
+    {
+      const ShardRunStats& s = engine.last_run_stats();
+      EXPECT_EQ(s.walks, m);
+      EXPECT_EQ(s.tokens_issued, s.tokens_consumed);  // conservation
+      EXPECT_LE(s.tokens_issued, s.handoffs + m);     // seeds + migrations
+    }
+
+    engine.run_samples(origin, m, 2.0, 0xC0FFEE);
+    {
+      const ShardRunStats& s = engine.last_run_stats();
+      EXPECT_EQ(s.walks, m);
+      EXPECT_EQ(s.tokens_issued, s.tokens_consumed);
+    }
+
+    engine.run_sc_trials(origin, 6, 2.0, 2, 0xC0FFEE);
+    {
+      const ShardRunStats& s = engine.last_run_stats();
+      EXPECT_EQ(s.walks, 6u);
+      EXPECT_EQ(s.tokens_issued, s.tokens_consumed);
+    }
+
+    // The registry's running totals agree with the per-run stats, and no
+    // token is left in flight once the batches returned.
+    const auto snap = metrics.snapshot();
+    EXPECT_EQ(snap.counter_or_zero("shard.tokens_issued"),
+              snap.counter_or_zero("shard.tokens_consumed"));
+    for (const auto& [name, value] : snap.gauges)
+      if (name == "shard.tokens_in_flight") {
+        EXPECT_EQ(value, 0.0);
+      }
+  }
+}
+
+TEST_P(ShardProperty, SegmentsWalkRealEdgesAndRefillOnDemand) {
+  Rng rng(2028);
+  const Graph g = GetParam().make(rng);
+  const ShardPlan plan = make_shard_plan(g, 4);
+  const ShardedGraph sharded(g, plan);
+  StitchConfig cfg;
+  cfg.segments_per_node = 2;
+  cfg.segment_length = 8;
+  SegmentStore store(sharded, cfg);
+
+  std::size_t boundary_total = 0;
+  for (std::uint32_t s = 0; s < sharded.num_shards(); ++s)
+    boundary_total += sharded.shard(s).boundary.size();
+  EXPECT_EQ(store.pooled_nodes(), boundary_total);
+
+  for (std::uint32_t s = 0; s < sharded.num_shards(); ++s) {
+    for (const NodeId b : sharded.shard(s).boundary) {
+      // Draw past the precomputed pool: refill must keep producing valid
+      // segments, each a real walk on the snapshot topology.
+      for (std::size_t draw = 0; draw < cfg.segments_per_node + 3; ++draw) {
+        const WalkSegment* seg = store.take(b);
+        ASSERT_NE(seg, nullptr);
+        ASSERT_EQ(seg->nodes.size(), cfg.segment_length + 1);
+        ASSERT_EQ(seg->sojourns.size(), cfg.segment_length);
+        EXPECT_EQ(seg->nodes.front(), b);
+        for (std::size_t k = 0; k + 1 < seg->nodes.size(); ++k) {
+          const auto row = g.neighbors(seg->nodes[k]);
+          EXPECT_TRUE(std::find(row.begin(), row.end(), seg->nodes[k + 1]) !=
+                      row.end())
+              << "segment step " << k << " is not an edge";
+          EXPECT_GT(seg->sojourns[k], 0.0);
+        }
+      }
+    }
+  }
+  EXPECT_GE(store.segments_generated(),
+            static_cast<std::uint64_t>(boundary_total) *
+                cfg.segments_per_node);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphZoo, ShardProperty,
+    ::testing::ValuesIn(testing::estimator_graph_cases()),
+    [](const ::testing::TestParamInfo<testing::GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ShardPropertyDynamic, ChurnedDynamicGraphTilesExactlyOverSlots) {
+  Rng rng(31);
+  DynamicGraph dg(balanced_random_graph(120, rng));
+  dg.remove_node(5);
+  dg.remove_node(60);
+  dg.add_node(std::vector<NodeId>{1, 2, 70});
+  ASSERT_TRUE(dg.check_invariants());
+
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    const ShardPlan plan = make_shard_plan(dg, shards);
+    ASSERT_EQ(plan.num_nodes(), dg.num_slots());  // dead slots owned too
+    const ShardedGraph sharded(dg, plan);
+    EXPECT_EQ(sharded.source_version(), dg.version());
+    std::size_t directed_edges = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      const auto& shard = sharded.shard(s);
+      for (std::uint32_t l = 0; l < shard.nodes.size(); ++l) {
+        const NodeId v = shard.nodes[l];
+        const auto source_row = dg.neighbors(v);
+        const auto local_row = shard.neighbors(l);
+        directed_edges += local_row.size();
+        ASSERT_EQ(local_row.size(), source_row.size());
+        if (!dg.alive(v)) {
+          EXPECT_TRUE(local_row.empty());
+        }
+        for (std::size_t k = 0; k < source_row.size(); ++k)
+          EXPECT_EQ(local_row[k], source_row[k]);
+      }
+    }
+    EXPECT_EQ(directed_edges, dg.total_degree());
+  }
+}
+
+}  // namespace
+}  // namespace overcount
