@@ -8,7 +8,9 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,8 +22,11 @@
 
 namespace {
 
+// NaN (not 0) on an empty vector, matching Log2Histogram::percentile: "no
+// observations" must not diff as a 0 us latency in baseline comparisons.
+// The JSON writer turns NaN into null, so BENCH_serve.json stays parseable.
 double percentile(std::vector<double>& sorted_us, double p) {
-  if (sorted_us.empty()) return 0.0;
+  if (sorted_us.empty()) return std::numeric_limits<double>::quiet_NaN();
   const auto idx = static_cast<std::size_t>(
       p * static_cast<double>(sorted_us.size() - 1));
   return sorted_us[idx];
@@ -96,8 +101,12 @@ int main() {
                                 EstimateMethod::kRandomTour, 0.4, 0.2};
           break;
         case 2:
+          // The one deadline-carrying class in the mix: generous enough to
+          // mostly hit, so the serve.slo.*.deadline ledger shows a real
+          // hit-rate instead of degenerate all-miss/all-hit.
           req = EstimateRequest{QueryKind::kSize,
                                 EstimateMethod::kRandomTour, 0.2, 0.1};
+          req.deadline_us = service.now_us() + 2'000'000;
           break;
         default:
           req = EstimateRequest{QueryKind::kSize,
@@ -222,5 +231,13 @@ int main() {
   record_value("serve.batches", batches);
   record_value("serve.walks", walks);
   record_value("serve.throughput_qps", wall_s > 0.0 ? queries / wall_s : 0.0);
+  // The SLO ledger's whole family (per-class hit rates, budget burn,
+  // request/miss counters) rides into BENCH_serve.json so baseline diffs
+  // catch deadline-health regressions, not just latency shifts.
+  for (const auto& [name, v] : snap.counters)
+    if (name.rfind("serve.slo.", 0) == 0)
+      record_value(name, static_cast<double>(v));
+  for (const auto& [name, v] : snap.gauges)
+    if (name.rfind("serve.slo.", 0) == 0) record_value(name, v);
   return total.failed == 0 ? 0 : 1;
 }

@@ -22,6 +22,24 @@
 // OVERCOUNT_SERVE_DEADLINE_BUDGET allows (default: unlimited; the CI
 // serve-smoke job sets 0 in fast mode — generous deadlines, so a miss
 // means the broker stalled, not that the machine was slow).
+//
+// The server also carries the full health stack from src/obs/health/: an
+// EstimateAuditor cross-checks every landed batch against its promised
+// (epsilon, delta) envelope, an SloLedger tracks per-class deadline-hit
+// rate and error-budget burn (serve.slo.* family), a watchdog watches
+// DeadlineQueue saturation, and a FlightRecorder (enabled by setting
+// OVERCOUNT_FLIGHT_DIR) dumps a post-mortem bundle on any critical event
+// or fatal signal. Two fault injections exist so CI can drill the chain:
+//
+//   OVERCOUNT_SERVE_DEADLINE_US      client deadline (default 10s)
+//   OVERCOUNT_INJECT_QUEUE_STALL_MS  repeatedly pause the broker this long
+//
+// With a short deadline and an injected stall, queued requests expire,
+// the per-class burn crosses 1.0, the ledger raises a kCritical
+// serve.slo_breach, and the flight recorder drops a bundle — the second
+// half of the CI health-smoke job. When the stall injection is on, the
+// run fails unless at least one breach was raised (and, when a flight dir
+// is configured, at least one bundle landed).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -36,6 +54,10 @@
 #include "graph/dynamic_graph.hpp"
 #include "graph/generators.hpp"
 #include "obs/expose.hpp"
+#include "obs/health/audit.hpp"
+#include "obs/health/flight.hpp"
+#include "obs/health/health.hpp"
+#include "obs/health/watchdog.hpp"
 #include "obs/metrics.hpp"
 #include "serve/service.hpp"
 #include "serve/source.hpp"
@@ -61,6 +83,10 @@ int main() {
   // ~0 = no budget enforced; the CI smoke job sets 0.
   const std::uint64_t miss_budget =
       env_u64("OVERCOUNT_SERVE_DEADLINE_BUDGET", ~0ULL);
+  // Fault injections for the health-smoke drill (see header comment).
+  const std::uint64_t deadline_us =
+      env_u64("OVERCOUNT_SERVE_DEADLINE_US", 10'000'000);
+  const std::uint64_t stall_ms = env_u64("OVERCOUNT_INJECT_QUEUE_STALL_MS", 0);
 
   Rng rng(77);
   Rng build_rng = rng.split();
@@ -69,13 +95,43 @@ int main() {
   std::mutex graph_mutex;
 
   MetricsRegistry registry;
+  HealthCenter center(&registry);
+  center.install();
+  EstimateAuditor auditor(&registry, &center);
+
   ServiceConfig config;
   config.queue_capacity = 32;
   config.freshness.base_ttl_us = 2'000'000;
   config.refresh_period_us = fast ? 0 : 250'000;  // background refresher
   config.seed = 78;
   config.metrics = &registry;
+  config.auditor = &auditor;
+  // Demo objective, deliberately tighter than the default policy: the
+  // 50-request window allows a single miss, so even a fast-mode run with
+  // one injected stall pulse burns the whole budget and breaches.
+  config.slo.target = 0.98;
+  config.slo.window = 50;
+  config.slo.min_requests = 10;
   EstimateService service(dynamic_graph_source(graph, graph_mutex), config);
+
+  // Flight recorder: off unless OVERCOUNT_FLIGHT_DIR names a directory.
+  FlightRecorder flight(FlightRecorder::env_dir());
+  flight.attach_metrics(&registry);
+  flight.attach_health(&center);
+  if (flight.enabled()) {
+    flight.auto_dump_on(center, HealthSeverity::kCritical);
+    flight.install_signal_dump();
+  }
+
+  // Watchdog: a sustained near-full DeadlineQueue means the broker cannot
+  // keep up (or is wedged) — shedding alone would hide that as rejections.
+  Watchdog dog(&center);
+  dog.watch_level(
+      "serve.queue_saturated", "serve",
+      [&service] { return static_cast<double>(service.queue_depth()); },
+      0.9 * static_cast<double>(service.queue_capacity()),
+      /*sustain_us=*/500'000);
+  dog.start();
 
   // Export the same registry the service writes into; readiness = warmed.
   MetricsHttpServer http(registry,
@@ -84,6 +140,21 @@ int main() {
   http.set_ready_check([&service] { return service.warmed(); });
   std::cerr << "# metrics: http://127.0.0.1:" << http.port()
             << "/metrics — /readyz 503 until the first batch lands\n";
+
+  // Broker-stall injector: repeatedly pause dispatch for stall_ms, letting
+  // queued requests sit past their (short, injected) deadlines, then
+  // unpause so the scrub resolves them as misses and clients make progress
+  // between pulses. Off unless OVERCOUNT_INJECT_QUEUE_STALL_MS is set.
+  std::atomic<bool> stalling{stall_ms > 0};
+  std::thread staller([&] {
+    while (stalling.load(std::memory_order_relaxed)) {
+      service.set_paused(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+      service.set_paused(false);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max<std::uint64_t>(stall_ms / 2, 1)));
+    }
+  });
 
   std::atomic<bool> churning{true};
   std::thread churn([&] {
@@ -125,8 +196,9 @@ int main() {
                                 EstimateMethod::kSampleCollide, 0.5, 0.3};
           break;
       }
-      // Generous deadline: a miss means the broker stalled, not load.
-      req.deadline_us = service.now_us() + 10'000'000;
+      // Generous by default: a miss means the broker stalled, not load.
+      // The health-smoke drill shortens this so injected stalls miss.
+      req.deadline_us = service.now_us() + deadline_us;
       const EstimateResponse resp = service.query(req);
       switch (resp.status) {
         case ServeStatus::kOk:
@@ -153,9 +225,14 @@ int main() {
   std::vector<std::thread> workers;
   for (int id = 0; id < clients; ++id) workers.emplace_back(client, id);
   for (auto& w : workers) w.join();
+  stalling.store(false, std::memory_order_relaxed);
+  staller.join();
+  service.set_paused(false);  // in case the last pulse left it paused
   churning.store(false, std::memory_order_relaxed);
   churn.join();
+  dog.stop();
   service.stop();
+  center.uninstall();
 
   const auto snap = registry.snapshot();
   const std::uint64_t total =
@@ -178,6 +255,18 @@ int main() {
   if (tally.ok.load() > 0)
     std::cout << "mean ok latency  "
               << tally.latency_sum_us.load() / tally.ok.load() << " us\n";
+
+  // Per-class SLO ledger (the serve.slo.* family in /metrics).
+  std::cout << "\nSLO ledger (target " << config.slo.target << "):\n";
+  for (const char* cls : {"size.random_tour.deadline",
+                          "degree_sum.random_tour.deadline",
+                          "size.sample_collide.deadline"})
+    std::cout << "  " << cls << "  hit_rate " << service.slo().hit_rate(cls)
+              << "  burn " << service.slo().budget_burn(cls) << "\n";
+  std::cout << "  breaches " << service.slo().breaches() << "  audited "
+            << auditor.observations() << "  health events "
+            << center.total_raised() << "  bundles " << flight.dumps()
+            << "\n";
 
   std::cout << "\nserve.* exposition (GET /metrics):\n";
   const std::string metrics = http_get_body(http.port(), "/metrics");
@@ -203,6 +292,18 @@ int main() {
     std::cerr << "error: " << tally.deadline_missed.load()
               << " deadline misses exceed budget " << miss_budget << "\n";
     return 1;
+  }
+  if (stall_ms > 0) {
+    // The drill exists to prove the alarm chain: stall -> misses -> burn
+    // crosses 1.0 -> kCritical serve.slo_breach -> flight bundle.
+    if (service.slo().breaches() == 0) {
+      std::cerr << "error: injected broker stall never breached the SLO\n";
+      return 1;
+    }
+    if (flight.enabled() && flight.dumps() == 0) {
+      std::cerr << "error: SLO breached but no flight bundle landed\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -5,18 +5,24 @@ Usage: validate_trace.py <trace.json> [--min-events N] [--require-cat CAT]...
 
 Checks that the file is what ui.perfetto.dev / chrome://tracing will accept:
   * parses as JSON with a `traceEvents` array;
-  * every event has name/ph/pid/tid/ts; `ph` is one of X/i/M;
+  * every event has name/ph/pid/tid/ts; `ph` is one of X/i/M/s/t/f;
   * complete ('X') events carry a non-negative integer `dur`;
   * instant ('i') events carry a scope `s`;
+  * flow events ('s'/'t'/'f') carry a positive integer `id`, and steps and
+    finishes bind to the enclosing slice (`bp` == "e");
   * metadata ('M') events name the process and every tid that appears;
   * timestamps are non-negative integers (microseconds);
   * at least --min-events non-metadata events were recorded;
+  * at least --min-flow-links flow arrows exist (consecutive flow events
+    sharing an id draw one arrow; the health smoke test uses this to prove
+    a walk's trace really links across >= 2 shard handoffs);
   * each --require-cat category appears on at least one event (so the CI
     smoke test proves the runner, walk and estimator instrumentation all
     actually fired).
 
 Also validates the Prometheus side when --prometheus FILE is given: the
-exposition text must alternate `# TYPE` comments and sample lines, metric
+exposition text must carry a `# HELP` AND a `# TYPE` comment for every
+metric family (gauges and zero-observation histograms included), metric
 names must match [a-zA-Z_:][a-zA-Z0-9_:]*, histogram series must have
 non-decreasing cumulative buckets ending in an `+Inf` bucket equal to
 `_count`.
@@ -33,9 +39,10 @@ METRIC_LINE = re.compile(
     r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+NaInf-]+)$")
 TYPE_LINE = re.compile(
     r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+HELP_LINE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.+)$")
 
 
-def check_trace(path, min_events, require_cats):
+def check_trace(path, min_events, require_cats, min_flow_links=0):
     errors = []
     try:
         doc = json.loads(path.read_text())
@@ -51,13 +58,14 @@ def check_trace(path, min_events, require_cats):
     process_named = False
     cats = set()
     payload = 0
+    flow_counts = {}
     for i, e in enumerate(events):
         where = f"traceEvents[{i}]"
         for key in ("name", "ph", "pid", "tid"):
             if key not in e:
                 errors.append(f"{where}: missing '{key}'")
         ph = e.get("ph")
-        if ph not in ("X", "i", "M"):
+        if ph not in ("X", "i", "M", "s", "t", "f"):
             errors.append(f"{where}: unexpected phase {ph!r}")
             continue
         if ph == "M":
@@ -79,6 +87,16 @@ def check_trace(path, min_events, require_cats):
         if ph == "i" and e.get("s") not in ("t", "p", "g"):
             errors.append(f"{where}: 'i' event with bad scope "
                           f"{e.get('s')!r}")
+        if ph in ("s", "t", "f"):
+            flow_id = e.get("id")
+            if not isinstance(flow_id, int) or flow_id < 1:
+                errors.append(f"{where}: '{ph}' event with bad id "
+                              f"{flow_id!r}")
+            else:
+                flow_counts[flow_id] = flow_counts.get(flow_id, 0) + 1
+            if ph in ("t", "f") and e.get("bp") != "e":
+                errors.append(f"{where}: '{ph}' event without bp='e' "
+                              "(must bind to its enclosing slice)")
 
     if not process_named:
         errors.append("no process_name metadata event")
@@ -88,14 +106,21 @@ def check_trace(path, min_events, require_cats):
     if payload < min_events:
         errors.append(f"only {payload} non-metadata events recorded, "
                       f"expected >= {min_events}")
+    # Each consecutive pair of flow events with the same id is one rendered
+    # arrow (s->t, t->t, t->f), so a chain of k events contributes k-1 links.
+    flow_links = sum(n - 1 for n in flow_counts.values() if n > 1)
+    if flow_links < min_flow_links:
+        errors.append(f"only {flow_links} flow link(s) across "
+                      f"{len(flow_counts)} flow id(s), expected >= "
+                      f"{min_flow_links}")
     for cat in require_cats:
         if cat not in cats:
             errors.append(f"required category '{cat}' never recorded "
                           f"(saw: {sorted(c for c in cats if c)})")
     if not errors:
         print(f"ok   {path.name}: {payload} events, "
-              f"{len(seen_tids)} thread(s), categories "
-              f"{sorted(c for c in cats if c)}")
+              f"{len(seen_tids)} thread(s), {flow_links} flow link(s), "
+              f"categories {sorted(c for c in cats if c)}")
     return errors
 
 
@@ -107,17 +132,22 @@ def check_prometheus(path):
         return [f"{path}: unreadable: {e}"]
 
     declared = {}
+    helped = set()
     samples = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line:
             continue
         if line.startswith("#"):
             m = TYPE_LINE.match(line)
-            if m is None:
-                errors.append(f"{path.name}:{lineno}: bad comment line "
-                              f"{line!r}")
-            else:
+            if m is not None:
                 declared[m.group(1)] = m.group(2)
+                continue
+            m = HELP_LINE.match(line)
+            if m is not None:
+                helped.add(m.group(1))
+                continue
+            errors.append(f"{path.name}:{lineno}: bad comment line "
+                          f"{line!r}")
             continue
         m = METRIC_LINE.match(line)
         if m is None:
@@ -129,6 +159,9 @@ def check_prometheus(path):
     if not declared:
         errors.append(f"{path.name}: no # TYPE declarations")
     for name, kind in declared.items():
+        if name not in helped:
+            errors.append(f"{name}: # TYPE without # HELP "
+                          f"(every {kind} family needs both)")
         if kind == "histogram":
             buckets = samples.get(name + "_bucket", [])
             counts = [float(v) for _, v in buckets]
@@ -162,6 +195,9 @@ def main(argv=None):
     parser.add_argument("--require-cat", action="append", default=[],
                         help="category that must appear on >= 1 event "
                              "(repeatable)")
+    parser.add_argument("--min-flow-links", type=int, default=0,
+                        help="minimum flow arrows (consecutive same-id flow "
+                             "events) the trace must contain (default 0)")
     parser.add_argument("--prometheus", type=Path, default=None,
                         help="Prometheus exposition text file to validate "
                              "as well")
@@ -172,7 +208,8 @@ def main(argv=None):
 
     errors = []
     if args.trace is not None:
-        errors += check_trace(args.trace, args.min_events, args.require_cat)
+        errors += check_trace(args.trace, args.min_events, args.require_cat,
+                              args.min_flow_links)
     if args.prometheus is not None:
         errors += check_prometheus(args.prometheus)
     for e in errors:

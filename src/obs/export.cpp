@@ -93,10 +93,13 @@ void print_snapshot(std::ostream& os, const MetricsSnapshot& snapshot) {
   for (const auto& [name, v] : snapshot.gauges)
     os << name << ' ' << v << '\n';
   for (const auto& [name, h] : snapshot.histograms) {
-    os << name << " count=" << h.count << " mean=" << h.mean()
-       << " p50=" << h.percentile(0.5) << " p90=" << h.percentile(0.9)
-       << " p99=" << h.percentile(0.99);
-    if (!h.empty()) os << " max=" << h.max;
+    os << name << " count=" << h.count;
+    // mean()/percentile() are NaN on an empty histogram (obs/histogram.hpp);
+    // print nothing rather than a row of nans.
+    if (!h.empty())
+      os << " mean=" << h.mean() << " p50=" << h.percentile(0.5)
+         << " p90=" << h.percentile(0.9) << " p99=" << h.percentile(0.99)
+         << " max=" << h.max;
     os << '\n';
   }
 }

@@ -69,8 +69,22 @@ std::string format_double(double v) {
   return ec == std::errc{} ? std::string(buf, ptr) : std::string("0");
 }
 
+/// `# HELP` text for a metric. Scrapers and the exposition-format linters
+/// treat a TYPE without a HELP as a malformed family, so every metric gets
+/// one — derived from the registry name, which is already descriptive
+/// ("serve.request_latency_us", "shard.handoff_latency_us").
+void append_help(std::string& out, const std::string& pname,
+                 const std::string& raw_name, const char* kind) {
+  out += "# HELP " + pname + " Overcount " + kind + " '" + raw_name + "'.\n";
+}
+
 void append_histogram(std::string& out, const std::string& name,
-                      const Log2Histogram& h) {
+                      const std::string& raw_name, const Log2Histogram& h) {
+  // Emitted even with zero observations: a registered histogram that has
+  // not fired yet must still expose an empty, well-formed family (HELP,
+  // TYPE, +Inf bucket, _sum, _count) so dashboards and rate() queries see
+  // the series from scrape one.
+  append_help(out, name, raw_name, "log2 histogram");
   out += "# TYPE " + name + " histogram\n";
   // Cumulative le-buckets over the non-empty prefix: bucket i of the log2
   // histogram holds values <= bucket_upper(i), which IS a Prometheus `le`
@@ -111,16 +125,18 @@ std::string render_prometheus(const MetricsSnapshot& snapshot) {
     std::string pname = prometheus_name(name);
     if (pname.size() < 6 || pname.compare(pname.size() - 6, 6, "_total") != 0)
       pname += "_total";
+    append_help(out, pname, name, "counter");
     out += "# TYPE " + pname + " counter\n";
     out += pname + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
     const std::string pname = prometheus_name(name);
+    append_help(out, pname, name, "gauge");
     out += "# TYPE " + pname + " gauge\n";
     out += pname + " " + format_double(value) + "\n";
   }
   for (const auto& [name, hist] : snapshot.histograms)
-    append_histogram(out, prometheus_name(name), hist);
+    append_histogram(out, prometheus_name(name), name, hist);
   return out;
 }
 

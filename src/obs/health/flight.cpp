@@ -1,0 +1,183 @@
+#include "obs/health/flight.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+
+namespace overcount {
+
+namespace {
+
+std::uint64_t steady_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string sanitize_reason(const std::string& reason) {
+  std::string out;
+  for (const char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    out.push_back(ok ? c : '_');
+    if (out.size() >= 48) break;
+  }
+  return out.empty() ? std::string("unknown") : out;
+}
+
+std::atomic<FlightRecorder*> g_signal_recorder{nullptr};
+std::atomic<bool> g_in_signal_dump{false};
+
+void fatal_signal_handler(int sig) {
+  // Best-effort: one attempt, then die with the original signal either way.
+  if (!g_in_signal_dump.exchange(true)) {
+    if (FlightRecorder* rec =
+            g_signal_recorder.load(std::memory_order_acquire);
+        rec != nullptr)
+      rec->dump("fatal_signal");
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::string dir) : dir_(std::move(dir)) {}
+
+FlightRecorder::~FlightRecorder() {
+  if (owns_signal_hooks_) {
+    FlightRecorder* expected = this;
+    if (g_signal_recorder.compare_exchange_strong(expected, nullptr)) {
+      std::signal(SIGABRT, SIG_DFL);
+      std::signal(SIGSEGV, SIG_DFL);
+      std::signal(SIGBUS, SIG_DFL);
+    }
+  }
+}
+
+std::string FlightRecorder::env_dir() {
+  const char* dir = std::getenv("OVERCOUNT_FLIGHT_DIR");
+  return dir != nullptr ? std::string(dir) : std::string();
+}
+
+void FlightRecorder::attach_timeseries(const TimeSeriesRecorder* series) {
+  if (series != nullptr) series_.push_back(series);
+}
+
+void FlightRecorder::auto_dump_on(HealthCenter& center,
+                                  HealthSeverity min_severity,
+                                  std::uint64_t min_interval_us) {
+  center.subscribe([this, min_severity, min_interval_us](
+                       const HealthEvent& event) {
+    if (static_cast<int>(event.severity) < static_cast<int>(min_severity))
+      return;
+    const std::uint64_t now = steady_us();
+    std::uint64_t last = last_auto_dump_us_.load(std::memory_order_relaxed);
+    if (last != 0 && now - last < min_interval_us) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!last_auto_dump_us_.compare_exchange_strong(
+            last, now, std::memory_order_relaxed)) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;  // another thread's trigger is dumping concurrently
+    }
+    dump(event.code);
+  });
+}
+
+void FlightRecorder::install_signal_dump() {
+  FlightRecorder* expected = nullptr;
+  if (!g_signal_recorder.compare_exchange_strong(expected, this)) return;
+  owns_signal_hooks_ = true;
+  std::signal(SIGABRT, fatal_signal_handler);
+  std::signal(SIGSEGV, fatal_signal_handler);
+  std::signal(SIGBUS, fatal_signal_handler);
+}
+
+std::string FlightRecorder::dump(const std::string& reason) {
+  if (!enabled()) return {};
+  const std::lock_guard<std::mutex> lock(dump_mutex_);
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::string bundle_name =
+      "flight-" + std::to_string(seq) + "-" + sanitize_reason(reason);
+  const std::filesystem::path bundle =
+      std::filesystem::path(dir_) / bundle_name;
+  std::error_code ec;
+  std::filesystem::create_directories(bundle, ec);
+  if (ec) {
+    std::cerr << "# flight: cannot create " << bundle.string() << ": "
+              << ec.message() << '\n';
+    return {};
+  }
+
+  std::vector<std::string> files;
+
+  if (metrics_ != nullptr) {
+    std::ofstream out(bundle / "metrics.json");
+    if (out) {
+      JsonWriter w(out, /*indent=*/2);
+      write_json(w, metrics_->snapshot());
+      out << '\n';
+      files.push_back("metrics.json");
+    }
+  }
+  if (trace_ != nullptr) {
+    if (write_chrome_trace_file((bundle / "trace.json").string(), *trace_))
+      files.push_back("trace.json");
+  }
+  if (health_ != nullptr) {
+    std::ofstream out(bundle / "health_events.jsonl");
+    if (out) {
+      write_health_events_jsonl(out, health_->recent());
+      files.push_back("health_events.jsonl");
+    }
+  }
+  for (const TimeSeriesRecorder* series : series_) {
+    const std::string name =
+        "timeseries_" +
+        sanitize_reason(series->kind().empty() ? "run" : series->kind()) +
+        ".json";
+    if (write_timeseries_file((bundle / name).string(), *series))
+      files.push_back(name);
+  }
+
+  {
+    std::ofstream out(bundle / "manifest.json");
+    if (!out) {
+      std::cerr << "# flight: cannot write manifest in " << bundle.string()
+                << '\n';
+      return {};
+    }
+    JsonWriter w(out, /*indent=*/2);
+    w.begin_object();
+    w.kv("schema", 1);
+    w.kv("reason", reason);
+    w.kv("seq", seq);
+    w.kv("ts_us", steady_us());
+    w.key("files");
+    w.begin_array();
+    for (const std::string& f : files) w.value(f);
+    w.end_array();
+    w.end_object();
+    out << '\n';
+  }
+
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  std::cerr << "# flight: dumped " << bundle.string() << " (" << reason
+            << ")\n";
+  return bundle.string();
+}
+
+}  // namespace overcount

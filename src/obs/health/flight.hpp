@@ -1,0 +1,103 @@
+// Flight recorder: one-call post-mortem capture. When a watchdog trips, an
+// SLO budget burns out, or the process takes a fatal signal, dump() writes a
+// self-contained bundle directory under OVERCOUNT_FLIGHT_DIR:
+//
+//   flight-<seq>-<reason>/
+//     manifest.json          {schema, reason, ts_us, seq, files}
+//     metrics.json           full MetricsRegistry snapshot (obs/export.hpp)
+//     trace.json             the TraceRecorder ring as Chrome/Perfetto JSON
+//     health_events.jsonl    last N HealthEvents, one JSON object per line
+//     timeseries_<kind>.json recent TimeSeriesRecorder windows
+//
+// Only the sources actually attached appear (manifest.files says which);
+// scripts/validate_flight.py checks a bundle's integrity in CI. Dumping
+// reads snapshots through the same quiesce-free paths the live /metrics
+// endpoint uses, so it is safe at any time — the trace ring may be mid-write
+// and simply yields its most recent surviving events.
+//
+// auto_dump_on() subscribes to a HealthCenter and dumps (rate-limited) for
+// every event at or above a severity floor: that is the whole alarm wiring —
+// watchdog trip -> HealthEvent(kCritical) -> bundle on disk.
+//
+// install_signal_dump() additionally hooks SIGABRT/SIGSEGV/SIGBUS. Writing
+// files from a signal handler is best-effort by nature (the heap may be the
+// crime scene); the handler re-raises the default disposition afterwards so
+// the process still dies with the original signal.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/health/health.hpp"
+
+namespace overcount {
+
+class MetricsRegistry;
+class TraceRecorder;
+class TimeSeriesRecorder;
+
+class FlightRecorder {
+ public:
+  /// Bundles land under `dir` (created on first dump). An empty dir
+  /// disables the recorder: dump() becomes a no-op returning "".
+  explicit FlightRecorder(std::string dir);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// $OVERCOUNT_FLIGHT_DIR, or "" when unset.
+  static std::string env_dir();
+
+  bool enabled() const noexcept { return !dir_.empty(); }
+
+  /// Data sources; attach any subset. Attached objects must outlive the
+  /// recorder (or at least every dump).
+  void attach_metrics(const MetricsRegistry* metrics) { metrics_ = metrics; }
+  void attach_trace(const TraceRecorder* trace) { trace_ = trace; }
+  void attach_health(const HealthCenter* health) { health_ = health; }
+  void attach_timeseries(const TimeSeriesRecorder* series);
+
+  /// Subscribes to `center`: every event with severity >= `min_severity`
+  /// triggers dump(event.code), at most one bundle per `min_interval_us`
+  /// (later triggers inside the window are counted but not dumped — the
+  /// events themselves still land in health_events.jsonl of the next dump).
+  void auto_dump_on(HealthCenter& center,
+                    HealthSeverity min_severity = HealthSeverity::kCritical,
+                    std::uint64_t min_interval_us = 2'000'000);
+
+  /// Installs process signal handlers (SIGABRT/SIGSEGV/SIGBUS) that dump
+  /// through this recorder and then re-raise. One recorder at a time owns
+  /// the hooks; the destructor releases them.
+  void install_signal_dump();
+
+  /// Writes one bundle; returns its directory path, or "" when disabled or
+  /// the directory could not be created. Thread-safe (serialised).
+  std::string dump(const std::string& reason);
+
+  std::uint64_t dumps() const noexcept {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t suppressed_dumps() const noexcept {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::string dir_;
+  const MetricsRegistry* metrics_ = nullptr;
+  const TraceRecorder* trace_ = nullptr;
+  const HealthCenter* health_ = nullptr;
+  std::vector<const TimeSeriesRecorder*> series_;
+
+  std::mutex dump_mutex_;
+  std::atomic<std::uint64_t> dumps_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+  std::atomic<std::uint64_t> last_auto_dump_us_{0};
+  std::atomic<std::uint64_t> next_seq_{0};
+  bool owns_signal_hooks_ = false;
+};
+
+}  // namespace overcount

@@ -1,0 +1,129 @@
+#include "obs/health/health.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/contracts.hpp"
+
+namespace overcount {
+
+const char* to_string(HealthSeverity severity) noexcept {
+  switch (severity) {
+    case HealthSeverity::kInfo:
+      return "info";
+    case HealthSeverity::kWarn:
+      return "warn";
+    case HealthSeverity::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+HealthCenter::HealthCenter(MetricsRegistry* metrics, std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (metrics != nullptr) {
+    events_m_ = &metrics->counter("health.events");
+    info_m_ = &metrics->counter("health.info");
+    warn_m_ = &metrics->counter("health.warn");
+    critical_m_ = &metrics->counter("health.critical");
+  }
+}
+
+HealthCenter::~HealthCenter() {
+  // An installed center must never be destroyed: raise sites could be
+  // holding the pointer.
+  OVERCOUNT_EXPECTS(active() != this);
+}
+
+void HealthCenter::raise(HealthEvent event) {
+  event.ts_us = now_us();
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::uint8_t sev = static_cast<std::uint8_t>(event.severity);
+  std::uint8_t cur = worst_.load(std::memory_order_relaxed);
+  while (sev > cur &&
+         !worst_.compare_exchange_weak(cur, sev, std::memory_order_relaxed)) {
+  }
+  if (events_m_ != nullptr) {
+    events_m_->inc();
+    switch (event.severity) {
+      case HealthSeverity::kInfo:
+        info_m_->inc();
+        break;
+      case HealthSeverity::kWarn:
+        warn_m_->inc();
+        break;
+      case HealthSeverity::kCritical:
+        critical_m_->inc();
+        break;
+    }
+  }
+  std::vector<std::function<void(const HealthEvent&)>> subscribers;
+  HealthEvent copy;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    event.seq = next_seq_++;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+    } else {
+      ring_[ring_next_] = event;
+      ring_next_ = (ring_next_ + 1) % capacity_;
+    }
+    subscribers = subscribers_;
+    copy = std::move(event);
+  }
+  for (const auto& fn : subscribers) fn(copy);
+}
+
+void HealthCenter::raise(HealthSeverity severity, std::string_view code,
+                         std::string_view subsystem, std::string_view message,
+                         double value, double threshold) {
+  HealthEvent e;
+  e.severity = severity;
+  e.code = std::string(code);
+  e.subsystem = std::string(subsystem);
+  e.message = std::string(message);
+  e.value = value;
+  e.threshold = threshold;
+  raise(std::move(e));
+}
+
+std::vector<HealthEvent> HealthCenter::recent() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HealthEvent> out;
+  out.reserve(ring_.size());
+  // ring_next_ is the oldest slot once the ring has wrapped.
+  for (std::size_t k = 0; k < ring_.size(); ++k)
+    out.push_back(ring_[(ring_next_ + k) % ring_.size()]);
+  return out;
+}
+
+void HealthCenter::subscribe(std::function<void(const HealthEvent&)> fn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  subscribers_.push_back(std::move(fn));
+}
+
+void write_health_events_jsonl(std::ostream& os,
+                               const std::vector<HealthEvent>& events) {
+  for (const HealthEvent& e : events) {
+    // One JsonWriter per line: JSONL lines are independent documents.
+    std::ostringstream line;
+    JsonWriter w(line, /*indent=*/0);
+    w.begin_object();
+    w.kv("seq", e.seq);
+    w.kv("ts_us", e.ts_us);
+    w.kv("severity", to_string(e.severity));
+    w.kv("code", e.code);
+    w.kv("subsystem", e.subsystem);
+    w.kv("message", e.message);
+    w.kv("value", e.value);
+    w.kv("threshold", e.threshold);
+    w.end_object();
+    os << line.str() << '\n';
+  }
+}
+
+}  // namespace overcount

@@ -42,6 +42,12 @@ void write_event(JsonWriter& w, const TraceEvent& e) {
   w.kv("ts", e.ts_us);
   if (e.phase == 'X') w.kv("dur", e.dur_us);
   if (e.phase == 'i') w.kv("s", "t");  // instant scope: thread
+  if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+    w.kv("id", e.flow);
+    // Bind continuing/terminating flow points to the ENCLOSING slice (the
+    // hop span they were emitted inside), not the next slice to begin.
+    if (e.phase != 's') w.kv("bp", "e");
+  }
   if (e.arg_name != nullptr) {
     w.key("args");
     w.begin_object();

@@ -55,7 +55,10 @@
 namespace overcount {
 
 /// One recorded trace event. `phase` follows the Chrome trace_event format:
-/// 'X' = complete span (ts + dur), 'i' = instant.
+/// 'X' = complete span (ts + dur), 'i' = instant, and the flow triplet
+/// 's'/'t'/'f' (flow start / step / end) that draws causal arrows between
+/// slices on different threads — the mechanism that links one walk's hops
+/// across shard handoffs. Flow events carry `flow` as their binding id.
 struct TraceEvent {
   const char* name = nullptr;  ///< static string literal
   const char* cat = nullptr;   ///< static category literal
@@ -65,6 +68,7 @@ struct TraceEvent {
   std::uint64_t dur_us = 0;    ///< span duration ('X' only)
   const char* arg_name = nullptr;  ///< optional argument key (static literal)
   std::uint64_t arg = 0;           ///< argument value
+  std::uint64_t flow = 0;          ///< flow binding id ('s'/'t'/'f' only)
 };
 
 /// Collects TraceEvents from any number of threads into per-thread ring
@@ -134,7 +138,27 @@ class TraceRecorder {
   void record_instant(const char* cat, const char* name,
                       const char* arg_name = nullptr,
                       std::uint64_t arg = 0) noexcept {
-    record(TraceEvent{name, cat, 'i', 0, now_us(), 0, arg_name, arg});
+    record(TraceEvent{name, cat, 'i', 0, now_us(), 0, arg_name, arg, 0});
+  }
+
+  /// Convenience: records a flow event stamped now. `phase` must be 's'
+  /// (flow start), 't' (step) or 'f' (end); Perfetto draws an arrow between
+  /// consecutive flow events sharing `flow_id`, each attaching to the slice
+  /// enclosing it on its thread.
+  void record_flow(const char* cat, const char* name, char phase,
+                   std::uint64_t flow_id, const char* arg_name = nullptr,
+                   std::uint64_t arg = 0) noexcept {
+    record(TraceEvent{name, cat, phase, 0, now_us(), 0, arg_name, arg,
+                      flow_id});
+  }
+
+  /// Hands out process-unique flow-id blocks: a caller seeding m walks grabs
+  /// `reserve_flow_ids(m)` once and assigns base+walk to each, so ids never
+  /// collide across batches, engines or recorder reinstalls. Never returns 0
+  /// (0 means "untraced" in WalkToken).
+  static std::uint64_t reserve_flow_ids(std::uint64_t count) noexcept {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(count, std::memory_order_relaxed);
   }
 
   /// Snapshot of all recorded events, oldest-first per thread, merged and
@@ -241,6 +265,17 @@ inline void trace_instant(const char* cat, const char* name,
     rec->record_instant(cat, name, arg_name, arg);
 }
 
+/// Records a flow event ('s'/'t'/'f') if a recorder is installed. No-op for
+/// flow_id 0, the "untraced" sentinel, so callers can pass a token's flow id
+/// through unconditionally.
+inline void trace_flow(const char* cat, const char* name, char phase,
+                       std::uint64_t flow_id, const char* arg_name = nullptr,
+                       std::uint64_t arg = 0) noexcept {
+  if (flow_id == 0) return;
+  if (TraceRecorder* rec = TraceRecorder::active(); rec != nullptr)
+    rec->record_flow(cat, name, phase, flow_id, arg_name, arg);
+}
+
 /// RAII complete-span scope: stamps construction, records on destruction.
 /// One atomic load when no recorder is installed.
 class TraceSpan {
@@ -283,6 +318,8 @@ inline void trace_complete(const char*, const char*, std::uint64_t,
 }
 inline void trace_instant(const char*, const char*, const char* = nullptr,
                           std::uint64_t = 0) noexcept {}
+inline void trace_flow(const char*, const char*, char, std::uint64_t,
+                       const char* = nullptr, std::uint64_t = 0) noexcept {}
 
 class TraceSpan {
  public:
@@ -296,9 +333,10 @@ class TraceSpan {
 #endif  // OVERCOUNT_TRACE_ENABLED
 
 /// Serialises a recorder's events as Chrome/Perfetto `trace_event` JSON
-/// (the {"traceEvents": [...]} wrapper, 'X'/'i' phases, metadata events
-/// naming the process and threads). Load the file at ui.perfetto.dev or
-/// chrome://tracing. Uses the obs/json writer; see obs/trace.cpp.
+/// (the {"traceEvents": [...]} wrapper, 'X'/'i' and flow 's'/'t'/'f'
+/// phases, metadata events naming the process and threads). Load the file
+/// at ui.perfetto.dev or chrome://tracing. Uses the obs/json writer; see
+/// obs/trace.cpp.
 void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder,
                         const std::string& process_name = "overcount");
 

@@ -104,6 +104,7 @@ EstimateService::EstimateService(GraphSource source, ServiceConfig config)
       metrics_(config_.metrics != nullptr ? config_.metrics
                                           : owned_metrics_.get()),
       m_(std::make_unique<Metrics>(*metrics_)),
+      slo_(metrics_, nullptr, config_.slo),
       runner_(config_.threads, config_.kernel_width),
       planner_(config_.budget),
       queue_(config_.queue_capacity),
@@ -162,6 +163,28 @@ void EstimateService::update_gauges_locked() {
   m_->ttl_us.set(static_cast<double>(cache_.current_ttl_us()));
 }
 
+std::string EstimateService::slo_class(const EstimateRequest& request) {
+  std::string cls = to_string(request.kind);
+  cls += '.';
+  cls += to_string(request.method);
+  cls += request.deadline_us != kNoDeadline ? ".deadline" : ".besteffort";
+  return cls;
+}
+
+void EstimateService::resolve(std::promise<EstimateResponse>& promise,
+                              const EstimateRequest& request,
+                              EstimateResponse resp) {
+  SloOutcome outcome = SloOutcome::kOk;
+  switch (resp.status) {
+    case ServeStatus::kOk: outcome = SloOutcome::kOk; break;
+    case ServeStatus::kDeadlineMiss: outcome = SloOutcome::kDeadlineMiss; break;
+    case ServeStatus::kRejected: outcome = SloOutcome::kRejected; break;
+    case ServeStatus::kFailed: outcome = SloOutcome::kFailed; break;
+  }
+  slo_.record(slo_class(request), outcome, resp.latency_us);
+  promise.set_value(std::move(resp));
+}
+
 EstimateResponse EstimateService::hit_response(const CacheEntry& entry,
                                                std::uint64_t age_us,
                                                std::uint64_t admitted_us,
@@ -192,7 +215,7 @@ std::future<EstimateResponse> EstimateService::submit(
     m_->failures.inc();
     EstimateResponse resp;
     resp.status = ServeStatus::kFailed;
-    promise.set_value(std::move(resp));
+    resolve(promise, request, std::move(resp));
     return future;
   }
 
@@ -202,7 +225,7 @@ std::future<EstimateResponse> EstimateService::submit(
     EstimateResponse resp;
     resp.status = ServeStatus::kRejected;
     lock.unlock();
-    promise.set_value(std::move(resp));
+    resolve(promise, request, std::move(resp));
     return future;
   }
 
@@ -222,7 +245,7 @@ std::future<EstimateResponse> EstimateService::submit(
       const CacheEntry entry = *lookup.entry;
       const std::uint64_t age = lookup.age_us;
       lock.unlock();
-      promise.set_value(hit_response(entry, age, now, false));
+      resolve(promise, request, hit_response(entry, age, now, false));
       return future;
     }
     m_->cache_misses.inc();
@@ -233,7 +256,7 @@ std::future<EstimateResponse> EstimateService::submit(
     lock.unlock();
     EstimateResponse resp;
     resp.status = ServeStatus::kDeadlineMiss;
-    promise.set_value(std::move(resp));
+    resolve(promise, request, std::move(resp));
     return future;
   }
 
@@ -282,7 +305,7 @@ std::future<EstimateResponse> EstimateService::submit(
     resp.status = ServeStatus::kRejected;
     resp.retry_after_us = retry_hint_locked();
     lock.unlock();
-    promise.set_value(std::move(resp));
+    resolve(promise, request, std::move(resp));
     return future;
   }
 
@@ -302,7 +325,7 @@ std::future<EstimateResponse> EstimateService::submit(
     resp.status = ServeStatus::kRejected;
     resp.retry_after_us = retry_hint_locked();
     lock.unlock();
-    batch->waiters.front().promise.set_value(std::move(resp));
+    resolve(batch->waiters.front().promise, request, std::move(resp));
     return future;
   }
   outstanding_steps_ += planned_steps;
@@ -352,7 +375,7 @@ void EstimateService::run_and_deliver(const BatchPtr& batch) {
         EstimateResponse resp;
         resp.status = ServeStatus::kDeadlineMiss;
         resp.latency_us = dispatch_now - w.admitted_us;
-        w.promise.set_value(std::move(resp));
+        resolve(w.promise, w.request, std::move(resp));
       } else {
         live.push_back(std::move(w));
       }
@@ -379,8 +402,8 @@ void EstimateService::run_and_deliver(const BatchPtr& batch) {
       m_->cache_hits.add(batch->waiters.size());
       for (auto& w : batch->waiters) {
         m_->hit_age_us.record(age);
-        w.promise.set_value(
-            hit_response(entry, age, w.admitted_us, w.coalesced));
+        resolve(w.promise, w.request,
+                hit_response(entry, age, w.admitted_us, w.coalesced));
       }
       return;
     }
@@ -421,7 +444,7 @@ void EstimateService::run_and_deliver(const BatchPtr& batch) {
       resp.status = ServeStatus::kFailed;
       resp.graph_version = snap.version;
       resp.latency_us = now_us() - w.admitted_us;
-      w.promise.set_value(std::move(resp));
+      resolve(w.promise, w.request, std::move(resp));
     }
     if (batch->refresh_only && batch->waiters.empty()) m_->failures.inc();
   };
@@ -511,6 +534,13 @@ void EstimateService::run_and_deliver(const BatchPtr& batch) {
   }
   warmed_.store(true, std::memory_order_release);
 
+  // Feed the accuracy auditor AFTER the result is final: it only reads the
+  // delivered (value, promise, version) triple, never influences it.
+  if (config_.auditor != nullptr)
+    config_.auditor->observe(to_string(batch->key.kind),
+                             to_string(batch->key.method), value, plan.epsilon,
+                             batch->delta, snap.version);
+
   for (auto& w : batch->waiters) {
     EstimateResponse resp;
     // A result that lands after the deadline is still delivered (the walks
@@ -529,7 +559,7 @@ void EstimateService::run_and_deliver(const BatchPtr& batch) {
     resp.age_us = 0;
     resp.latency_us = t1 >= w.admitted_us ? t1 - w.admitted_us : 0;
     m_->request_latency_us.record(resp.latency_us);
-    w.promise.set_value(std::move(resp));
+    resolve(w.promise, w.request, std::move(resp));
   }
 }
 
@@ -609,7 +639,7 @@ void EstimateService::stop() {
       m_->failures.inc();
       EstimateResponse resp;
       resp.status = ServeStatus::kFailed;
-      w.promise.set_value(std::move(resp));
+      resolve(w.promise, w.request, std::move(resp));
     }
   }
   std::lock_guard lock(mutex_);

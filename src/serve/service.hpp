@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/health/audit.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/deadline_queue.hpp"
 #include "runtime/parallel_runner.hpp"
@@ -107,6 +108,15 @@ struct ServiceConfig {
   /// Registry for the serve.* family; null = a registry owned by the
   /// service (reachable via metrics()).
   MetricsRegistry* metrics = nullptr;
+
+  /// Optional accuracy auditor: every landed batch feeds its delivered
+  /// (value, epsilon, delta, version) into the (kind, method) stream. The
+  /// auditor only READS results — bit-identity is untouched. Null = off.
+  EstimateAuditor* auditor = nullptr;
+
+  /// Deadline objective for the per-class SLO ledger (serve.slo.* family;
+  /// classes are "<kind>.<method>.<deadline|besteffort>").
+  SloPolicy slo;
 };
 
 class EstimateService {
@@ -143,10 +153,18 @@ class EstimateService {
 
   std::size_t queue_depth() const;
 
+  /// Bound of the broker queue (the saturation reference for watchdogs
+  /// polling queue_depth()).
+  std::size_t queue_capacity() const noexcept { return config_.queue_capacity; }
+
   /// Microseconds on the service clock (config.now_us or steady).
   std::uint64_t now_us() const;
 
   MetricsRegistry& metrics() noexcept { return *metrics_; }
+
+  /// Per-class deadline SLO ledger; every resolved request is recorded here
+  /// (serve.slo.* family in metrics()).
+  const SloLedger& slo() const noexcept { return slo_; }
 
   /// Stops broker + refresher, fails all queued waiters. Idempotent;
   /// called by the destructor. Further submissions are rejected.
@@ -197,6 +215,12 @@ class EstimateService {
   void run_and_deliver(const BatchPtr& batch);
   EstimateResponse hit_response(const CacheEntry& entry, std::uint64_t age_us,
                                 std::uint64_t admitted_us, bool coalesced);
+  /// The one funnel every response leaves through: records the request's
+  /// class outcome in the SLO ledger, then fulfils the promise. Never call
+  /// set_value directly on a request promise.
+  void resolve(std::promise<EstimateResponse>& promise,
+               const EstimateRequest& request, EstimateResponse resp);
+  static std::string slo_class(const EstimateRequest& request);
   std::uint64_t retry_hint_locked() const;
   void release_steps_locked(const BatchPtr& batch);
   void update_gauges_locked();
@@ -206,6 +230,7 @@ class EstimateService {
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_;
   std::unique_ptr<Metrics> m_;
+  SloLedger slo_;
   ParallelRunner runner_;
   BudgetPlanner planner_;
   DeadlineQueue<BatchPtr> queue_;

@@ -38,13 +38,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <ctime>
 #include <span>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "obs/health/watchdog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
@@ -77,7 +80,9 @@ class ShardedWalkEngine {
   /// shard.* counter/gauge/histogram stream.
   ShardedWalkEngine(const ShardedGraph& g, ParallelRunner& runner,
                     MetricsRegistry* metrics = nullptr)
-      : graph_(&g), runner_(&runner) {
+      : graph_(&g),
+        runner_(&runner),
+        epoch_(std::chrono::steady_clock::now()) {
     if (metrics != nullptr) {
       handoffs_m_ = &metrics->counter("shard.handoffs");
       stitches_m_ = &metrics->counter("shard.stitches");
@@ -87,7 +92,15 @@ class ShardedWalkEngine {
       consumed_m_ = &metrics->counter("shard.tokens_consumed");
       in_flight_m_ = &metrics->gauge("shard.tokens_in_flight");
       depth_m_ = &metrics->histogram("shard.mailbox_depth");
+      latency_m_ = &metrics->histogram("shard.handoff_latency_us");
     }
+    // Fault-injection hook for the watchdog/flight-recorder drills (CI
+    // health-smoke, EXPERIMENTS walkthrough): sleep this long per superstep
+    // so a stall detector has something real to catch. Never touches the
+    // walks themselves — estimates stay bit-identical under injection.
+    if (const char* delay = std::getenv("OVERCOUNT_INJECT_SUPERSTEP_DELAY_US");
+        delay != nullptr)
+      inject_delay_us_ = std::strtoull(delay, nullptr, 10);
   }
 
   ShardedWalkEngine(const ShardedWalkEngine&) = delete;
@@ -105,6 +118,11 @@ class ShardedWalkEngine {
   }
   void disable_stitching() noexcept { store_ = nullptr; }
   bool stitching_enabled() const noexcept { return store_ != nullptr; }
+
+  /// Wires a liveness beacon for the BSP loop: armed while a batch runs,
+  /// one beat per superstep. Watch it with Watchdog::watch_heartbeat to
+  /// turn a stalled superstep into a HealthEvent (obs/health/watchdog.hpp).
+  void set_heartbeat(Heartbeat* hb) noexcept { heartbeat_ = hb; }
 
   /// Counters of the most recent run_* batch.
   const ShardRunStats& last_run_stats() const noexcept { return stats_; }
@@ -141,6 +159,7 @@ class ShardedWalkEngine {
     // Seed serially on the driver thread: replay the scalar prologue
     // (walk_begin, counter init, first draw, loop-condition check) so every
     // token enters the round loop at the scalar loop top.
+    const std::uint64_t flow_base = reserve_flows(m);
     std::vector<std::vector<WalkToken>> seeds(graph_->num_shards());
     for (std::size_t i = 0; i < m; ++i) {
       if constexpr (probe_enabled_v<P>) probes[i].walk_begin(origin);
@@ -156,9 +175,10 @@ class ShardedWalkEngine {
         ++ctx.retired;
       } else {
         if constexpr (probe_enabled_v<P>) probes[i].on_visit(at);
-        seeds[graph_->owner(at)].push_back({static_cast<std::uint32_t>(i),
-                                            WalkKind::kTour, at, kFirstStep,
-                                            acc, rng});
+        seeds[graph_->owner(at)].push_back(
+            seed_token({static_cast<std::uint32_t>(i), WalkKind::kTour, at,
+                        kFirstStep, acc, rng},
+                       flow_base, i));
       }
     }
     push_seeds(ctx, seeds);
@@ -176,6 +196,8 @@ class ShardedWalkEngine {
           if (const WalkSegment* seg = store_->take(at)) {
             ++cell.stitches;
             const std::size_t len = seg->nodes.size() - 1;
+            trace_flow("shard", "walk.stitch", 't', tk.flow, "len",
+                       static_cast<std::uint64_t>(len));
             for (std::size_t k = 0; k < len; ++k) {
               acc += f(seg->nodes[k]) /
                      static_cast<double>(graph_->degree(seg->nodes[k]));
@@ -184,15 +206,15 @@ class ShardedWalkEngine {
               ++cell.stitch_steps;
               if (at == origin || steps >= max_steps) {
                 retire_tour(batch, probes, tk.walk, dd0 * acc, steps,
-                            at == origin, cell);
+                            at == origin, cell, tk.flow);
                 return;
               }
               if constexpr (probe_enabled_v<P>) probes[tk.walk].on_visit(at);
             }
             if (graph_->owner(at) != s) {
               ++cell.handoffs;
-              outs[graph_->owner(at)].push_back(
-                  {tk.walk, WalkKind::kTour, at, steps, acc, rng});
+              outs[graph_->owner(at)].push_back(frozen(
+                  {tk.walk, WalkKind::kTour, at, steps, acc, rng}, tk.flow));
               return;
             }
             continue;
@@ -204,14 +226,14 @@ class ShardedWalkEngine {
         ++steps;
         if (at == origin || steps >= max_steps) {
           retire_tour(batch, probes, tk.walk, dd0 * acc, steps, at == origin,
-                      cell);
+                      cell, tk.flow);
           return;
         }
         if constexpr (probe_enabled_v<P>) probes[tk.walk].on_visit(at);
         if (graph_->owner(at) != s) {
           ++cell.handoffs;
-          outs[graph_->owner(at)].push_back(
-              {tk.walk, WalkKind::kTour, at, steps, acc, rng});
+          outs[graph_->owner(at)].push_back(frozen(
+              {tk.walk, WalkKind::kTour, at, steps, acc, rng}, tk.flow));
           return;
         }
       }
@@ -247,13 +269,15 @@ class ShardedWalkEngine {
 
     // A CTRW walk starts with the sojourn draw at the origin, so every walk
     // seeds as a token AT the origin (walk_begin emitted, no draw yet).
+    const std::uint64_t flow_base = reserve_flows(m);
     std::vector<std::vector<WalkToken>> seeds(graph_->num_shards());
     const std::uint32_t home = graph_->owner(origin);
     for (std::size_t i = 0; i < m; ++i) {
       if constexpr (probe_enabled_v<P>) probes[i].walk_begin(origin);
-      seeds[home].push_back({static_cast<std::uint32_t>(i),
-                             WalkKind::kSample, origin, 0, timer_horizon,
-                             streams[i]});
+      seeds[home].push_back(seed_token(
+          {static_cast<std::uint32_t>(i), WalkKind::kSample, origin, 0,
+           timer_horizon, streams[i]},
+          flow_base, i));
     }
     push_seeds(ctx, seeds);
 
@@ -264,6 +288,7 @@ class ShardedWalkEngine {
       const auto status =
           advance_ctrw(s, tk, cell, outs, WalkKind::kSample, probes);
       if (status.finished) {
+        trace_flow("shard", "walk.flow", 'f', tk.flow);
         batch.samples[tk.walk] = {status.node, status.hops};
         ++cell.retired;
       }
@@ -316,12 +341,14 @@ class ShardedWalkEngine {
     std::vector<TrialState> trial_state(trials);
     const std::uint32_t home = graph_->owner(origin);
 
+    const std::uint64_t flow_base = reserve_flows(trials);
     std::vector<std::vector<WalkToken>> seeds(graph_->num_shards());
     for (std::size_t t = 0; t < trials; ++t) {
       if constexpr (probe_enabled_v<P>) probes[t].walk_begin(origin);
-      seeds[home].push_back({static_cast<std::uint32_t>(t),
-                             WalkKind::kScWalk, origin, 0, timer_horizon,
-                             streams[t]});
+      seeds[home].push_back(seed_token(
+          {static_cast<std::uint32_t>(t), WalkKind::kScWalk, origin, 0,
+           timer_horizon, streams[t]},
+          flow_base, t));
     }
     push_seeds(ctx, seeds);
 
@@ -342,13 +369,16 @@ class ShardedWalkEngine {
             st.prev_collision_at = st.tracker.samples();
           }
           if (st.tracker.collisions() >= ell) {
+            trace_flow("shard", "walk.flow", 'f', tk.flow);
             batch.trials[tk.walk] = detail::finalize_sc_trial(
                 ScTrialRaw{st.tracker.samples(), st.hops}, ell);
             ++cell.retired;
             return;
           }
           if constexpr (probe_enabled_v<P>) probes[tk.walk].walk_begin(origin);
+          const std::uint64_t flow = tk.flow;  // trial-long causal chain
           tk = {tk.walk, WalkKind::kScWalk, origin, 0, timer_horizon, tk.rng};
+          tk.flow = flow;
           continue;  // fall through into the walk phase
         }
         const auto status =
@@ -356,14 +386,15 @@ class ShardedWalkEngine {
         if (!status.finished) return;  // walk handed off mid-flight
         // Walk died at status.node: report home. When this worker IS home,
         // process the report inline — same round, same deterministic order.
-        const WalkToken report{tk.walk, WalkKind::kScReport, status.node,
-                               status.hops, 0.0, status.rng};
+        WalkToken report{tk.walk, WalkKind::kScReport, status.node,
+                         status.hops, 0.0, status.rng};
+        report.flow = tk.flow;
         if (s == home) {
           tk = report;
           continue;
         }
         ++cell.reports;
-        outs[home].push_back(report);
+        outs[home].push_back(frozen(report, tk.flow));
         return;
       }
     });
@@ -450,6 +481,8 @@ class ShardedWalkEngine {
         if (const WalkSegment* seg = store_->take(at)) {
           ++cell.stitches;
           const std::size_t len = seg->nodes.size() - 1;
+          trace_flow("shard", "walk.stitch", 't', tk.flow, "len",
+                     static_cast<std::uint64_t>(len));
           for (std::size_t k = 0; k < len; ++k) {
             const double sojourn = seg->sojourns[k];
             if constexpr (probe_enabled_v<P>)
@@ -467,7 +500,7 @@ class ShardedWalkEngine {
           if (graph_->owner(at) != s) {
             ++cell.handoffs;
             outs[graph_->owner(at)].push_back(
-                {tk.walk, kind, at, hops, remaining, rng});
+                frozen({tk.walk, kind, at, hops, remaining, rng}, tk.flow));
             return {};
           }
           continue;
@@ -490,7 +523,7 @@ class ShardedWalkEngine {
       if (graph_->owner(at) != s) {
         ++cell.handoffs;
         outs[graph_->owner(at)].push_back(
-            {tk.walk, kind, at, hops, remaining, rng});
+            frozen({tk.walk, kind, at, hops, remaining, rng}, tk.flow));
         return {};
       }
     }
@@ -499,10 +532,52 @@ class ShardedWalkEngine {
   template <WalkProbe P>
   void retire_tour(TourBatch& batch, std::span<P> probes, std::uint32_t walk,
                    double value, std::uint64_t steps, bool completed,
-                   Cell& cell) {
+                   Cell& cell, std::uint64_t flow) {
+    trace_flow("shard", "walk.flow", 'f', flow);
     if constexpr (probe_enabled_v<P>) probes[walk].tour_end(steps, completed);
     batch.tours[walk] = {value, steps, completed};
     ++cell.retired;
+  }
+
+  /// Microseconds since engine construction — the clock both ends of a
+  /// handoff share for shard.handoff_latency_us (freeze here, thaw in
+  /// run_rounds). Distinct from the trace clock on purpose: latency metrics
+  /// must not require a TraceRecorder.
+  std::uint64_t engine_now_us() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Reserves a flow-id block for a batch of m walks when a recorder is
+  /// listening; 0 (= untraced) otherwise, which folds every flow site out.
+  static std::uint64_t reserve_flows(std::size_t m) noexcept {
+    return trace_active()
+               ? TraceRecorder::reserve_flow_ids(static_cast<std::uint64_t>(m))
+               : 0;
+  }
+
+  /// Stamps migration metadata on a freshly seeded token and opens its
+  /// causal chain ('s' flow event on the driver, inside the batch span).
+  WalkToken seed_token(WalkToken t, std::uint64_t flow_base,
+                       std::size_t i) const noexcept {
+    if (flow_base != 0) {
+      t.flow = flow_base + i;
+      trace_flow("shard", "walk.flow", 's', t.flow, "walk",
+                 static_cast<std::uint64_t>(i));
+    }
+    if (latency_m_ != nullptr) t.frozen_us = engine_now_us();
+    return t;
+  }
+
+  /// Stamps migration metadata on a mid-walk handoff token: the walk's flow
+  /// id rides along, and the freeze time feeds the latency histogram at the
+  /// destination. Touches no walk state and no Rng.
+  WalkToken frozen(WalkToken t, std::uint64_t flow) const noexcept {
+    t.flow = flow;
+    if (latency_m_ != nullptr) t.frozen_us = engine_now_us();
+    return t;
   }
 
   void push_seeds(BatchContext& ctx,
@@ -524,8 +599,24 @@ class ShardedWalkEngine {
   void run_rounds(BatchContext& ctx, std::size_t total, Process&& process) {
     const std::uint32_t shards = graph_->num_shards();
     std::vector<std::vector<WalkToken>> inboxes(shards);
+    // Liveness beacon: armed for the batch, one beat per superstep. The
+    // guard disarms even when fold_round throws on a token leak — a stall
+    // alarm must not outlive the batch that caused it.
+    struct HeartbeatGuard {
+      Heartbeat* hb;
+      explicit HeartbeatGuard(Heartbeat* h) : hb(h) {
+        if (hb != nullptr) hb->arm();
+      }
+      ~HeartbeatGuard() {
+        if (hb != nullptr) hb->disarm();
+      }
+    } hb_guard(heartbeat_);
     while (ctx.retired < total) {
       ctx.stats.rounds += 1;
+      if (heartbeat_ != nullptr) heartbeat_->beat();
+      if (inject_delay_us_ > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(inject_delay_us_));
       TraceSpan round_span("shard", "shard.round", "in_flight",
                            static_cast<std::uint64_t>(total - ctx.retired));
       // Strict BSP: the DRIVER drains every mailbox between the round
@@ -544,7 +635,19 @@ class ShardedWalkEngine {
         std::vector<std::vector<WalkToken>> outs(shards);
         for (WalkToken& tk : inbox) {
           ++cell.processed;
-          process(s, tk, cell, outs);
+          // Thaw accounting: freeze-to-thaw time of the migration this
+          // token just completed (stamped by seed_token/frozen).
+          if (tk.frozen_us != 0 && latency_m_ != nullptr)
+            latency_m_->record(engine_now_us() - tk.frozen_us);
+          if (tk.flow != 0) {
+            // One hop span per delivered token, with the walk's flow id
+            // stepping through it — Perfetto chains these across shards.
+            TraceSpan hop_span("shard", "walk.hop", "walk", tk.walk);
+            trace_flow("shard", "walk.flow", 't', tk.flow);
+            process(s, tk, cell, outs);
+          } else {
+            process(s, tk, cell, outs);
+          }
         }
         for (std::uint32_t d = 0; d < shards; ++d) {
           if (outs[d].empty()) continue;
@@ -609,6 +712,9 @@ class ShardedWalkEngine {
   ParallelRunner* runner_;
   SegmentStore* store_ = nullptr;
   ShardRunStats stats_;
+  const std::chrono::steady_clock::time_point epoch_;
+  Heartbeat* heartbeat_ = nullptr;
+  std::uint64_t inject_delay_us_ = 0;
 
   Counter* handoffs_m_ = nullptr;
   Counter* stitches_m_ = nullptr;
@@ -618,6 +724,7 @@ class ShardedWalkEngine {
   Counter* consumed_m_ = nullptr;
   Gauge* in_flight_m_ = nullptr;
   AtomicHistogram* depth_m_ = nullptr;
+  AtomicHistogram* latency_m_ = nullptr;
 };
 
 /// Batch front-ends routed through the sharded engine when a ShardPlan is

@@ -34,8 +34,14 @@ enum class WalkKind : std::uint8_t {
               ///< steps = hops of that walk, rng = stream to continue with
 };
 
-/// A frozen in-flight walk. 48 bytes: small enough that a handoff is one
-/// cheap vector push, and nothing graph-sized ever crosses shards.
+/// A frozen in-flight walk. 64 bytes (one cache line): small enough that a
+/// handoff is one cheap vector push, and nothing graph-sized ever crosses
+/// shards. The trailing pair is migration metadata, not walk state: `flow`
+/// threads a per-walk causal-trace id across every handoff (0 = untraced;
+/// obs/trace.hpp flow events), `frozen_us` stamps when the walk froze so the
+/// thawing shard can histogram shard.handoff_latency_us (0 = unstamped).
+/// Neither field is ever read by the walk logic itself — bit-identity of the
+/// estimates is untouched.
 struct WalkToken {
   std::uint32_t walk = 0;  ///< batch slot (tour/sample index, or trial id)
   WalkKind kind = WalkKind::kTour;
@@ -43,6 +49,8 @@ struct WalkToken {
   std::uint64_t steps = 0;
   double acc = 0.0;
   Rng rng{0};
+  std::uint64_t flow = 0;       ///< causal-trace flow id (0 = untraced)
+  std::uint64_t frozen_us = 0;  ///< freeze timestamp (0 = unstamped)
 };
 
 /// MPSC mailbox for one shard. Producers (other shards' workers) push one

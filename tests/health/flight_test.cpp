@@ -1,0 +1,156 @@
+// Flight-recorder bundles must be self-contained and machine-valid: the
+// manifest (schema 1) lists exactly the files written, every listed file
+// exists and parses, health events survive as line-parseable JSONL, and the
+// auto-dump wiring honours its severity floor and rate limit. These are the
+// same properties scripts/validate_flight.py enforces on CI bundles.
+#include "obs/health/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/health/health.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+
+namespace overcount {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string fresh_dir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(FlightRecorder, EmptyDirDisablesDumping) {
+  FlightRecorder recorder("");
+  EXPECT_FALSE(recorder.enabled());
+  EXPECT_EQ(recorder.dump("anything"), "");
+  EXPECT_EQ(recorder.dumps(), 0u);
+}
+
+TEST(FlightRecorder, BundleIsSelfContainedAndParses) {
+  MetricsRegistry registry;
+  registry.counter("shard.handoffs").add(12);
+  registry.histogram("shard.mailbox_depth").record(3);
+
+  TraceRecorder trace(64);
+  trace.record_instant("shard", "superstep");
+  trace.record_complete("shard", "shard.run_tours", 0);
+
+  HealthCenter center;
+  center.raise(HealthSeverity::kCritical, "shard.superstep_stall", "shard",
+               "no beat for 2s", 2e6, 1e6);
+
+  TimeSeriesRecorder series("size");
+  series.record(10, 1000, 99.5, 4.0);
+
+  FlightRecorder recorder(fresh_dir("flight_bundle_test"));
+  ASSERT_TRUE(recorder.enabled());
+  recorder.attach_metrics(&registry);
+  recorder.attach_trace(&trace);
+  recorder.attach_health(&center);
+  recorder.attach_timeseries(&series);
+
+  const std::string bundle = recorder.dump("unit.test-reason");
+  ASSERT_FALSE(bundle.empty());
+  EXPECT_EQ(recorder.dumps(), 1u);
+  // The reason lands (sanitised) in the bundle directory name, so a human
+  // listing OVERCOUNT_FLIGHT_DIR can tell the dumps apart.
+  EXPECT_NE(bundle.find("unit.test-reason"), std::string::npos);
+
+  const JsonValue manifest = parse_json(slurp(fs::path(bundle) / "manifest.json"));
+  ASSERT_TRUE(manifest.is_object());
+  EXPECT_EQ(manifest.find("schema")->as_number(), 1.0);
+  EXPECT_EQ(manifest.find("reason")->as_string(), "unit.test-reason");
+  ASSERT_NE(manifest.find("files"), nullptr);
+  const auto& files = manifest.find("files")->as_array();
+  ASSERT_EQ(files.size(), 4u);  // all four attached sources were captured
+  for (const JsonValue& f : files)
+    EXPECT_TRUE(fs::exists(fs::path(bundle) / f.as_string()))
+        << f.as_string();
+
+  // metrics.json round-trips through the parser with the counters intact.
+  const JsonValue metrics = parse_json(slurp(fs::path(bundle) / "metrics.json"));
+  const JsonValue* counters = metrics.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("shard.handoffs")->as_number(), 12.0);
+
+  // trace.json is Chrome trace_event format: a traceEvents array.
+  const JsonValue tr = parse_json(slurp(fs::path(bundle) / "trace.json"));
+  ASSERT_NE(tr.find("traceEvents"), nullptr);
+  EXPECT_TRUE(tr.find("traceEvents")->is_array());
+
+  // health_events.jsonl: one parseable object per line, our event included.
+  std::ifstream jsonl(fs::path(bundle) / "health_events.jsonl");
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_stall = false;
+  while (std::getline(jsonl, line)) {
+    const JsonValue event = parse_json(line);
+    if (event.find("code")->as_string() == "shard.superstep_stall")
+      saw_stall = true;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 1u);
+  EXPECT_TRUE(saw_stall);
+
+  // A second dump gets its own sequence number and directory.
+  const std::string second = recorder.dump("unit.test-reason");
+  EXPECT_NE(second, bundle);
+  EXPECT_EQ(recorder.dumps(), 2u);
+}
+
+TEST(FlightRecorder, AutoDumpHonoursSeverityFloorAndRateLimit) {
+  HealthCenter center;
+  FlightRecorder recorder(fresh_dir("flight_auto_test"));
+  recorder.attach_health(&center);
+  recorder.auto_dump_on(center, HealthSeverity::kCritical,
+                        /*min_interval_us=*/60'000'000);
+
+  // Below the floor: watched but never dumped.
+  center.raise(HealthSeverity::kInfo, "a", "t", "m");
+  center.raise(HealthSeverity::kWarn, "b", "t", "m");
+  EXPECT_EQ(recorder.dumps(), 0u);
+
+  // The first critical event dumps a bundle named after its code.
+  center.raise(HealthSeverity::kCritical, "serve.slo_breach", "serve", "m");
+  EXPECT_EQ(recorder.dumps(), 1u);
+
+  // Criticals inside the rate-limit window are counted, not dumped: a
+  // breach storm must not fill the disk with identical bundles.
+  center.raise(HealthSeverity::kCritical, "serve.slo_breach", "serve", "m");
+  center.raise(HealthSeverity::kCritical, "shard.superstep_stall", "shard",
+               "m");
+  EXPECT_EQ(recorder.dumps(), 1u);
+  EXPECT_EQ(recorder.suppressed_dumps(), 2u);
+
+  // The bundle that did land carries the triggering code in its name and
+  // the full event history in its JSONL (including the suppressed ones'
+  // predecessors).
+  bool found = false;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(::testing::TempDir()) /
+                              "flight_auto_test"))
+    if (entry.path().filename().string().find("serve.slo_breach") !=
+        std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace overcount

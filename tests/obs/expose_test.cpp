@@ -45,6 +45,7 @@ TEST(RenderPrometheus, GaugesRenderRoundTripDecimal) {
   MetricsRegistry registry;
   registry.gauge("walk.sojourn_time").set(1.5);
   const std::string text = render_prometheus(registry.snapshot());
+  EXPECT_TRUE(contains(text, "# HELP walk_sojourn_time "));
   EXPECT_TRUE(contains(text, "# TYPE walk_sojourn_time gauge\n"));
   EXPECT_TRUE(contains(text, "walk_sojourn_time 1.5\n"));
 }
@@ -68,6 +69,10 @@ TEST(RenderPrometheus, EmptyHistogramStillClosesWithInf) {
   MetricsRegistry registry;
   registry.histogram("quiet");
   const std::string text = render_prometheus(registry.snapshot());
+  // A zero-observation histogram is still a full family: HELP + TYPE +
+  // closed bucket series, so scrapers see it from the first scrape.
+  EXPECT_TRUE(contains(text, "# HELP quiet "));
+  EXPECT_TRUE(contains(text, "# TYPE quiet histogram\n"));
   EXPECT_TRUE(contains(text, "quiet_bucket{le=\"+Inf\"} 0\n"));
   EXPECT_TRUE(contains(text, "quiet_count 0\n"));
   // No finite bucket line precedes +Inf for an empty histogram.
