@@ -8,7 +8,9 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -16,6 +18,7 @@
 
 #include "common.hpp"
 #include "graph/dynamic_graph.hpp"
+#include "obs/cost/cost.hpp"
 #include "serve/service.hpp"
 #include "serve/source.hpp"
 #include "sim/scenario.hpp"
@@ -52,6 +55,13 @@ int main() {
   DynamicGraph graph(make_balanced(graph_rng));
   std::mutex graph_mutex;
   const std::size_t base_alive = graph.num_alive();
+
+  // The cost ledger rides the whole run: each request class below carries a
+  // distinct tenant, so BENCH_serve.json gains per-tenant cost.* headline
+  // counters a baseline diff can watch ("which team's query mix got more
+  // expensive?"). Declared before the service so it outlives the broker.
+  CostLedger ledger;
+  ledger.install();
 
   ServiceConfig config;
   config.threads = worker_threads();
@@ -91,26 +101,35 @@ int main() {
     t.latencies_us.reserve(static_cast<std::size_t>(per_client));
     for (int q = 0; q < per_client; ++q) {
       EstimateRequest req;
+      // One tenant per request class, so the ledger's per-tenant rows tell
+      // the load mix apart: the tight-target "search" class should dominate
+      // the step bill even though every tenant sends the same query count.
       switch ((id + q) % 4) {
         case 0:
-          req = EstimateRequest{QueryKind::kSize,
-                                EstimateMethod::kRandomTour, 0.3, 0.2};
+          req.epsilon = 0.3;
+          req.delta = 0.2;
+          req.tenant = "ads";
           break;
         case 1:
-          req = EstimateRequest{QueryKind::kDegreeSum,
-                                EstimateMethod::kRandomTour, 0.4, 0.2};
+          req.kind = QueryKind::kDegreeSum;
+          req.epsilon = 0.4;
+          req.delta = 0.2;
+          req.tenant = "analytics";
           break;
         case 2:
           // The one deadline-carrying class in the mix: generous enough to
           // mostly hit, so the serve.slo.*.deadline ledger shows a real
           // hit-rate instead of degenerate all-miss/all-hit.
-          req = EstimateRequest{QueryKind::kSize,
-                                EstimateMethod::kRandomTour, 0.2, 0.1};
+          req.epsilon = 0.2;
+          req.delta = 0.1;
           req.deadline_us = service.now_us() + 2'000'000;
+          req.tenant = "search";
           break;
         default:
-          req = EstimateRequest{QueryKind::kSize,
-                                EstimateMethod::kSampleCollide, 0.5, 0.3};
+          req.method = EstimateMethod::kSampleCollide;
+          req.epsilon = 0.5;
+          req.delta = 0.3;
+          req.tenant = "research";
           break;
       }
       const EstimateResponse resp = service.query(req);
@@ -150,6 +169,23 @@ int main() {
   churning.store(false, std::memory_order_relaxed);
   churn.join();
   service.stop();
+  ledger.uninstall();  // broker joined: the ledger is quiesced, fold away
+
+  // Fold the ledger by tenant. Refresh batches account under "(refresh)",
+  // so the sum over tenants plus the sink covers every charged step.
+  struct TenantCost {
+    std::uint64_t steps = 0, walks = 0, cpu_us = 0, cache_hits = 0;
+  };
+  std::map<std::string, TenantCost> by_tenant;
+  for (const CostRecord& row : ledger.snapshot()) {
+    if (row.ctx == 0) continue;
+    TenantCost& t = by_tenant[row.context.tenant];
+    t.steps += row.steps();
+    t.walks += row.get(CostField::kWalks);
+    t.cpu_us += row.cpu_us();
+    t.cache_hits += row.get(CostField::kCacheHits);
+  }
+  const CostRecord cost_totals = ledger.totals();
 
   ClientTally total;
   for (const ClientTally& t : tallies) {
@@ -215,6 +251,16 @@ int main() {
   table.add_row({"miss latency p99 (us)", format_double(miss_p99, 0)});
   table.add_row({"batches run", format_double(batches, 0)});
   table.add_row({"walks spent", format_double(walks, 0)});
+  for (const auto& [tenant, cost] : by_tenant) {
+    const double share =
+        cost_totals.steps() > 0
+            ? static_cast<double>(cost.steps) /
+                  static_cast<double>(cost_totals.steps())
+            : 0.0;
+    table.add_row({"cost: " + tenant + " steps",
+                   format_double(static_cast<double>(cost.steps), 0) +
+                       " (" + format_double(100.0 * share, 1) + "%)"});
+  }
   table.print(std::cout);
 
   record_value("serve.queries", queries);
@@ -239,5 +285,45 @@ int main() {
       record_value(name, static_cast<double>(v));
   for (const auto& [name, v] : snap.gauges)
     if (name.rfind("serve.slo.", 0) == 0) record_value(name, v);
+
+  // Per-tenant accounting headlines. The baseline diff watches these
+  // warn-only: a tenant's step bill drifting is a cost-mix signal, not a
+  // hard regression gate like the latency percentiles above.
+  record_value("cost.steps", static_cast<double>(cost_totals.steps()));
+  record_value("cost.cpu_us", static_cast<double>(cost_totals.cpu_us()));
+  record_value("cost.contexts", static_cast<double>(ledger.contexts()));
+  record_value("cost.unattributed_steps",
+               static_cast<double>(ledger.unattributed().steps()));
+  for (const auto& [tenant, cost] : by_tenant) {
+    const std::string prefix = "cost.tenant." + tenant + ".";
+    record_value(prefix + "steps", static_cast<double>(cost.steps));
+    record_value(prefix + "walks", static_cast<double>(cost.walks));
+    record_value(prefix + "cpu_us", static_cast<double>(cost.cpu_us));
+    record_value(prefix + "cache_hits",
+                 static_cast<double>(cost.cache_hits));
+    record_value(prefix + "steps_share",
+                 cost_totals.steps() > 0
+                     ? static_cast<double>(cost.steps) /
+                           static_cast<double>(cost_totals.steps())
+                     : 0.0);
+  }
+
+  // The reconciliation contract holds under full load or the accounting is
+  // lying: every walk step the broker spent must appear in the ledger, and
+  // every admitted query carried a context (zero unattributed residue).
+  // Under OVERCOUNT_COST=OFF the charge sites are compiled away and there
+  // is nothing to reconcile.
+#if OVERCOUNT_COST_ENABLED
+  if (static_cast<double>(cost_totals.steps()) != steps) {
+    std::cerr << "error: cost ledger holds " << cost_totals.steps()
+              << " steps but the broker spent " << steps << "\n";
+    return 1;
+  }
+  if (ledger.unattributed().steps() != 0) {
+    std::cerr << "error: " << ledger.unattributed().steps()
+              << " walk steps escaped attribution\n";
+    return 1;
+  }
+#endif  // OVERCOUNT_COST_ENABLED
   return total.failed == 0 ? 0 : 1;
 }

@@ -43,8 +43,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -53,12 +55,14 @@
 
 #include "graph/dynamic_graph.hpp"
 #include "graph/generators.hpp"
+#include "obs/cost/cost.hpp"
 #include "obs/expose.hpp"
 #include "obs/health/audit.hpp"
 #include "obs/health/flight.hpp"
 #include "obs/health/health.hpp"
 #include "obs/health/watchdog.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "serve/source.hpp"
 #include "sim/scenario.hpp"
@@ -99,6 +103,18 @@ int main() {
   center.install();
   EstimateAuditor auditor(&registry, &center);
 
+  // Cost attribution: each client class below carries a tenant, the broker
+  // opens one ledger context per admitted query, and every walk step /
+  // handoff / cache hit / queue wait bills to it. The ledger mirrors
+  // cost.* families into the same registry /metrics exports, and the
+  // tracer's cost.ctx spans let a flight bundle's profile.folded attribute
+  // CPU time by tenant. Declared before the service so it outlives the
+  // broker's shutdown path.
+  CostLedger cost_ledger(&registry);
+  cost_ledger.install();
+  TraceRecorder trace;
+  trace.install();
+
   ServiceConfig config;
   config.queue_capacity = 32;
   config.freshness.base_ttl_us = 2'000'000;
@@ -118,6 +134,8 @@ int main() {
   FlightRecorder flight(FlightRecorder::env_dir());
   flight.attach_metrics(&registry);
   flight.attach_health(&center);
+  flight.attach_trace(&trace);
+  flight.attach_cost(&cost_ledger);
   if (flight.enabled()) {
     flight.auto_dump_on(center, HealthSeverity::kCritical);
     flight.install_signal_dump();
@@ -138,8 +156,10 @@ int main() {
                          static_cast<std::uint16_t>(
                              env_u64("OVERCOUNT_METRICS_PORT", 0)));
   http.set_ready_check([&service] { return service.warmed(); });
+  http.set_cost_ledger(&cost_ledger);
   std::cerr << "# metrics: http://127.0.0.1:" << http.port()
-            << "/metrics — /readyz 503 until the first batch lands\n";
+            << "/metrics — /readyz 503 until the first batch lands; "
+               "/costs ranks tenants by walk-step spend\n";
 
   // Broker-stall injector: repeatedly pause dispatch for stall_ms, letting
   // queued requests sit past their (short, injected) deadlines, then
@@ -178,22 +198,31 @@ int main() {
   auto client = [&](int id) {
     for (int q = 0; q < queries_per_client; ++q) {
       EstimateRequest req;
+      // One tenant per query class, so /costs has a real mix to rank: the
+      // tight-target "search" class buys the biggest walk budgets and
+      // should top every by_steps ranking.
       switch ((id + q) % 4) {
         case 0:  // the common cheap ask: cached size, loose target
-          req = EstimateRequest{QueryKind::kSize,
-                                EstimateMethod::kRandomTour, 0.3, 0.2};
+          req.epsilon = 0.3;
+          req.delta = 0.2;
+          req.tenant = "ads";
           break;
         case 1:  // aggregate query over the same machinery
-          req = EstimateRequest{QueryKind::kDegreeSum,
-                                EstimateMethod::kRandomTour, 0.4, 0.2};
+          req.kind = QueryKind::kDegreeSum;
+          req.epsilon = 0.4;
+          req.delta = 0.2;
+          req.tenant = "analytics";
           break;
         case 2:  // tighter target: bigger budget, cache rarely suffices
-          req = EstimateRequest{QueryKind::kSize,
-                                EstimateMethod::kRandomTour, 0.2, 0.1};
+          req.epsilon = 0.2;
+          req.delta = 0.1;
+          req.tenant = "search";
           break;
         default:  // the paper's other estimator
-          req = EstimateRequest{QueryKind::kSize,
-                                EstimateMethod::kSampleCollide, 0.5, 0.3};
+          req.method = EstimateMethod::kSampleCollide;
+          req.epsilon = 0.5;
+          req.delta = 0.3;
+          req.tenant = "research";
           break;
       }
       // Generous by default: a miss means the broker stalled, not load.
@@ -232,6 +261,8 @@ int main() {
   churn.join();
   dog.stop();
   service.stop();
+  trace.uninstall();
+  cost_ledger.uninstall();
   center.uninstall();
 
   const auto snap = registry.snapshot();
@@ -268,6 +299,27 @@ int main() {
             << center.total_raised() << "  bundles " << flight.dumps()
             << "\n";
 
+  // Who ate the cluster: the ledger folded by tenant, plus the ranked
+  // JSON answer the /costs endpoint serves to dashboards.
+  std::cout << "\ncost ledger (" << cost_ledger.contexts()
+            << " contexts, unattributed steps "
+            << cost_ledger.unattributed().steps() << "):\n";
+  {
+    std::map<std::string, std::uint64_t> steps_by_tenant;
+    for (const CostRecord& row : cost_ledger.snapshot())
+      if (row.ctx != 0) steps_by_tenant[row.context.tenant] += row.steps();
+    const std::uint64_t total_steps = cost_ledger.totals().steps();
+    for (const auto& [tenant, tenant_steps] : steps_by_tenant)
+      std::cout << "  " << tenant << "  steps " << tenant_steps << "  ("
+                << (total_steps > 0
+                        ? 100.0 * static_cast<double>(tenant_steps) /
+                              static_cast<double>(total_steps)
+                        : 0.0)
+                << "%)\n";
+  }
+  std::cout << "\ntop tenants by steps (GET /costs?k=3):\n"
+            << http_get_body(http.port(), "/costs?k=3") << "\n";
+
   std::cout << "\nserve.* exposition (GET /metrics):\n";
   const std::string metrics = http_get_body(http.port(), "/metrics");
   std::istringstream lines(metrics);
@@ -291,6 +343,13 @@ int main() {
   if (miss_budget != ~0ULL && tally.deadline_missed.load() > miss_budget) {
     std::cerr << "error: " << tally.deadline_missed.load()
               << " deadline misses exceed budget " << miss_budget << "\n";
+    return 1;
+  }
+  if (cost_ledger.unattributed().steps() != 0) {
+    // Zero-residue contract: every admitted query carried a context, so
+    // nothing the broker spent may land on the sink.
+    std::cerr << "error: " << cost_ledger.unattributed().steps()
+              << " walk steps escaped cost attribution\n";
     return 1;
   }
   if (stall_ms > 0) {

@@ -24,6 +24,7 @@
 
 #include "core/parallel.hpp"
 #include "graph/generators.hpp"
+#include "obs/cost/cost.hpp"
 #include "obs/health/flight.hpp"
 #include "obs/health/health.hpp"
 #include "obs/health/watchdog.hpp"
@@ -79,6 +80,18 @@ int main() {
   TraceRecorder trace;
   trace.install();
   TimeSeriesRecorder series("size");
+  // Cost ledger + one context for the drill's batch: the bundle's
+  // profile.folded then carries "tenant=drill;query=1" attribution frames
+  // above the engine spans, which is what scripts/flamegraph.py renders.
+  CostLedger cost_ledger(&registry);
+  cost_ledger.install();
+  QueryContext drill_ctx;
+  drill_ctx.tenant = "drill";
+  drill_ctx.query_id = 1;
+  drill_ctx.kind = "size";
+  drill_ctx.method = "random_tour";
+  drill_ctx.slo_class = "size.random_tour.besteffort";
+  const std::uint32_t drill_cost = cost_ledger.open(std::move(drill_ctx));
 
   Heartbeat heartbeat;
   WatchdogConfig wcfg;
@@ -92,6 +105,7 @@ int main() {
   flight.attach_trace(&trace);
   flight.attach_health(&center);
   flight.attach_timeseries(&series);
+  flight.attach_cost(&cost_ledger);
   flight.auto_dump_on(center, HealthSeverity::kCritical);
   flight.install_signal_dump();
   dog.start();
@@ -99,8 +113,10 @@ int main() {
   ParallelRunner runner(4, 8);
   ShardedWalkEngine engine(sharded, runner, &registry);
   engine.set_heartbeat(&heartbeat);
-  const TourBatch batch =
-      engine.run_tours(0, walks, [](NodeId) { return 1.0; }, kSeed);
+  const TourBatch batch = [&] {
+    CostScope scope(drill_cost);
+    return engine.run_tours(0, walks, [](NodeId) { return 1.0; }, kSeed);
+  }();
   series.record(walks, batch.total_steps,
                 batch.sum / static_cast<double>(walks), 0.0);
 
@@ -112,6 +128,9 @@ int main() {
       flight.dump(delay_us > 0 ? "drill.injected_stall" : "drill.baseline");
 
   // Bit-identity pin: same (seed, m) on a bare engine, injection disabled.
+  // The ledger comes off first so the bare run is truly bare — otherwise
+  // its steps would land on the sink and muddy the zero-residue story.
+  cost_ledger.uninstall();
   ::unsetenv("OVERCOUNT_INJECT_SUPERSTEP_DELAY_US");
   ParallelRunner bare_runner(4, 8);
   ShardedWalkEngine bare(sharded, bare_runner);

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Fold a Chrome-trace capture into collapsed stacks for flamegraphs.
+
+Usage: flamegraph.py <input> [--out FILE]
+
+<input> is either a flight-recorder bundle directory (uses its trace.json,
+plus costs.json — when present — to name cost contexts) or a trace.json
+file written by obs/trace.hpp.
+
+The folder mirrors obs/cost/flame.cpp exactly, so the Python output for a
+bundle matches the profile.folded the C++ side wrote into it:
+
+  * only complete ('X') spans count, grouped per thread;
+  * spans sort by start ascending then duration DESCENDING, and nest by
+    interval containment (a span ends before another starts => siblings);
+  * each span contributes its EXCLUSIVE microseconds (duration minus the
+    time covered by nested spans) to its full stack path;
+  * a span carrying a non-zero cost_ctx argument is an attribution
+    boundary: "tenant=<t>;query=<id>" frames (from costs.json's
+    context_table, else "ctx=<id>") are spliced in above it;
+  * output lines are "frame;frame;... <us>", sorted by stack path — byte
+    stable for identical traces.
+
+Feed the output straight to a renderer, e.g.:
+  flamegraph.py flight-0-slo_breach/ --out profile.folded
+  flamegraph.pl profile.folded > profile.svg
+
+Exits non-zero when the trace holds no complete spans (an empty profile is
+always a wiring bug, not a quiet success).
+"""
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def attribution_frames(ctx, contexts):
+    info = contexts.get(ctx)
+    if info is None:
+        return f"ctx={ctx}"
+    tenant = str(info.get("tenant", "?"))
+    tenant = tenant.replace(";", "_").replace(" ", "_")
+    return f"tenant={tenant};query={info.get('query_id', 0)}"
+
+
+def fold(events, contexts):
+    """Collapsed stacks {path: exclusive_us} from Chrome-trace events."""
+    by_tid = defaultdict(list)
+    for e in events:
+        if e.get("ph") == "X":
+            by_tid[e.get("tid", 0)].append(e)
+
+    folded = defaultdict(int)
+
+    def close(stack):
+        top = stack.pop()
+        exclusive = top["dur"] - top["child"]
+        if exclusive > 0:
+            folded[top["path"]] += exclusive
+
+    for tid in sorted(by_tid):
+        spans = sorted(by_tid[tid], key=lambda e: (e["ts"], -e.get("dur", 0)))
+        stack = []
+        for e in spans:
+            ts, dur = e["ts"], e.get("dur", 0)
+            while stack and stack[-1]["end"] <= ts:
+                close(stack)
+            frame = e.get("name", "?")
+            ctx = e.get("args", {}).get("cost_ctx", 0)
+            if ctx:
+                frame = attribution_frames(ctx, contexts) + ";" + frame
+            path = stack[-1]["path"] + ";" + frame if stack else frame
+            if stack:
+                stack[-1]["child"] += dur
+            stack.append({"path": path, "end": ts + dur, "dur": dur,
+                          "child": 0})
+        while stack:
+            close(stack)
+    return folded
+
+
+def load_contexts(costs_path):
+    """ctx id -> context row, from costs.json's context_table."""
+    try:
+        doc = json.loads(costs_path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"# flamegraph: ignoring {costs_path}: {e}", file=sys.stderr)
+        return {}
+    return {row["ctx"]: row for row in doc.get("context_table", [])
+            if isinstance(row, dict) and "ctx" in row}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fold a trace into collapsed flamegraph stacks")
+    parser.add_argument("input", type=Path,
+                        help="flight bundle directory or trace.json file")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output file (default stdout)")
+    args = parser.parse_args(argv)
+
+    if args.input.is_dir():
+        trace_path = args.input / "trace.json"
+        costs_path = args.input / "costs.json"
+    else:
+        trace_path = args.input
+        costs_path = args.input.parent / "costs.json"
+    if not trace_path.is_file():
+        print(f"FAIL: no trace at {trace_path}", file=sys.stderr)
+        return 1
+
+    try:
+        trace = json.loads(trace_path.read_text())
+    except json.JSONDecodeError as e:
+        print(f"FAIL: {trace_path} does not parse: {e}", file=sys.stderr)
+        return 1
+    events = trace.get("traceEvents", [])
+    contexts = load_contexts(costs_path) if costs_path.is_file() else {}
+
+    folded = fold(events, contexts)
+    if not folded:
+        print(f"FAIL: {trace_path} holds no complete ('X') spans — "
+              "nothing to fold", file=sys.stderr)
+        return 1
+
+    lines = "".join(f"{path} {us}\n" for path, us in sorted(folded.items()))
+    if args.out is None:
+        sys.stdout.write(lines)
+    else:
+        args.out.write_text(lines)
+        print(f"# flamegraph: {len(folded)} stacks -> {args.out}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

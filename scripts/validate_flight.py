@@ -8,9 +8,12 @@ holding flight-<seq>-<reason>/ bundles, in which case every bundle is
 validated and at least one must exist.
 
 Per bundle:
-  * manifest.json parses, schema == 1, has reason / seq / ts_us, and its
-    `files` array lists only files that exist in the bundle and are
-    non-empty;
+  * manifest.json parses, schema == 1, has reason / seq / ts_us, carries
+    provenance (a non-empty git_rev string and an integer bench_schema),
+    and its `files` array lists only files that exist in the bundle and
+    are non-empty;
+  * profile.folded (when present) is a valid collapsed-stack file: every
+    line is "frame[;frame...] <positive integer>";
   * metrics.json parses and carries counters/gauges/histograms objects;
   * trace.json (when present) passes the full validate_trace.py check;
     at least ONE bundle must carry --min-flow-links flow arrows — this is
@@ -70,6 +73,22 @@ def check_health_events(path):
     return errors, codes
 
 
+def check_collapsed(path):
+    """Collapsed-stack format: 'frame[;frame...] <count>' per line."""
+    errors = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        stack, sep, count = line.rpartition(" ")
+        if not sep or not stack:
+            errors.append(f"{path}:{lineno}: not 'stack count': {line!r}")
+            continue
+        if not count.isdigit() or int(count) <= 0:
+            errors.append(
+                f"{path}:{lineno}: count {count!r} is not a positive int")
+        if any(not frame for frame in stack.split(";")):
+            errors.append(f"{path}:{lineno}: empty frame in {stack!r}")
+    return errors
+
+
 def check_bundle(bundle, min_flow_links):
     """Returns (errors, health-event codes, whether the bundle's trace met
     the flow-link floor)."""
@@ -85,9 +104,18 @@ def check_bundle(bundle, min_flow_links):
     if manifest.get("schema") != 1:
         errors.append(f"{manifest_path}: schema is {manifest.get('schema')!r},"
                       " expected 1")
-    for key in ("reason", "seq", "ts_us"):
+    for key in ("reason", "seq", "ts_us", "git_rev", "bench_schema"):
         if key not in manifest:
             errors.append(f"{manifest_path}: missing {key!r}")
+    git_rev = manifest.get("git_rev")
+    if "git_rev" in manifest and (
+            not isinstance(git_rev, str) or not git_rev):
+        errors.append(f"{manifest_path}: git_rev {git_rev!r} is not a "
+                      "non-empty string")
+    bench_schema = manifest.get("bench_schema")
+    if "bench_schema" in manifest and not isinstance(bench_schema, int):
+        errors.append(f"{manifest_path}: bench_schema {bench_schema!r} is "
+                      "not an integer")
     files = manifest.get("files")
     if not isinstance(files, list) or not files:
         errors.append(f"{manifest_path}: files is not a non-empty array")
@@ -121,6 +149,10 @@ def check_bundle(bundle, min_flow_links):
         # satisfy it); every other trace error is fatal per bundle.
         flow_ok = not any("flow link(s)" in e for e in trace_errors)
         errors.extend(e for e in trace_errors if "flow link(s)" not in e)
+
+    folded = bundle / "profile.folded"
+    if folded.is_file():
+        errors.extend(check_collapsed(folded))
 
     jsonl = bundle / "health_events.jsonl"
     if jsonl.is_file():

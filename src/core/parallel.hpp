@@ -38,6 +38,7 @@
 #include "core/random_tour.hpp"
 #include "core/sample_collide.hpp"
 #include "core/sampling.hpp"
+#include "obs/cost/cost.hpp"
 #include "obs/probe.hpp"
 #include "runtime/parallel_runner.hpp"
 #include "walk/kernel.hpp"
@@ -189,6 +190,10 @@ TourBatch run_tours(const G& g, NodeId origin, std::size_t m, F f,
         &batch.stats);
   }
   detail::finish_tour_batch(batch);
+  // Cost attribution rides the caller's CostScope (serve batches set one);
+  // one charge per batch, never per step. No-op without an active ledger.
+  cost_charge_batch(batch.stats.steps, batch.stats.tasks,
+                    batch.stats.cpu_seconds);
   return batch;
 }
 
@@ -265,6 +270,8 @@ TourBatch run_tours_probed(const G& g, NodeId origin, std::size_t m, F f,
   }
   detail::finish_tour_batch(batch);
   walk_out = detail::fold_walk_stats(per_task);
+  cost_charge_batch(batch.stats.steps, batch.stats.tasks,
+                    batch.stats.cpu_seconds);
   return batch;
 }
 
@@ -324,6 +331,8 @@ SampleBatch run_samples(const G& g, NodeId origin, std::size_t m,
   }
   for (const auto& s : batch.samples) batch.total_hops += s.hops;
   batch.stats.steps = batch.total_hops;
+  cost_charge_batch(batch.stats.steps, batch.stats.tasks,
+                    batch.stats.cpu_seconds);
   return batch;
 }
 
@@ -378,6 +387,8 @@ SampleBatch run_samples_probed(const G& g, NodeId origin, std::size_t m,
   for (const auto& s : batch.samples) batch.total_hops += s.hops;
   batch.stats.steps = batch.total_hops;
   walk_out = detail::fold_walk_stats(per_task);
+  cost_charge_batch(batch.stats.steps, batch.stats.tasks,
+                    batch.stats.cpu_seconds);
   return batch;
 }
 
@@ -428,6 +439,8 @@ ScBatch run_sc_trials(const G& g, NodeId origin, std::size_t trials,
   batch.sum_simple = tree_sum(simple);
   batch.sum_ml = tree_sum(ml);
   batch.stats.steps = batch.total_hops;
+  cost_charge_batch(batch.stats.steps, batch.stats.tasks,
+                    batch.stats.cpu_seconds);
   return batch;
 }
 
@@ -496,6 +509,8 @@ ScBatch run_sc_trials_probed(const G& g, NodeId origin, std::size_t trials,
   batch.sum_ml = tree_sum(ml);
   batch.stats.steps = batch.total_hops;
   walk_out = detail::fold_walk_stats(per_task);
+  cost_charge_batch(batch.stats.steps, batch.stats.tasks,
+                    batch.stats.cpu_seconds);
   return batch;
 }
 
@@ -516,6 +531,8 @@ SampleBatch run_metropolis_samples(const G& g, NodeId origin, std::size_t m,
       &batch.stats);
   for (const auto& s : batch.samples) batch.total_hops += s.hops;
   batch.stats.steps = batch.total_hops;
+  cost_charge_batch(batch.stats.steps, batch.stats.tasks,
+                    batch.stats.cpu_seconds);
   return batch;
 }
 
@@ -550,6 +567,8 @@ SampleBatch run_metropolis_samples_probed(const G& g, NodeId origin,
   for (const auto& s : batch.samples) batch.total_hops += s.hops;
   batch.stats.steps = batch.total_hops;
   walk_out = detail::fold_walk_stats(per_task);
+  cost_charge_batch(batch.stats.steps, batch.stats.tasks,
+                    batch.stats.cpu_seconds);
   return batch;
 }
 

@@ -1,0 +1,110 @@
+#include "obs/cost/flame.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/cost/cost.hpp"
+
+namespace overcount {
+
+namespace {
+
+bool is_cost_ctx_arg(const TraceEvent& e) noexcept {
+  return e.arg_name != nullptr && e.arg != 0 &&
+         std::strcmp(e.arg_name, "cost_ctx") == 0;
+}
+
+/// "tenant=<t>;query=<id>" for a resolvable context, "ctx=<id>" otherwise.
+/// Frame separators (';') and the value separator (' ') inside a tenant
+/// name would corrupt the collapsed format, so they are replaced.
+std::string attribution_frames(std::uint64_t ctx, const CostLedger* ledger) {
+  if (ledger != nullptr) {
+    if (auto info = ledger->context(static_cast<std::uint32_t>(ctx))) {
+      std::string tenant = info->tenant;
+      for (char& c : tenant)
+        if (c == ';' || c == ' ') c = '_';
+      return "tenant=" + tenant + ";query=" + std::to_string(info->query_id);
+    }
+  }
+  return "ctx=" + std::to_string(ctx);
+}
+
+struct Open {
+  std::string path;            ///< full stack down to and including this span
+  std::uint64_t end_us = 0;    ///< ts + dur
+  std::uint64_t dur_us = 0;
+  std::uint64_t child_us = 0;  ///< time covered by nested spans
+};
+
+void close_one(std::map<std::string, std::uint64_t>& folded, const Open& o) {
+  const std::uint64_t exclusive =
+      o.dur_us > o.child_us ? o.dur_us - o.child_us : 0;
+  if (exclusive > 0) folded[o.path] += exclusive;
+}
+
+}  // namespace
+
+std::string fold_collapsed_stacks(const TraceRecorder& recorder,
+                                  const CostLedger* ledger) {
+  // Per-thread lists of complete spans, ordered so a parent precedes its
+  // children: start ascending, then duration DESCENDING (the longer of two
+  // spans opening at the same microsecond encloses the shorter).
+  std::map<std::uint32_t, std::vector<TraceEvent>> by_tid;
+  for (const TraceEvent& e : recorder.events())
+    if (e.phase == 'X') by_tid[e.tid].push_back(e);
+
+  std::map<std::string, std::uint64_t> folded;
+  for (auto& [tid, spans] : by_tid) {
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                       return a.dur_us > b.dur_us;
+                     });
+    std::vector<Open> stack;
+    for (const TraceEvent& e : spans) {
+      while (!stack.empty() && stack.back().end_us <= e.ts_us) {
+        close_one(folded, stack.back());
+        stack.pop_back();
+      }
+      const char* name = e.name != nullptr ? e.name : "?";
+      std::string frame = is_cost_ctx_arg(e)
+                              ? attribution_frames(e.arg, ledger) + ";" + name
+                              : std::string(name);
+      Open o;
+      o.path = stack.empty() ? std::move(frame)
+                             : stack.back().path + ";" + frame;
+      o.end_us = e.ts_us + e.dur_us;
+      o.dur_us = e.dur_us;
+      if (!stack.empty()) stack.back().child_us += e.dur_us;
+      stack.push_back(std::move(o));
+    }
+    while (!stack.empty()) {
+      close_one(folded, stack.back());
+      stack.pop_back();
+    }
+  }
+
+  std::ostringstream os;
+  for (const auto& [path, us] : folded) os << path << ' ' << us << '\n';
+  return os.str();
+}
+
+bool write_collapsed_file(const std::string& path,
+                          const TraceRecorder& recorder,
+                          const CostLedger* ledger) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "overcount: cannot open " << path << " for writing\n";
+    return false;
+  }
+  os << fold_collapsed_stacks(recorder, ledger);
+  return static_cast<bool>(os);
+}
+
+}  // namespace overcount

@@ -15,6 +15,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/cost/cost.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 
@@ -204,6 +205,12 @@ void MetricsHttpServer::handle_connection(int client_fd) {
     std::istringstream line(request);
     line >> method >> path;
   }
+  // Route = path minus the query string ("/costs?k=5" routes as /costs).
+  std::string query;
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
+    path.resize(q);
+  }
   std::string status = "200 OK";
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
@@ -214,12 +221,40 @@ void MetricsHttpServer::handle_connection(int client_fd) {
     content_type = "text/plain; version=0.0.4; charset=utf-8";
     body = render_prometheus(registry_.snapshot());
   } else if (path == "/snapshot.json") {
-    content_type = "application/json";
+    content_type = "application/json; charset=utf-8";
     std::ostringstream os;
     JsonWriter w(os);
     write_json(w, registry_.snapshot());
     os << '\n';
     body = os.str();
+  } else if (path == "/costs") {
+    const CostLedger* ledger = cost_ledger_.load(std::memory_order_acquire);
+    if (ledger == nullptr) {
+      status = "404 Not Found";
+      body = "no cost ledger attached\n";
+    } else {
+      content_type = "application/json; charset=utf-8";
+      std::size_t k = 10;
+      // Accept exactly "k=<digits>" anywhere in the query; anything else
+      // keeps the default rather than 400ing a dashboard.
+      for (std::size_t at = 0; at < query.size();) {
+        std::size_t end = query.find('&', at);
+        if (end == std::string::npos) end = query.size();
+        if (query.compare(at, 2, "k=") == 0) {
+          unsigned long parsed = 0;
+          const auto [ptr, ec] = std::from_chars(
+              query.data() + at + 2, query.data() + end, parsed);
+          if (ec == std::errc{} && ptr == query.data() + end && parsed > 0)
+            k = static_cast<std::size_t>(parsed);
+        }
+        at = end + 1;
+      }
+      std::ostringstream os;
+      JsonWriter w(os);
+      write_costs_json(w, *ledger, k);
+      os << '\n';
+      body = os.str();
+    }
   } else if (path == "/healthz") {
     body = "ok\n";
   } else if (path == "/readyz") {
@@ -236,12 +271,15 @@ void MetricsHttpServer::handle_connection(int client_fd) {
     }
   } else {
     status = "404 Not Found";
-    body = "routes: /metrics /snapshot.json /healthz /readyz\n";
+    body = "routes: /metrics /snapshot.json /costs /healthz /readyz\n";
   }
+  // Cache-Control on EVERY route: each response is a point-in-time
+  // snapshot, and a proxy replaying a cached one would freeze the counters
+  // a dashboard believes are live.
   const std::string response =
       "HTTP/1.1 " + status + "\r\nContent-Type: " + content_type +
       "\r\nContent-Length: " + std::to_string(body.size()) +
-      "\r\nConnection: close\r\n\r\n" + body;
+      "\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n" + body;
   send_all(client_fd, response);
   served_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -270,9 +308,7 @@ std::unique_ptr<MetricsHttpServer> maybe_serve_metrics(
   }
 }
 
-std::string http_get_body(std::uint16_t port, const std::string& path,
-                          int* status_out) {
-  if (status_out != nullptr) *status_out = 0;
+std::string http_get_response(std::uint16_t port, const std::string& path) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return {};
   sockaddr_in addr{};
@@ -298,6 +334,13 @@ std::string http_get_body(std::uint16_t port, const std::string& path,
     response.append(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);
+  return response;
+}
+
+std::string http_get_body(std::uint16_t port, const std::string& path,
+                          int* status_out) {
+  if (status_out != nullptr) *status_out = 0;
+  const std::string response = http_get_response(port, path);
   const std::size_t split = response.find("\r\n\r\n");
   if (split == std::string::npos) return {};
   if (status_out != nullptr) {

@@ -32,6 +32,8 @@
 
 namespace overcount {
 
+class CostLedger;
+
 /// Renders a snapshot in the Prometheus text exposition format (version
 /// 0.0.4). Metric names are sanitised to [a-zA-Z0-9_:] (dots become
 /// underscores); counters get a `_total` suffix; histograms render as
@@ -45,6 +47,11 @@ std::string prometheus_name(const std::string& name);
 /// Minimal blocking HTTP/1.1 server exposing one MetricsRegistry. Routes:
 ///   GET /metrics        text/plain; version=0.0.4  (render_prometheus)
 ///   GET /snapshot.json  application/json           (obs/export write_json)
+///   GET /costs          application/json — per-(tenant, query) cost
+///                       attribution (obs/cost write_costs_json) when a
+///                       ledger is attached via set_cost_ledger; accepts
+///                       ?k=N for the top-K depth (default 10). 404 when
+///                       no ledger is attached.
 ///   GET /healthz        "ok" — liveness: the serving thread is up
 ///   GET /readyz         readiness: 200 "ready" when the ready check (see
 ///                       set_ready_check) passes, 503 "warming" otherwise.
@@ -58,6 +65,11 @@ std::string prometheus_name(const std::string& name);
 /// kill the server: requests are read with a bounded poll deadline, writes
 /// retry on EINTR and partial sends, and every send uses MSG_NOSIGNAL so a
 /// client that closes mid-response never raises SIGPIPE.
+///
+/// Every response carries `Cache-Control: no-store` — each GET is a live
+/// snapshot, and a cached /metrics or /costs body silently freezes every
+/// dashboard reading it — and every text/JSON Content-Type declares an
+/// explicit charset (tests/obs/expose_test.cpp audits both on all routes).
 class MetricsHttpServer {
  public:
   /// Binds 127.0.0.1:`port` (port 0 = ephemeral) and starts serving.
@@ -75,6 +87,14 @@ class MetricsHttpServer {
   /// the handler snapshots the callback under a lock, so replacing it
   /// while serving is safe.
   void set_ready_check(std::function<bool()> ready);
+
+  /// Attaches (or detaches, with nullptr) the cost ledger behind GET
+  /// /costs. The ledger must outlive the server or the detach. Snapshots
+  /// are taken with CostLedger::snapshot(), which is safe while walkers
+  /// are charging.
+  void set_cost_ledger(const CostLedger* ledger) noexcept {
+    cost_ledger_.store(ledger, std::memory_order_release);
+  }
 
   /// The actually bound port (differs from the constructor argument when
   /// that was 0).
@@ -99,6 +119,7 @@ class MetricsHttpServer {
   std::atomic<std::uint64_t> served_{0};
   std::mutex ready_mutex_;
   std::function<bool()> ready_check_;  // guarded by ready_mutex_
+  std::atomic<const CostLedger*> cost_ledger_{nullptr};
   std::thread thread_;
 };
 
@@ -117,5 +138,11 @@ std::unique_ptr<MetricsHttpServer> maybe_serve_metrics(
 /// from a 200.
 std::string http_get_body(std::uint16_t port, const std::string& path,
                           int* status_out = nullptr);
+
+/// Like http_get_body, but returns the RAW response — status line and
+/// headers included — so tests can audit what the server actually sends
+/// (Content-Type charsets, Cache-Control) instead of only the payload.
+/// Empty string on any transport error.
+std::string http_get_response(std::uint16_t port, const std::string& path);
 
 }  // namespace overcount

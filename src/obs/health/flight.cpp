@@ -8,6 +8,8 @@
 #include <iostream>
 #include <utility>
 
+#include "obs/cost/cost.hpp"
+#include "obs/cost/flame.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -136,6 +138,29 @@ std::string FlightRecorder::dump(const std::string& reason) {
   if (trace_ != nullptr) {
     if (write_chrome_trace_file((bundle / "trace.json").string(), *trace_))
       files.push_back("trace.json");
+    // The same ring, folded for flamegraphs: collapsed stacks with
+    // (tenant, query) frames spliced in wherever a cost.ctx span marks the
+    // attribution boundary. The ledger is optional — without one the
+    // contexts fold as raw ctx=<id> frames. A ring with no complete spans
+    // folds to nothing; skip the file rather than ship an empty member
+    // (validate_flight.py treats empty members as truncated dumps).
+    const std::string folded = fold_collapsed_stacks(*trace_, cost_);
+    if (!folded.empty()) {
+      std::ofstream out(bundle / "profile.folded");
+      if (out) {
+        out << folded;
+        files.push_back("profile.folded");
+      }
+    }
+  }
+  if (cost_ != nullptr) {
+    std::ofstream out(bundle / "costs.json");
+    if (out) {
+      JsonWriter w(out, /*indent=*/2);
+      write_costs_json(w, *cost_, /*k=*/10);
+      out << '\n';
+      files.push_back("costs.json");
+    }
   }
   if (health_ != nullptr) {
     std::ofstream out(bundle / "health_events.jsonl");
@@ -163,6 +188,15 @@ std::string FlightRecorder::dump(const std::string& reason) {
     JsonWriter w(out, /*indent=*/2);
     w.begin_object();
     w.kv("schema", 1);
+    // Provenance: which source revision produced this bundle, and which
+    // bench JSON schema its artifacts pair with — a post-mortem read weeks
+    // later must not guess either. "unknown" only outside a git checkout.
+#ifdef OVERCOUNT_GIT_REV
+    w.kv("git_rev", OVERCOUNT_GIT_REV);
+#else
+    w.kv("git_rev", "unknown");
+#endif
+    w.kv("bench_schema", 1);
     w.kv("reason", reason);
     w.kv("seq", seq);
     w.kv("ts_us", steady_us());

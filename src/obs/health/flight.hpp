@@ -3,11 +3,18 @@
 // self-contained bundle directory under OVERCOUNT_FLIGHT_DIR:
 //
 //   flight-<seq>-<reason>/
-//     manifest.json          {schema, reason, ts_us, seq, files}
+//     manifest.json          {schema, git_rev, bench_schema, reason, ts_us,
+//                             seq, files}
 //     metrics.json           full MetricsRegistry snapshot (obs/export.hpp)
 //     trace.json             the TraceRecorder ring as Chrome/Perfetto JSON
 //     health_events.jsonl    last N HealthEvents, one JSON object per line
 //     timeseries_<kind>.json recent TimeSeriesRecorder windows
+//     costs.json             per-(tenant, query) cost attribution when a
+//                            CostLedger is attached (obs/cost/)
+//     profile.folded         collapsed-stack profile of the trace ring,
+//                            attributed by cost context (obs/cost/flame.hpp;
+//                            render with scripts/flamegraph.py) — written
+//                            when a TraceRecorder is attached
 //
 // Only the sources actually attached appear (manifest.files says which);
 // scripts/validate_flight.py checks a bundle's integrity in CI. Dumping
@@ -35,6 +42,7 @@
 
 namespace overcount {
 
+class CostLedger;
 class MetricsRegistry;
 class TraceRecorder;
 class TimeSeriesRecorder;
@@ -59,6 +67,7 @@ class FlightRecorder {
   void attach_metrics(const MetricsRegistry* metrics) { metrics_ = metrics; }
   void attach_trace(const TraceRecorder* trace) { trace_ = trace; }
   void attach_health(const HealthCenter* health) { health_ = health; }
+  void attach_cost(const CostLedger* cost) { cost_ = cost; }
   void attach_timeseries(const TimeSeriesRecorder* series);
 
   /// Subscribes to `center`: every event with severity >= `min_severity`
@@ -90,6 +99,7 @@ class FlightRecorder {
   const MetricsRegistry* metrics_ = nullptr;
   const TraceRecorder* trace_ = nullptr;
   const HealthCenter* health_ = nullptr;
+  const CostLedger* cost_ = nullptr;
   std::vector<const TimeSeriesRecorder*> series_;
 
   std::mutex dump_mutex_;

@@ -7,6 +7,7 @@
 
 #include "core/parallel.hpp"
 #include "core/sampling.hpp"
+#include "obs/cost/cost.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
@@ -23,6 +24,8 @@ namespace overcount {
 ///   serve.refreshes           background refresh batches enqueued
 ///   serve.refresh_skipped     refresh candidates skipped (pending/full)
 ///   serve.walks / serve.steps work performed by the batches
+///   walk.steps                same steps, in the repo-wide walk.* family
+///                             (the cost ledger's reconciliation anchor)
 ///   serve.cache_invalidations entries evicted by a version bump
 ///   serve.failures            kFailed responses
 /// Gauges: serve.queue_depth, serve.outstanding_steps, serve.cache_entries,
@@ -41,6 +44,7 @@ struct EstimateService::Metrics {
   Counter& refresh_skipped;
   Counter& walks;
   Counter& steps;
+  Counter& walk_steps;
   Counter& invalidations;
   Counter& failures;
   Gauge& queue_depth;
@@ -64,6 +68,7 @@ struct EstimateService::Metrics {
         refresh_skipped(r.counter("serve.refresh_skipped")),
         walks(r.counter("serve.walks")),
         steps(r.counter("serve.steps")),
+        walk_steps(r.counter("walk.steps")),
         invalidations(r.counter("serve.cache_invalidations")),
         failures(r.counter("serve.failures")),
         queue_depth(r.gauge("serve.queue_depth")),
@@ -171,6 +176,22 @@ std::string EstimateService::slo_class(const EstimateRequest& request) {
   return cls;
 }
 
+std::uint32_t EstimateService::cost_open(const EstimateRequest& request) {
+  if (cost_active()) {
+    CostLedger* ledger = CostLedger::active();
+    if (ledger != nullptr) {
+      QueryContext qc;
+      qc.tenant = request.tenant;
+      qc.query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+      qc.kind = to_string(request.kind);
+      qc.method = to_string(request.method);
+      qc.slo_class = slo_class(request);
+      return ledger->open(std::move(qc));
+    }
+  }
+  return 0;
+}
+
 void EstimateService::resolve(std::promise<EstimateResponse>& promise,
                               const EstimateRequest& request,
                               EstimateResponse resp) {
@@ -219,9 +240,14 @@ std::future<EstimateResponse> EstimateService::submit(
     return future;
   }
 
+  // One ledger context per admitted query: every charge this request
+  // causes anywhere below lands on this id.
+  const std::uint32_t ctx = cost_open(request);
+
   std::unique_lock lock(mutex_);
   if (stopping_) {
     m_->admission_rejects.inc();
+    cost_charge_ctx(ctx, CostField::kRejected, 1);
     EstimateResponse resp;
     resp.status = ServeStatus::kRejected;
     lock.unlock();
@@ -240,6 +266,7 @@ std::future<EstimateResponse> EstimateService::submit(
       m_->invalidations.inc();
     if (lookup.hit()) {
       m_->cache_hits.inc();
+      cost_charge_ctx(ctx, CostField::kCacheHits, 1);
       m_->hit_age_us.record(lookup.age_us);
       update_gauges_locked();
       const CacheEntry entry = *lookup.entry;
@@ -249,10 +276,12 @@ std::future<EstimateResponse> EstimateService::submit(
       return future;
     }
     m_->cache_misses.inc();
+    cost_charge_ctx(ctx, CostField::kCacheMisses, 1);
   }
 
   if (request.deadline_us != kNoDeadline && now >= request.deadline_us) {
     m_->deadline_misses.inc();
+    cost_charge_ctx(ctx, CostField::kDeadlineMisses, 1);
     lock.unlock();
     EstimateResponse resp;
     resp.status = ServeStatus::kDeadlineMiss;
@@ -269,8 +298,9 @@ std::future<EstimateResponse> EstimateService::submit(
       // position keeps the FIRST requester's deadline; later riders with
       // tighter deadlines are still deadline-checked at delivery.
       m_->coalesced.inc();
+      cost_charge_ctx(ctx, CostField::kCoalesced, 1);
       it->second->waiters.push_back(
-          Waiter{std::move(promise), request, now, true});
+          Waiter{std::move(promise), request, now, true, ctx});
       return future;
     }
   }
@@ -301,6 +331,7 @@ std::future<EstimateResponse> EstimateService::submit(
   if (config_.max_outstanding_steps > 0 &&
       outstanding_steps_ + planned_steps > config_.max_outstanding_steps) {
     m_->admission_rejects.inc();
+    cost_charge_ctx(ctx, CostField::kRejected, 1);
     EstimateResponse resp;
     resp.status = ServeStatus::kRejected;
     resp.retry_after_us = retry_hint_locked();
@@ -316,11 +347,14 @@ std::future<EstimateResponse> EstimateService::submit(
   batch->deadline_us = request.deadline_us;
   batch->planned_steps = planned_steps;
   batch->bypass_cache = !request.allow_cached;
-  batch->waiters.push_back(Waiter{std::move(promise), request, now, false});
+  batch->cost_ctx = ctx;
+  batch->waiters.push_back(
+      Waiter{std::move(promise), request, now, false, ctx});
 
   const std::uint64_t seq = next_seq_++;
   if (!queue_.try_push(batch, request.deadline_us, seq)) {
     m_->admission_rejects.inc();
+    cost_charge_ctx(ctx, CostField::kRejected, 1);
     EstimateResponse resp;
     resp.status = ServeStatus::kRejected;
     resp.retry_after_us = retry_hint_locked();
@@ -364,14 +398,20 @@ void EstimateService::run_and_deliver(const BatchPtr& batch) {
   const std::uint64_t dispatch_now = now_us();
 
   // Scrub waiters whose deadline already passed: they get kDeadlineMiss
-  // now instead of paying for a batch they can no longer use.
+  // now instead of paying for a batch they can no longer use. Everyone —
+  // scrubbed or live — is charged the queue wait they actually sat out.
   {
     std::vector<Waiter> live;
     live.reserve(batch->waiters.size());
     for (auto& w : batch->waiters) {
+      cost_charge_ctx(w.cost_ctx, CostField::kQueueWaitUs,
+                      dispatch_now >= w.admitted_us
+                          ? dispatch_now - w.admitted_us
+                          : 0);
       if (w.request.deadline_us != kNoDeadline &&
           dispatch_now >= w.request.deadline_us) {
         m_->deadline_misses.inc();
+        cost_charge_ctx(w.cost_ctx, CostField::kDeadlineMisses, 1);
         EstimateResponse resp;
         resp.status = ServeStatus::kDeadlineMiss;
         resp.latency_us = dispatch_now - w.admitted_us;
@@ -401,6 +441,7 @@ void EstimateService::run_and_deliver(const BatchPtr& batch) {
       lock.unlock();
       m_->cache_hits.add(batch->waiters.size());
       for (auto& w : batch->waiters) {
+        cost_charge_ctx(w.cost_ctx, CostField::kCacheHits, 1);
         m_->hit_age_us.record(age);
         resolve(w.promise, w.request,
                 hit_response(entry, age, w.admitted_us, w.coalesced));
@@ -440,6 +481,7 @@ void EstimateService::run_and_deliver(const BatchPtr& batch) {
     trace_instant("serve", why);
     for (auto& w : batch->waiters) {
       m_->failures.inc();
+      cost_charge_ctx(w.cost_ctx, CostField::kFailures, 1);
       EstimateResponse resp;
       resp.status = ServeStatus::kFailed;
       resp.graph_version = snap.version;
@@ -481,6 +523,11 @@ void EstimateService::run_and_deliver(const BatchPtr& batch) {
   std::uint64_t steps = 0;
   bool ok = false;
   {
+    // The walk kernels charge their steps/walks/cpu to the thread's current
+    // context — scope it to this batch's. The cost.ctx span is the
+    // attribution boundary the flamegraph folder keys on.
+    CostScope cost_scope(batch->cost_ctx);
+    TraceSpan cost_span("cost", "cost.ctx", "cost_ctx", batch->cost_ctx);
     TraceSpan span("serve", "serve.walks", "walks", plan.walks);
     if (batch->key.method == EstimateMethod::kRandomTour) {
       TourBatch tours =
@@ -507,8 +554,13 @@ void EstimateService::run_and_deliver(const BatchPtr& batch) {
   const std::uint64_t t1 = now_us();
 
   m_->batches.inc();
+  cost_charge_ctx(batch->cost_ctx, CostField::kBatches, 1);
   m_->walks.add(plan.walks);
   m_->steps.add(steps);
+  // Ledger-independent reconciliation anchor: walk.steps counts actual
+  // batch steps from the batch result, so cost.steps (ledger-mirrored)
+  // must match it exactly — the zero-residue audit in tests/cost/.
+  m_->walk_steps.add(steps);
   m_->batch_wall_us.record(t1 >= t0 ? t1 - t0 : 0);
   if (batch->refresh_only) m_->refreshes.inc();
 
@@ -549,7 +601,10 @@ void EstimateService::run_and_deliver(const BatchPtr& batch) {
                    t1 > w.request.deadline_us)
                       ? ServeStatus::kDeadlineMiss
                       : ServeStatus::kOk;
-    if (resp.status == ServeStatus::kDeadlineMiss) m_->deadline_misses.inc();
+    if (resp.status == ServeStatus::kDeadlineMiss) {
+      m_->deadline_misses.inc();
+      cost_charge_ctx(w.cost_ctx, CostField::kDeadlineMisses, 1);
+    }
     resp.value = value;
     resp.epsilon = plan.epsilon;
     resp.walks = plan.walks;
@@ -599,6 +654,21 @@ std::size_t EstimateService::refresh_once() {
     batch->epsilon = entry.epsilon;
     batch->delta = entry.delta;
     batch->refresh_only = true;
+    if (cost_active()) {
+      // Refresh walks have no requesting tenant; they bill to a system
+      // context so the ledger still reconciles to zero residue.
+      CostLedger* ledger = CostLedger::active();
+      if (ledger != nullptr) {
+        QueryContext qc;
+        qc.tenant = "(refresh)";
+        qc.query_id =
+            next_query_id_.fetch_add(1, std::memory_order_relaxed);
+        qc.kind = to_string(key.kind);
+        qc.method = to_string(key.method);
+        qc.slo_class = "refresh";
+        batch->cost_ctx = ledger->open(std::move(qc));
+      }
+    }
     const std::uint64_t seq = next_seq_++;
     if (!queue_.try_push(batch, kNoDeadline, seq)) {
       m_->refresh_skipped.inc();
@@ -637,6 +707,7 @@ void EstimateService::stop() {
   for (auto& batch : queue_.drain()) {
     for (auto& w : batch->waiters) {
       m_->failures.inc();
+      cost_charge_ctx(w.cost_ctx, CostField::kFailures, 1);
       EstimateResponse resp;
       resp.status = ServeStatus::kFailed;
       resolve(w.promise, w.request, std::move(resp));

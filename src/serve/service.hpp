@@ -176,6 +176,7 @@ class EstimateService {
     EstimateRequest request;
     std::uint64_t admitted_us = 0;
     bool coalesced = false;  ///< attached to an already-pending batch
+    std::uint32_t cost_ctx = 0;  ///< cost-ledger context (0 = unattributed)
   };
 
   /// One queued unit of work: a planned batch plus everyone riding it.
@@ -188,6 +189,10 @@ class EstimateService {
     std::uint64_t planned_steps = 0;   ///< admission charge (released on land)
     bool refresh_only = false;
     bool bypass_cache = false;         ///< some waiter set allow_cached=false
+    /// Cost-ledger context the batch's walks are charged to: the initiating
+    /// waiter's context (coalesced riders keep their own for per-request
+    /// charges), or a "(refresh)" system context for refresh batches.
+    std::uint32_t cost_ctx = 0;
   };
   using BatchPtr = std::shared_ptr<PendingBatch>;
 
@@ -221,6 +226,9 @@ class EstimateService {
   void resolve(std::promise<EstimateResponse>& promise,
                const EstimateRequest& request, EstimateResponse resp);
   static std::string slo_class(const EstimateRequest& request);
+  /// Opens a cost-ledger context for an admitted request (0 when no ledger
+  /// is installed or the hooks are compiled out).
+  std::uint32_t cost_open(const EstimateRequest& request);
   std::uint64_t retry_hint_locked() const;
   void release_steps_locked(const BatchPtr& batch);
   void update_gauges_locked();
@@ -246,6 +254,7 @@ class EstimateService {
   bool stopping_ = false;                     // guarded by mutex_
 
   std::atomic<bool> warmed_{false};
+  std::atomic<std::uint64_t> next_query_id_{1};  // cost-ledger query ids
   Rng batch_seed_rng_;  // broker thread only (dispatch-order draws)
 
   std::condition_variable refresher_cv_;  // waits on mutex_

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "obs/cost/cost.hpp"
 #include "obs/health/watchdog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
@@ -84,6 +85,7 @@ class ShardedWalkEngine {
         runner_(&runner),
         epoch_(std::chrono::steady_clock::now()) {
     if (metrics != nullptr) {
+      steps_m_ = &metrics->counter("walk.steps");
       handoffs_m_ = &metrics->counter("shard.handoffs");
       stitches_m_ = &metrics->counter("shard.stitches");
       stitch_steps_m_ = &metrics->counter("shard.stitch_steps");
@@ -145,6 +147,13 @@ class ShardedWalkEngine {
     OVERCOUNT_EXPECTS(graph_->degree(origin) > 0);
     if constexpr (probe_enabled_v<P>)
       OVERCOUNT_EXPECTS(probes.size() == m);
+    // Attribution boundary: the whole batch — every step, handoff and
+    // token — is charged to the caller's cost context (obs/cost/), and the
+    // enclosing cost.ctx span is what the flamegraph folder keys on to
+    // splice (tenant, query) frames above the batch.
+    const std::uint32_t cost_ctx = cost_current();
+    TraceSpan cost_span("cost", "cost.ctx", "cost_ctx",
+                        static_cast<std::uint64_t>(cost_ctx));
     TraceSpan batch_span("shard", "shard.run_tours", "m",
                          static_cast<std::uint64_t>(m));
     const BatchTimer timer;
@@ -152,6 +161,7 @@ class ShardedWalkEngine {
     batch.tours.resize(m);
     auto streams = derive_streams(seed, m);
     BatchContext ctx(graph_->num_shards());
+    ctx.cost_ctx = cost_ctx;
 
     const auto d0 = graph_->degree(origin);
     const double dd0 = static_cast<double>(d0);
@@ -178,7 +188,7 @@ class ShardedWalkEngine {
         seeds[graph_->owner(at)].push_back(
             seed_token({static_cast<std::uint32_t>(i), WalkKind::kTour, at,
                         kFirstStep, acc, rng},
-                       flow_base, i));
+                       flow_base, i, cost_ctx));
       }
     }
     push_seeds(ctx, seeds);
@@ -213,8 +223,9 @@ class ShardedWalkEngine {
             }
             if (graph_->owner(at) != s) {
               ++cell.handoffs;
-              outs[graph_->owner(at)].push_back(frozen(
-                  {tk.walk, WalkKind::kTour, at, steps, acc, rng}, tk.flow));
+              outs[graph_->owner(at)].push_back(
+                  frozen({tk.walk, WalkKind::kTour, at, steps, acc, rng},
+                         tk.flow, tk.ctx));
               return;
             }
             continue;
@@ -232,8 +243,9 @@ class ShardedWalkEngine {
         if constexpr (probe_enabled_v<P>) probes[tk.walk].on_visit(at);
         if (graph_->owner(at) != s) {
           ++cell.handoffs;
-          outs[graph_->owner(at)].push_back(frozen(
-              {tk.walk, WalkKind::kTour, at, steps, acc, rng}, tk.flow));
+          outs[graph_->owner(at)].push_back(
+              frozen({tk.walk, WalkKind::kTour, at, steps, acc, rng},
+                     tk.flow, tk.ctx));
           return;
         }
       }
@@ -259,6 +271,9 @@ class ShardedWalkEngine {
     OVERCOUNT_EXPECTS(timer_horizon > 0.0);
     if constexpr (probe_enabled_v<P>)
       OVERCOUNT_EXPECTS(probes.size() == m);
+    const std::uint32_t cost_ctx = cost_current();
+    TraceSpan cost_span("cost", "cost.ctx", "cost_ctx",
+                        static_cast<std::uint64_t>(cost_ctx));
     TraceSpan batch_span("shard", "shard.run_samples", "m",
                          static_cast<std::uint64_t>(m));
     const BatchTimer timer;
@@ -266,6 +281,7 @@ class ShardedWalkEngine {
     batch.samples.resize(m);
     auto streams = derive_streams(seed, m);
     BatchContext ctx(graph_->num_shards());
+    ctx.cost_ctx = cost_ctx;
 
     // A CTRW walk starts with the sojourn draw at the origin, so every walk
     // seeds as a token AT the origin (walk_begin emitted, no draw yet).
@@ -277,7 +293,7 @@ class ShardedWalkEngine {
       seeds[home].push_back(seed_token(
           {static_cast<std::uint32_t>(i), WalkKind::kSample, origin, 0,
            timer_horizon, streams[i]},
-          flow_base, i));
+          flow_base, i, cost_ctx));
     }
     push_seeds(ctx, seeds);
 
@@ -322,6 +338,9 @@ class ShardedWalkEngine {
     OVERCOUNT_EXPECTS(ell >= 1);
     if constexpr (probe_enabled_v<P>)
       OVERCOUNT_EXPECTS(probes.size() == trials);
+    const std::uint32_t cost_ctx = cost_current();
+    TraceSpan cost_span("cost", "cost.ctx", "cost_ctx",
+                        static_cast<std::uint64_t>(cost_ctx));
     TraceSpan batch_span("shard", "shard.run_sc_trials", "trials",
                          static_cast<std::uint64_t>(trials));
     const BatchTimer timer;
@@ -329,6 +348,7 @@ class ShardedWalkEngine {
     batch.trials.resize(trials);
     auto streams = derive_streams(seed, trials);
     BatchContext ctx(graph_->num_shards());
+    ctx.cost_ctx = cost_ctx;
 
     struct TrialState {
       CollisionTracker tracker;
@@ -348,7 +368,7 @@ class ShardedWalkEngine {
       seeds[home].push_back(seed_token(
           {static_cast<std::uint32_t>(t), WalkKind::kScWalk, origin, 0,
            timer_horizon, streams[t]},
-          flow_base, t));
+          flow_base, t, cost_ctx));
     }
     push_seeds(ctx, seeds);
 
@@ -377,8 +397,10 @@ class ShardedWalkEngine {
           }
           if constexpr (probe_enabled_v<P>) probes[tk.walk].walk_begin(origin);
           const std::uint64_t flow = tk.flow;  // trial-long causal chain
+          const std::uint32_t cctx = tk.ctx;   // trial-long accounting
           tk = {tk.walk, WalkKind::kScWalk, origin, 0, timer_horizon, tk.rng};
           tk.flow = flow;
+          tk.ctx = cctx;
           continue;  // fall through into the walk phase
         }
         const auto status =
@@ -389,12 +411,13 @@ class ShardedWalkEngine {
         WalkToken report{tk.walk, WalkKind::kScReport, status.node,
                          status.hops, 0.0, status.rng};
         report.flow = tk.flow;
+        report.ctx = tk.ctx;
         if (s == home) {
           tk = report;
           continue;
         }
         ++cell.reports;
-        outs[home].push_back(frozen(report, tk.flow));
+        outs[home].push_back(frozen(report, tk.flow, tk.ctx));
         return;
       }
     });
@@ -436,6 +459,7 @@ class ShardedWalkEngine {
     std::vector<Cell> cells;
     ShardRunStats stats;
     std::size_t retired = 0;  ///< walks finished (incl. during seeding)
+    std::uint32_t cost_ctx = 0;  ///< cost context the batch is charged to
   };
 
   /// Wall+CPU stopwatch matching ParallelRunner::dispatch's accounting.
@@ -500,7 +524,8 @@ class ShardedWalkEngine {
           if (graph_->owner(at) != s) {
             ++cell.handoffs;
             outs[graph_->owner(at)].push_back(
-                frozen({tk.walk, kind, at, hops, remaining, rng}, tk.flow));
+                frozen({tk.walk, kind, at, hops, remaining, rng}, tk.flow,
+                       tk.ctx));
             return {};
           }
           continue;
@@ -523,7 +548,8 @@ class ShardedWalkEngine {
       if (graph_->owner(at) != s) {
         ++cell.handoffs;
         outs[graph_->owner(at)].push_back(
-            frozen({tk.walk, kind, at, hops, remaining, rng}, tk.flow));
+            frozen({tk.walk, kind, at, hops, remaining, rng}, tk.flow,
+                   tk.ctx));
         return {};
       }
     }
@@ -560,23 +586,28 @@ class ShardedWalkEngine {
 
   /// Stamps migration metadata on a freshly seeded token and opens its
   /// causal chain ('s' flow event on the driver, inside the batch span).
-  WalkToken seed_token(WalkToken t, std::uint64_t flow_base,
-                       std::size_t i) const noexcept {
+  /// The cost context rides the token so the thawing shard charges every
+  /// delivery to the (tenant, query) that seeded the walk.
+  WalkToken seed_token(WalkToken t, std::uint64_t flow_base, std::size_t i,
+                       std::uint32_t cost_ctx) const noexcept {
     if (flow_base != 0) {
       t.flow = flow_base + i;
       trace_flow("shard", "walk.flow", 's', t.flow, "walk",
                  static_cast<std::uint64_t>(i));
     }
     if (latency_m_ != nullptr) t.frozen_us = engine_now_us();
+    t.ctx = cost_ctx;
     return t;
   }
 
   /// Stamps migration metadata on a mid-walk handoff token: the walk's flow
-  /// id rides along, and the freeze time feeds the latency histogram at the
-  /// destination. Touches no walk state and no Rng.
-  WalkToken frozen(WalkToken t, std::uint64_t flow) const noexcept {
+  /// id and cost context ride along, and the freeze time feeds the latency
+  /// histogram at the destination. Touches no walk state and no Rng.
+  WalkToken frozen(WalkToken t, std::uint64_t flow,
+                   std::uint32_t cost_ctx) const noexcept {
     t.flow = flow;
     if (latency_m_ != nullptr) t.frozen_us = engine_now_us();
+    t.ctx = cost_ctx;
     return t;
   }
 
@@ -635,6 +666,10 @@ class ShardedWalkEngine {
         std::vector<std::vector<WalkToken>> outs(shards);
         for (WalkToken& tk : inbox) {
           ++cell.processed;
+          // Every delivered token is billed to the context that seeded its
+          // walk — the id rode the token across the handoff, so a shard
+          // charges work it does ON BEHALF of a query it never admitted.
+          cost_charge_ctx(tk.ctx, CostField::kTokens, 1);
           // Thaw accounting: freeze-to-thaw time of the migration this
           // token just completed (stamped by seed_token/frozen).
           if (tk.frozen_us != 0 && latency_m_ != nullptr)
@@ -697,6 +732,21 @@ class ShardedWalkEngine {
     stats.steps = steps;
     stats.threads = runner_->thread_count();
     timer.fill(stats);
+    // Batch-granularity ledger charges (never per step — the hot loops stay
+    // untouched): totals to the context captured at entry. The tokens were
+    // already charged at thaw, one by one, via the id riding each token.
+    if (cost_active()) {
+      cost_charge_ctx(ctx.cost_ctx, CostField::kSteps, steps);
+      cost_charge_ctx(ctx.cost_ctx, CostField::kWalks,
+                      static_cast<std::uint64_t>(tasks));
+      cost_charge_ctx(ctx.cost_ctx, CostField::kHandoffs, stats_.handoffs);
+      cost_charge_ctx(ctx.cost_ctx, CostField::kStitches, stats_.stitches);
+      cost_charge_ctx(ctx.cost_ctx, CostField::kStitchSteps,
+                      stats_.stitch_steps);
+      cost_charge_ctx(ctx.cost_ctx, CostField::kCpuUs,
+                      static_cast<std::uint64_t>(stats.cpu_seconds * 1e6));
+    }
+    if (steps_m_ != nullptr) steps_m_->add(steps);
     if (handoffs_m_ != nullptr) {
       handoffs_m_->add(stats_.handoffs);
       stitches_m_->add(stats_.stitches);
@@ -716,6 +766,7 @@ class ShardedWalkEngine {
   Heartbeat* heartbeat_ = nullptr;
   std::uint64_t inject_delay_us_ = 0;
 
+  Counter* steps_m_ = nullptr;  ///< walk.steps: batch steps, ledger-independent
   Counter* handoffs_m_ = nullptr;
   Counter* stitches_m_ = nullptr;
   Counter* stitch_steps_m_ = nullptr;

@@ -34,14 +34,16 @@ enum class WalkKind : std::uint8_t {
               ///< steps = hops of that walk, rng = stream to continue with
 };
 
-/// A frozen in-flight walk. 64 bytes (one cache line): small enough that a
-/// handoff is one cheap vector push, and nothing graph-sized ever crosses
-/// shards. The trailing pair is migration metadata, not walk state: `flow`
-/// threads a per-walk causal-trace id across every handoff (0 = untraced;
-/// obs/trace.hpp flow events), `frozen_us` stamps when the walk froze so the
-/// thawing shard can histogram shard.handoff_latency_us (0 = unstamped).
-/// Neither field is ever read by the walk logic itself — bit-identity of the
-/// estimates is untouched.
+/// A frozen in-flight walk: small enough that a handoff is one cheap vector
+/// push, and nothing graph-sized ever crosses shards. The trailing fields
+/// are migration metadata, not walk state: `flow` threads a per-walk
+/// causal-trace id across every handoff (0 = untraced; obs/trace.hpp flow
+/// events), `frozen_us` stamps when the walk froze so the thawing shard can
+/// histogram shard.handoff_latency_us (0 = unstamped), and `ctx` rides the
+/// cost-ledger context id (obs/cost/) so the thawing shard charges the
+/// token to the (tenant, query) that seeded the walk (0 = unattributed).
+/// None of these fields is ever read by the walk logic itself —
+/// bit-identity of the estimates is untouched.
 struct WalkToken {
   std::uint32_t walk = 0;  ///< batch slot (tour/sample index, or trial id)
   WalkKind kind = WalkKind::kTour;
@@ -51,6 +53,7 @@ struct WalkToken {
   Rng rng{0};
   std::uint64_t flow = 0;       ///< causal-trace flow id (0 = untraced)
   std::uint64_t frozen_us = 0;  ///< freeze timestamp (0 = unstamped)
+  std::uint32_t ctx = 0;        ///< cost-ledger context (0 = unattributed)
 };
 
 /// MPSC mailbox for one shard. Producers (other shards' workers) push one

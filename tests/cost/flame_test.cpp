@@ -1,0 +1,130 @@
+// fold_collapsed_stacks contract: complete spans rebuild their nesting
+// from (ts, dur) intervals, each span contributes its EXCLUSIVE time to its
+// full stack path, a "cost_ctx" argument splices tenant/query attribution
+// frames in, and the output is byte-stable regardless of record order —
+// the same algorithm scripts/flamegraph.py implements, so the two must
+// agree on every case pinned here.
+#include "obs/cost/flame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/cost/cost.hpp"
+#include "obs/trace.hpp"
+
+namespace overcount {
+namespace {
+
+/// Records a complete span with explicit timing (record() fills the tid).
+void span(TraceRecorder& trace, const char* name, std::uint64_t ts_us,
+          std::uint64_t dur_us, std::uint64_t cost_ctx = 0) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = "test";
+  e.phase = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  if (cost_ctx != 0) {
+    e.arg_name = "cost_ctx";
+    e.arg = cost_ctx;
+  }
+  trace.record(e);
+}
+
+TEST(FlameFold, NestedSpansContributeExclusiveTime) {
+  TraceRecorder trace(64);
+  span(trace, "parent", 0, 100);
+  span(trace, "childA", 10, 20);
+  span(trace, "childB", 40, 10);
+  // parent holds 100us but its children cover 30: self time is 70.
+  EXPECT_EQ(fold_collapsed_stacks(trace),
+            "parent 70\n"
+            "parent;childA 20\n"
+            "parent;childB 10\n");
+}
+
+TEST(FlameFold, SpanEndingWhereAnotherStartsIsASibling) {
+  TraceRecorder trace(64);
+  span(trace, "first", 0, 10);
+  span(trace, "second", 10, 5);  // end(first) <= start(second): no nesting
+  EXPECT_EQ(fold_collapsed_stacks(trace), "first 10\nsecond 5\n");
+}
+
+TEST(FlameFold, EqualStartNestsTheLongerSpanOutside) {
+  TraceRecorder trace(64);
+  // Recorded inner-first: the fold must still order by duration, because
+  // at an equal start the longer span is the one that opened first.
+  span(trace, "inner", 0, 40);
+  span(trace, "outer", 0, 100);
+  EXPECT_EQ(fold_collapsed_stacks(trace), "outer 60\nouter;inner 40\n");
+}
+
+TEST(FlameFold, FullyCoveredParentEmitsNoZeroLine) {
+  TraceRecorder trace(64);
+  span(trace, "parent", 0, 50);
+  span(trace, "child", 0, 50);
+  // parent's exclusive time is 0 — collapsed format forbids zero counts,
+  // so only the leaf line appears.
+  EXPECT_EQ(fold_collapsed_stacks(trace), "parent;child 50\n");
+}
+
+TEST(FlameFold, CostCtxSplicesTenantAndQueryFrames) {
+  CostLedger ledger;
+  QueryContext qc;
+  qc.tenant = "acme corp";  // separator chars must be sanitised
+  qc.query_id = 7;
+  const std::uint32_t ctx = ledger.open(std::move(qc));
+
+  TraceRecorder trace(64);
+  span(trace, "cost.ctx", 0, 100, ctx);
+  span(trace, "serve.walks", 5, 90);
+  EXPECT_EQ(fold_collapsed_stacks(trace, &ledger),
+            "tenant=acme_corp;query=7;cost.ctx 10\n"
+            "tenant=acme_corp;query=7;cost.ctx;serve.walks 90\n");
+
+  // Without a ledger (or for an id the ledger never opened) the raw id is
+  // still an attribution frame — the profile stays splittable by context.
+  EXPECT_EQ(fold_collapsed_stacks(trace, nullptr),
+            "ctx=1;cost.ctx 10\nctx=1;cost.ctx;serve.walks 90\n");
+}
+
+TEST(FlameFold, InstantAndFlowEventsAreIgnored) {
+  TraceRecorder trace(64);
+  trace.record_instant("test", "marker");
+  trace.record_flow("test", "walk", 's', 42);
+  EXPECT_EQ(fold_collapsed_stacks(trace), "");
+  span(trace, "work", 0, 5);
+  EXPECT_EQ(fold_collapsed_stacks(trace), "work 5\n");
+}
+
+TEST(FlameFold, IdenticalStacksMergeAcrossRepeatsAndOutputIsStable) {
+  TraceRecorder trace(256);
+  span(trace, "batch", 0, 100);
+  span(trace, "walk", 10, 20);
+  span(trace, "walk", 50, 30);  // same path, disjoint interval
+  const std::string once = fold_collapsed_stacks(trace);
+  EXPECT_EQ(once, "batch 50\nbatch;walk 50\n");
+  EXPECT_EQ(fold_collapsed_stacks(trace), once);  // byte-stable
+}
+
+TEST(FlameFold, WriteCollapsedFileRoundTrips) {
+  TraceRecorder trace(64);
+  span(trace, "batch", 0, 100);
+  span(trace, "walk", 10, 20);
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "flame_test.folded";
+  ASSERT_TRUE(write_collapsed_file(path.string(), trace));
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  EXPECT_EQ(os.str(), fold_collapsed_stacks(trace));
+  EXPECT_FALSE(write_collapsed_file("/nonexistent/dir/x.folded", trace));
+}
+
+}  // namespace
+}  // namespace overcount

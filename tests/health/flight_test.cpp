@@ -77,9 +77,17 @@ TEST(FlightRecorder, BundleIsSelfContainedAndParses) {
   ASSERT_TRUE(manifest.is_object());
   EXPECT_EQ(manifest.find("schema")->as_number(), 1.0);
   EXPECT_EQ(manifest.find("reason")->as_string(), "unit.test-reason");
+  // Provenance keys a post-mortem needs: the producing revision and the
+  // bench schema its artifacts pair with (validate_flight.py requires
+  // both).
+  ASSERT_NE(manifest.find("git_rev"), nullptr);
+  EXPECT_FALSE(manifest.find("git_rev")->as_string().empty());
+  ASSERT_NE(manifest.find("bench_schema"), nullptr);
+  EXPECT_EQ(manifest.find("bench_schema")->as_number(), 1.0);
   ASSERT_NE(manifest.find("files"), nullptr);
   const auto& files = manifest.find("files")->as_array();
-  ASSERT_EQ(files.size(), 4u);  // all four attached sources were captured
+  // Four attached sources, plus the profile folded from the trace ring.
+  ASSERT_EQ(files.size(), 5u);
   for (const JsonValue& f : files)
     EXPECT_TRUE(fs::exists(fs::path(bundle) / f.as_string()))
         << f.as_string();

@@ -7,9 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "obs/cost/cost.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -136,6 +140,88 @@ TEST(MetricsHttpServer, ReadyzIsDistinctFromHealthz) {
   EXPECT_EQ(status, 200);
 
   warmed.store(true);
+  EXPECT_EQ(http_get_body(server.port(), "/readyz", &status), "ready\n");
+  EXPECT_EQ(status, 200);
+}
+
+// Every route is a point-in-time snapshot: a caching proxy replaying one
+// would freeze "live" dashboards, and a missing charset invites scrapers
+// to guess. Audit the full header contract on every endpoint, including
+// the error paths.
+TEST(MetricsHttpServer, AllRoutesCarryNoStoreAndExplicitCharset) {
+  MetricsRegistry registry;
+  registry.counter("walk.visits").inc();
+  CostLedger ledger;
+  MetricsHttpServer server(registry, 0);
+  ASSERT_NE(server.port(), 0);
+  server.set_cost_ledger(&ledger);
+
+  const struct {
+    const char* path;
+    const char* content_type;
+  } kRoutes[] = {
+      {"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+      {"/snapshot.json", "application/json; charset=utf-8"},
+      {"/costs", "application/json; charset=utf-8"},
+      {"/healthz", "text/plain; charset=utf-8"},
+      {"/readyz", "text/plain; charset=utf-8"},
+      {"/no-such-route", "text/plain; charset=utf-8"},  // 404 too
+  };
+  for (const auto& route : kRoutes) {
+    const std::string response = http_get_response(server.port(), route.path);
+    EXPECT_NE(response.find("Cache-Control: no-store\r\n"), std::string::npos)
+        << route.path;
+    EXPECT_NE(response.find(std::string("Content-Type: ") +
+                            route.content_type + "\r\n"),
+              std::string::npos)
+        << route.path;
+    EXPECT_NE(response.find("Content-Length: "), std::string::npos)
+        << route.path;
+  }
+}
+
+// The unwarmed -> warmed flip under concurrent scrapes: every client must
+// see a WHOLE response — a correct status line paired with its exact body,
+// never a torn or partial one — while the readiness answer changes beneath
+// them (and while set_ready_check swaps the callback mid-hammer).
+TEST(MetricsHttpServer, ReadyzServesWholeResponsesThroughWarmupTransition) {
+  MetricsRegistry registry;
+  MetricsHttpServer server(registry, 0);
+  ASSERT_NE(server.port(), 0);
+  std::atomic<bool> warmed{false};
+  server.set_ready_check([&] { return warmed.load(); });
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 30;
+  std::atomic<int> torn{0};
+  std::atomic<int> saw_warming{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        int status = 0;
+        const std::string body =
+            http_get_body(server.port(), "/readyz", &status);
+        const bool whole = (status == 200 && body == "ready\n") ||
+                           (status == 503 && body == "warming\n");
+        if (!whole) torn.fetch_add(1);
+        if (status == 503) saw_warming.fetch_add(1);
+      }
+    });
+  // Flip readiness mid-hammer, and re-install the check a few times so the
+  // callback swap itself races the serving thread.
+  for (int i = 0; i < 5; ++i) {
+    server.set_ready_check([&] { return warmed.load(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  warmed.store(true);
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(saw_warming.load(), 0);  // the hammer really saw the warm-up
+  // Settled state: ready, always.
+  int status = 0;
   EXPECT_EQ(http_get_body(server.port(), "/readyz", &status), "ready\n");
   EXPECT_EQ(status, 200);
 }
