@@ -55,6 +55,7 @@
 
 #include "graph/dynamic_graph.hpp"
 #include "graph/generators.hpp"
+#include "net/client.hpp"
 #include "obs/cost/cost.hpp"
 #include "obs/expose.hpp"
 #include "obs/health/audit.hpp"
@@ -196,6 +197,12 @@ int main() {
   Tally tally;
 
   auto client = [&](int id) {
+    // Per-client jitter stream for reject backoff: honouring the broker's
+    // retry_after_us verbatim would march every shed client back in
+    // lockstep and re-collide them; the shared helper spreads the herd
+    // across [0.75, 1.25) of the hint (net/client.hpp, same policy the
+    // socket clients use).
+    Rng backoff_rng(0x9E3779B9u + static_cast<std::uint64_t>(id));
     for (int q = 0; q < queries_per_client; ++q) {
       EstimateRequest req;
       // One tenant per query class, so /costs has a real mix to rank: the
@@ -239,7 +246,7 @@ int main() {
         case ServeStatus::kRejected:
           tally.rejected.fetch_add(1);
           std::this_thread::sleep_for(std::chrono::microseconds(
-              std::min<std::uint64_t>(resp.retry_after_us, 50'000)));
+              net::jittered_backoff_us(resp.retry_after_us, backoff_rng)));
           break;
         case ServeStatus::kDeadlineMiss:
           tally.deadline_missed.fetch_add(1);

@@ -142,11 +142,50 @@ def check_file(path):
         errors.append("no batches recorded")
     if not doc["histograms"] and not doc["walk_stats"]:
         errors.append("no histograms or walk_stats recorded")
+    if doc["bench"] == "soak":
+        check_soak(doc, errors)
     return errors
 
 
+SOAK_REQUIRED_VALUES = [
+    "soak.requests",
+    "soak.ok",
+    "soak.rejected_rate",
+    "soak.shed_rate",
+    "soak.jain_fairness",
+    "soak.throughput_rps",
+    "cost.steps",
+    "cost.unattributed_steps",
+]
+SOAK_CLASSES = ["gold", "silver", "bronze"]
+SOAK_CLASS_VALUES = ["hit_rate", "latency_p50_us", "latency_p90_us",
+                     "latency_p99_us"]
+
+
+def check_soak(doc, errors):
+    """Schema for the multi-tenant soak artifact (bench name 'soak'):
+    the headline counters CI gates on must exist and the bounded ones
+    must actually be in [0, 1]."""
+    values = doc.get("values", {})
+    required = list(SOAK_REQUIRED_VALUES)
+    for cls in SOAK_CLASSES:
+        required.extend(f"soak.class.{cls}.{v}" for v in SOAK_CLASS_VALUES)
+    for key in required:
+        if key not in values:
+            errors.append(f"soak: missing required value '{key}'")
+    for key, value in values.items():
+        bounded = (key == "soak.jain_fairness" or key.endswith(".hit_rate")
+                   or key.endswith("_rate"))
+        if bounded and key in values and not (0.0 <= value <= 1.0):
+            errors.append(f"soak: '{key}' = {value} outside [0, 1]")
+
+
 def higher_is_better(counter):
-    return counter.endswith("per_second") or "speedup" in counter
+    # Jain fairness, SLO hit rates and served throughput join the
+    # classic throughput counters: only a DROP is a regression.
+    return (counter.endswith("per_second") or "speedup" in counter
+            or "jain" in counter or counter.endswith("hit_rate")
+            or counter.endswith("throughput_rps"))
 
 
 def lower_is_better(counter):

@@ -1,0 +1,71 @@
+// Minimal blocking client for the overcount wire protocol. Used by the
+// soak bench, the examples, and the tests; kept dependency-light (socket +
+// protocol + Rng only) so anything can link it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace overcount::net {
+
+/// Jittered honor of a server-supplied retry_after_us hint. Returns a wait
+/// in [0.75, 1.25) * hint, capped at `cap_us`. Jitter desynchronises
+/// rejected clients so they do not re-arrive as a thundering herd exactly
+/// when the hint expires.
+std::uint64_t jittered_backoff_us(std::uint64_t retry_after_us, Rng& rng,
+                                  std::uint64_t cap_us = 2'000'000);
+
+/// One blocking connection to an EstimateNetServer. Not thread-safe; use
+/// one client per thread (the server multiplexes tenants per connection,
+/// so one connection can speak for many tenants).
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient() { close(); }
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Connects to 127.0.0.1:port. False on failure.
+  bool connect(std::uint16_t port);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Registers a tenant; returns the Welcome (with the wire tenant id) or
+  /// nullopt on transport/protocol failure.
+  std::optional<WelcomeMsg> hello(const std::string& tenant,
+                                  std::uint8_t class_id,
+                                  int timeout_ms = 10'000);
+
+  /// Fire-and-forget send for pipelined use; pair with read_frame().
+  bool send_request(const RequestMsg& req);
+
+  /// Reads the next complete frame, polling up to `timeout_ms` total.
+  std::optional<Frame> read_frame(int timeout_ms = 10'000);
+
+  /// Outcome of a synchronous round trip.
+  struct Result {
+    bool rejected = false;
+    ResponseMsg response;  ///< valid when !rejected.
+    RejectMsg reject;      ///< valid when rejected.
+  };
+
+  /// Synchronous request: send + wait for the matching Response/Reject.
+  /// nullopt on transport or protocol failure.
+  std::optional<Result> request(const RequestMsg& req,
+                                int timeout_ms = 30'000);
+
+  /// Liveness probe; true iff the echoed nonce matches.
+  bool ping(std::uint64_t nonce, int timeout_ms = 10'000);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace overcount::net

@@ -1,0 +1,319 @@
+#include "net/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace overcount::net {
+namespace {
+
+// Little-endian byte writer. Frames are small (<= a few hundred bytes), so
+// a std::string with amortised growth is plenty.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(const std::string& s) { out_.append(s); }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+// Bounds-checked little-endian reader over a frame payload. Every getter
+// fails (ok_ = false) instead of over-reading; callers check ok() once.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& data) : data_(data) {}
+
+  std::uint8_t u8() {
+    if (pos_ + 1 > data_.size()) return fail8();
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() {
+    const std::uint16_t lo = u8();
+    const std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string bytes(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::string out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  bool ok() const { return ok_; }
+  bool exhausted() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  std::uint8_t fail8() {
+    ok_ = false;
+    return 0;
+  }
+  const std::string& data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::string with_header(FrameType type, std::uint16_t flags,
+                        std::string payload) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(flags);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload);
+  return w.take();
+}
+
+}  // namespace
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kUnknownTenant: return "unknown_tenant";
+    case RejectReason::kRateLimited: return "rate_limited";
+    case RejectReason::kFairShare: return "fair_share";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kShuttingDown: return "shutting_down";
+    case RejectReason::kBadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+std::string encode_hello(const HelloMsg& msg) {
+  ByteWriter w;
+  w.u8(msg.class_id);
+  w.u16(static_cast<std::uint16_t>(msg.tenant.size()));
+  w.bytes(msg.tenant);
+  return with_header(FrameType::kHello, 0, w.take());
+}
+
+std::string encode_welcome(const WelcomeMsg& msg) {
+  ByteWriter w;
+  w.u32(msg.tenant_id);
+  w.u8(msg.class_id);
+  w.f64(msg.epsilon);
+  w.f64(msg.delta);
+  w.u64(msg.deadline_us);
+  w.f64(msg.rate_per_sec);
+  w.f64(msg.burst);
+  return with_header(FrameType::kWelcome, 0, w.take());
+}
+
+std::string encode_request(const RequestMsg& msg) {
+  ByteWriter w;
+  w.u64(msg.request_id);
+  w.u32(msg.tenant_id);
+  w.u8(msg.kind);
+  w.u8(msg.method);
+  w.f64(msg.epsilon);
+  w.f64(msg.delta);
+  w.u64(msg.deadline_rel_us);
+  return with_header(FrameType::kRequest, msg.flags, w.take());
+}
+
+std::string encode_response(const ResponseMsg& msg) {
+  ByteWriter w;
+  w.u64(msg.request_id);
+  w.u8(msg.status);
+  w.f64(msg.value);
+  w.f64(msg.epsilon);
+  w.u64(msg.walks);
+  w.u64(msg.graph_version);
+  w.u64(msg.age_us);
+  w.u64(msg.latency_us);
+  w.u64(msg.retry_after_us);
+  return with_header(FrameType::kResponse, msg.flags, w.take());
+}
+
+std::string encode_reject(const RejectMsg& msg) {
+  ByteWriter w;
+  w.u64(msg.request_id);
+  w.u8(msg.reason);
+  w.u64(msg.retry_after_us);
+  return with_header(FrameType::kReject, 0, w.take());
+}
+
+std::string encode_error(const ErrorMsg& msg) {
+  ByteWriter w;
+  w.u16(msg.code);
+  w.u16(static_cast<std::uint16_t>(msg.message.size()));
+  w.bytes(msg.message);
+  return with_header(FrameType::kError, 0, w.take());
+}
+
+std::string encode_ping(const PingMsg& msg, bool pong) {
+  ByteWriter w;
+  w.u64(msg.nonce);
+  return with_header(pong ? FrameType::kPong : FrameType::kPing, 0, w.take());
+}
+
+std::optional<HelloMsg> decode_hello(const Frame& frame) {
+  ByteReader r(frame.payload);
+  HelloMsg msg;
+  msg.class_id = r.u8();
+  const std::uint16_t len = r.u16();
+  if (len > kMaxTenantNameBytes) return std::nullopt;
+  msg.tenant = r.bytes(len);
+  if (!r.exhausted() || msg.tenant.empty()) return std::nullopt;
+  return msg;
+}
+
+std::optional<WelcomeMsg> decode_welcome(const Frame& frame) {
+  ByteReader r(frame.payload);
+  WelcomeMsg msg;
+  msg.tenant_id = r.u32();
+  msg.class_id = r.u8();
+  msg.epsilon = r.f64();
+  msg.delta = r.f64();
+  msg.deadline_us = r.u64();
+  msg.rate_per_sec = r.f64();
+  msg.burst = r.f64();
+  if (!r.exhausted()) return std::nullopt;
+  return msg;
+}
+
+std::optional<RequestMsg> decode_request(const Frame& frame) {
+  ByteReader r(frame.payload);
+  RequestMsg msg;
+  msg.flags = frame.header.flags;
+  msg.request_id = r.u64();
+  msg.tenant_id = r.u32();
+  msg.kind = r.u8();
+  msg.method = r.u8();
+  msg.epsilon = r.f64();
+  msg.delta = r.f64();
+  msg.deadline_rel_us = r.u64();
+  if (!r.exhausted()) return std::nullopt;
+  return msg;
+}
+
+std::optional<ResponseMsg> decode_response(const Frame& frame) {
+  ByteReader r(frame.payload);
+  ResponseMsg msg;
+  msg.flags = frame.header.flags;
+  msg.request_id = r.u64();
+  msg.status = r.u8();
+  msg.value = r.f64();
+  msg.epsilon = r.f64();
+  msg.walks = r.u64();
+  msg.graph_version = r.u64();
+  msg.age_us = r.u64();
+  msg.latency_us = r.u64();
+  msg.retry_after_us = r.u64();
+  if (!r.exhausted()) return std::nullopt;
+  return msg;
+}
+
+std::optional<RejectMsg> decode_reject(const Frame& frame) {
+  ByteReader r(frame.payload);
+  RejectMsg msg;
+  msg.request_id = r.u64();
+  msg.reason = r.u8();
+  msg.retry_after_us = r.u64();
+  if (!r.exhausted()) return std::nullopt;
+  return msg;
+}
+
+std::optional<ErrorMsg> decode_error(const Frame& frame) {
+  ByteReader r(frame.payload);
+  ErrorMsg msg;
+  msg.code = r.u16();
+  const std::uint16_t len = r.u16();
+  msg.message = r.bytes(len);
+  if (!r.exhausted()) return std::nullopt;
+  return msg;
+}
+
+std::optional<PingMsg> decode_ping(const Frame& frame) {
+  ByteReader r(frame.payload);
+  PingMsg msg;
+  msg.nonce = r.u64();
+  if (!r.exhausted()) return std::nullopt;
+  return msg;
+}
+
+void FrameReader::append(const char* data, std::size_t n) {
+  if (broken_) return;  // corrupt streams accept no more bytes.
+  // Compact lazily so long-lived connections do not grow without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+DecodeStatus FrameReader::next(Frame& out, std::string* error) {
+  if (broken_) {
+    if (error != nullptr) *error = error_;
+    return DecodeStatus::kError;
+  }
+  if (buffered() < kHeaderBytes) return DecodeStatus::kNeedMore;
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const std::uint32_t magic = static_cast<std::uint32_t>(p[0]) |
+                              (static_cast<std::uint32_t>(p[1]) << 8) |
+                              (static_cast<std::uint32_t>(p[2]) << 16) |
+                              (static_cast<std::uint32_t>(p[3]) << 24);
+  FrameHeader header;
+  header.version = p[4];
+  header.type = p[5];
+  header.flags =
+      static_cast<std::uint16_t>(p[6] | (static_cast<std::uint16_t>(p[7]) << 8));
+  header.length = static_cast<std::uint32_t>(p[8]) |
+                  (static_cast<std::uint32_t>(p[9]) << 8) |
+                  (static_cast<std::uint32_t>(p[10]) << 16) |
+                  (static_cast<std::uint32_t>(p[11]) << 24);
+  // Header validation happens before any payload is buffered or allocated:
+  // an adversarial length field can never drive memory growth.
+  if (magic != kMagic) {
+    broken_ = true;
+    error_ = "bad magic";
+  } else if (header.version != kProtocolVersion) {
+    broken_ = true;
+    error_ = "unsupported protocol version";
+  } else if (header.length > kMaxPayloadBytes) {
+    broken_ = true;
+    error_ = "payload exceeds 64 KiB cap";
+  } else if (header.type < static_cast<std::uint8_t>(FrameType::kHello) ||
+             header.type > static_cast<std::uint8_t>(FrameType::kPong)) {
+    broken_ = true;
+    error_ = "unknown frame type";
+  }
+  if (broken_) {
+    if (error != nullptr) *error = error_;
+    return DecodeStatus::kError;
+  }
+  if (buffered() < kHeaderBytes + header.length) return DecodeStatus::kNeedMore;
+  out.header = header;
+  out.payload = buffer_.substr(consumed_ + kHeaderBytes, header.length);
+  consumed_ += kHeaderBytes + header.length;
+  return DecodeStatus::kFrame;
+}
+
+}  // namespace overcount::net

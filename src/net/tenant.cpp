@@ -1,0 +1,136 @@
+#include "net/tenant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/protocol.hpp"
+
+namespace overcount::net {
+
+std::vector<SloClassSpec> default_slo_classes() {
+  return {
+      {"gold", 0.3, 0.2, 2'000'000, 2000.0, 400.0},
+      {"silver", 0.4, 0.2, 4'000'000, 1000.0, 200.0},
+      {"bronze", 0.5, 0.3, 0, 500.0, 100.0},
+  };
+}
+
+double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // nobody got anything: vacuously fair.
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+TenantRegistry::TenantRegistry(std::vector<SloClassSpec> classes,
+                               DrrConfig drr)
+    : classes_(std::move(classes)), drr_(drr) {}
+
+std::uint32_t TenantRegistry::hello(const std::string& name,
+                                    std::uint8_t class_id,
+                                    std::uint64_t now_us) {
+  if (class_id >= classes_.size() || name.empty() ||
+      name.size() > kMaxTenantNameBytes) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    TenantState& t = tenants_[it->second];
+    t.class_id = class_id;  // re-Hello rebinds the class, keeps the budget.
+    return it->second;
+  }
+  const std::uint32_t id = next_id_++;
+  ids_.emplace(name, id);
+  TenantState t;
+  t.name = name;
+  t.class_id = class_id;
+  t.tokens = classes_[class_id].burst;  // start with a full bucket
+  t.bucket_us = now_us;
+  t.deficit = drr_.quantum;  // and one round of fair-share credit.
+  t.drr_round = now_us / drr_.round_us;
+  tenants_.emplace(id, t);
+  return id;
+}
+
+void TenantRegistry::refill_locked(TenantState& t, const SloClassSpec& spec,
+                                   std::uint64_t now_us) {
+  if (now_us > t.bucket_us) {
+    const double elapsed_s =
+        static_cast<double>(now_us - t.bucket_us) * 1e-6;
+    t.tokens = std::min(spec.burst, t.tokens + elapsed_s * spec.rate_per_sec);
+    t.bucket_us = now_us;
+  }
+  const std::uint64_t round = now_us / drr_.round_us;
+  if (round > t.drr_round) {
+    const double rounds = std::min<double>(
+        static_cast<double>(round - t.drr_round), drr_.deficit_cap_rounds);
+    t.deficit = std::min(t.deficit + rounds * drr_.quantum,
+                         drr_.deficit_cap_rounds * drr_.quantum);
+    t.drr_round = round;
+  }
+}
+
+AdmitDecision TenantRegistry::admit(std::uint32_t tenant_id,
+                                    std::uint64_t now_us, bool saturated) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) {
+    return {AdmitResult::kUnknownTenant, 0};
+  }
+  TenantState& t = it->second;
+  const SloClassSpec& spec = classes_[t.class_id];
+  refill_locked(t, spec, now_us);
+
+  // The epsilon absorbs float refill rounding (elapsed_us * 1e-6 * rate is
+  // not exact), so a bucket refilled for exactly one token's worth of time
+  // admits instead of demanding one more microsecond.
+  constexpr double kTokenEps = 1e-9;
+  if (t.tokens + kTokenEps < 1.0) {
+    // Exact time until the next token matures at rate_per_sec.
+    const double missing = 1.0 - t.tokens;
+    const auto wait_us = static_cast<std::uint64_t>(
+        std::ceil(missing / spec.rate_per_sec * 1e6));
+    return {AdmitResult::kRateLimited, std::max<std::uint64_t>(wait_us, 1)};
+  }
+
+  if (saturated && t.deficit < 1.0) {
+    // Deferred to the next DRR round; tell the client exactly how long.
+    const std::uint64_t next_round_us = (t.drr_round + 1) * drr_.round_us;
+    const std::uint64_t wait_us =
+        next_round_us > now_us ? next_round_us - now_us : drr_.round_us;
+    return {AdmitResult::kFairShare, wait_us};
+  }
+
+  t.tokens = std::max(0.0, t.tokens - 1.0);
+  // Debit the deficit even when unsaturated (clamped at zero): a tenant
+  // that floods during calm weather arrives at the overload already broke.
+  t.deficit = std::max(0.0, t.deficit - 1.0);
+  return {AdmitResult::kAdmit, 0};
+}
+
+const SloClassSpec* TenantRegistry::spec_for(std::uint32_t tenant_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return nullptr;
+  return &classes_[it->second.class_id];
+}
+
+std::string TenantRegistry::name_for(std::uint32_t tenant_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return {};
+  return it->second.name;
+}
+
+std::size_t TenantRegistry::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+}  // namespace overcount::net

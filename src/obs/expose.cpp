@@ -1,20 +1,18 @@
 #include "obs/expose.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cctype>
-#include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
+#include "net/socket.hpp"
 #include "obs/cost/cost.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
@@ -27,18 +25,15 @@ namespace {
 /// or ~2 s of client silence — a slow client trickling its request one
 /// byte at a time cannot hold the serving thread hostage, and a request
 /// split across packets (perfectly legal TCP) is reassembled instead of
-/// being misparsed from its first fragment.
+/// being misparsed from its first fragment. EINTR handling lives in
+/// net::recv_some (the shared socket helpers in src/net/socket.hpp).
 std::string read_request(int fd) {
   std::string request;
   char buf[2048];
   for (int rounds = 0; rounds < 20; ++rounds) {
-    pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 100);
-    if (ready < 0 && errno == EINTR) continue;
-    if (ready <= 0) break;  // silence or error: parse what we have
-    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
-    if (got < 0 && errno == EINTR) continue;
-    if (got <= 0) break;
+    const ssize_t got = net::recv_some(fd, buf, sizeof(buf), 100);
+    if (got == net::kRecvTimeout) break;  // silence: parse what we have
+    if (got <= 0) break;                  // EOF or error
     request.append(buf, static_cast<std::size_t>(got));
     if (request.find("\r\n\r\n") != std::string::npos) break;
     if (request.size() > 16 * 1024) break;  // header cap; answer 400 below
@@ -46,19 +41,11 @@ std::string read_request(int fd) {
   return request;
 }
 
-/// Sends the whole buffer, retrying short writes and EINTR; MSG_NOSIGNAL
-/// turns a client that hung up mid-response into an EPIPE error instead of
-/// a process-killing SIGPIPE. Returns false when the client is gone.
+/// Sends the whole buffer via the shared helper (EINTR + partial-send
+/// retries, MSG_NOSIGNAL so a client that hung up mid-response surfaces as
+/// an error instead of a process-killing SIGPIPE).
 bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+  return net::send_all(fd, data.data(), data.size());
 }
 
 /// Shortest round-trip decimal for a gauge value (the same contract the
@@ -144,26 +131,12 @@ std::string render_prometheus(const MetricsSnapshot& snapshot) {
 MetricsHttpServer::MetricsHttpServer(const MetricsRegistry& registry,
                                      std::uint16_t port)
     : registry_(registry) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("metrics: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  listen_fd_ = net::listen_loopback(port, 16);
+  if (listen_fd_ < 0) {
     throw std::runtime_error("metrics: cannot bind 127.0.0.1:" +
                              std::to_string(port));
   }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
-  port_ = ntohs(bound.sin_port);
+  port_ = net::bound_port(listen_fd_);
   thread_ = std::thread([this] { serve_loop(); });
 }
 
@@ -178,16 +151,27 @@ void MetricsHttpServer::stop() {
 }
 
 void MetricsHttpServer::serve_loop() {
-  // poll with a short timeout so stop() is observed within ~100 ms even
-  // when no scraper ever connects.
+  // accept_next polls with a short timeout so stop() is observed within
+  // ~100 ms even when no scraper ever connects. Its errno policy (shared
+  // with the estimate front end) retries EINTR and reports fd exhaustion
+  // as kTransient, so EMFILE backs off instead of spinning — the pending
+  // connection stays in the kernel accept queue and is picked up once a
+  // descriptor frees.
   while (!stopping_.load(std::memory_order_relaxed)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 100);
-    if (ready <= 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
-    handle_connection(client);
-    ::close(client);
+    const net::AcceptResult res = net::accept_next(listen_fd_, 100);
+    switch (res.status) {
+      case net::AcceptStatus::kAccepted:
+        handle_connection(res.fd);
+        ::close(res.fd);
+        break;
+      case net::AcceptStatus::kTimeout:
+        break;
+      case net::AcceptStatus::kTransient:
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        break;
+      case net::AcceptStatus::kClosed:
+        return;
+    }
   }
 }
 
@@ -309,17 +293,8 @@ std::unique_ptr<MetricsHttpServer> maybe_serve_metrics(
 }
 
 std::string http_get_response(std::uint16_t port, const std::string& path) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = net::connect_loopback(port);
   if (fd < 0) return {};
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(fd);
-    return {};
-  }
   const std::string request =
       "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
   if (!send_all(fd, request)) {
@@ -329,8 +304,8 @@ std::string http_get_response(std::uint16_t port, const std::string& path) {
   std::string response;
   char buf[4096];
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf), 2000);
+    if (n <= 0) break;  // EOF, silence, or error: parse what we have
     response.append(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);

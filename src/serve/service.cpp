@@ -180,6 +180,10 @@ std::uint32_t EstimateService::cost_open(const EstimateRequest& request) {
   if (cost_active()) {
     CostLedger* ledger = CostLedger::active();
     if (ledger != nullptr) {
+      if (config_.cost_aggregate_contexts) {
+        return cost_open_aggregate(request.tenant, request.kind,
+                                   request.method, slo_class(request));
+      }
       QueryContext qc;
       qc.tenant = request.tenant;
       qc.query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
@@ -190,6 +194,35 @@ std::uint32_t EstimateService::cost_open(const EstimateRequest& request) {
     }
   }
   return 0;
+}
+
+std::uint32_t EstimateService::cost_open_aggregate(const std::string& tenant,
+                                                   QueryKind kind,
+                                                   EstimateMethod method,
+                                                   const std::string& cls) {
+  CostLedger* ledger = CostLedger::active();
+  if (ledger == nullptr) return 0;
+  // The table is bounded by tenants x classes x shapes regardless of
+  // request volume (kind/method ride along for callers like the refresher
+  // whose cls does not already encode them).
+  std::string key = tenant;
+  key += '\x1f';
+  key += cls;
+  key += '\x1f';
+  key += to_string(kind);
+  key += to_string(method);
+  std::lock_guard<std::mutex> lock(cost_agg_mutex_);
+  const auto it = cost_agg_.find(key);
+  if (it != cost_agg_.end()) return it->second;
+  QueryContext qc;
+  qc.tenant = tenant;
+  qc.query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  qc.kind = to_string(kind);
+  qc.method = to_string(method);
+  qc.slo_class = cls;
+  const std::uint32_t ctx = ledger->open(std::move(qc));
+  cost_agg_.emplace(std::move(key), ctx);
+  return ctx;
 }
 
 void EstimateService::resolve(std::promise<EstimateResponse>& promise,
@@ -659,14 +692,19 @@ std::size_t EstimateService::refresh_once() {
       // context so the ledger still reconciles to zero residue.
       CostLedger* ledger = CostLedger::active();
       if (ledger != nullptr) {
-        QueryContext qc;
-        qc.tenant = "(refresh)";
-        qc.query_id =
-            next_query_id_.fetch_add(1, std::memory_order_relaxed);
-        qc.kind = to_string(key.kind);
-        qc.method = to_string(key.method);
-        qc.slo_class = "refresh";
-        batch->cost_ctx = ledger->open(std::move(qc));
+        if (config_.cost_aggregate_contexts) {
+          batch->cost_ctx = cost_open_aggregate("(refresh)", key.kind,
+                                                key.method, "refresh");
+        } else {
+          QueryContext qc;
+          qc.tenant = "(refresh)";
+          qc.query_id =
+              next_query_id_.fetch_add(1, std::memory_order_relaxed);
+          qc.kind = to_string(key.kind);
+          qc.method = to_string(key.method);
+          qc.slo_class = "refresh";
+          batch->cost_ctx = ledger->open(std::move(qc));
+        }
       }
     }
     const std::uint64_t seq = next_seq_++;

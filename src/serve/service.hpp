@@ -44,6 +44,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/health/audit.hpp"
@@ -117,6 +118,15 @@ struct ServiceConfig {
   /// Deadline objective for the per-class SLO ledger (serve.slo.* family;
   /// classes are "<kind>.<method>.<deadline|besteffort>").
   SloPolicy slo;
+
+  /// Cost-ledger context granularity. false (default): one context per
+  /// admitted query — full per-query drill-down, but the ledger's context
+  /// table holds ~16k entries, so long-running services overflow it and
+  /// the overflow bills to the unattributed sink. true: one REUSED context
+  /// per (tenant, SLO class) — per-tenant accounting stays exact at any
+  /// request volume (million-request soaks), per-query granularity is
+  /// given up. Attribution totals reconcile to zero residue either way.
+  bool cost_aggregate_contexts = false;
 };
 
 class EstimateService {
@@ -229,6 +239,11 @@ class EstimateService {
   /// Opens a cost-ledger context for an admitted request (0 when no ledger
   /// is installed or the hooks are compiled out).
   std::uint32_t cost_open(const EstimateRequest& request);
+  /// Aggregated-context lookup (cost_aggregate_contexts): returns the one
+  /// reused context for (tenant, slo class), opening it on first sight.
+  std::uint32_t cost_open_aggregate(const std::string& tenant,
+                                    QueryKind kind, EstimateMethod method,
+                                    const std::string& cls);
   std::uint64_t retry_hint_locked() const;
   void release_steps_locked(const BatchPtr& batch);
   void update_gauges_locked();
@@ -255,6 +270,8 @@ class EstimateService {
 
   std::atomic<bool> warmed_{false};
   std::atomic<std::uint64_t> next_query_id_{1};  // cost-ledger query ids
+  std::mutex cost_agg_mutex_;  // guards cost_agg_ (aggregated contexts)
+  std::unordered_map<std::string, std::uint32_t> cost_agg_;
   Rng batch_seed_rng_;  // broker thread only (dispatch-order draws)
 
   std::condition_variable refresher_cv_;  // waits on mutex_

@@ -1,0 +1,170 @@
+// The acceptance-criterion identity test: for identical (seed, graph,
+// query sequence), responses served OVER THE SOCKET PROTOCOL are
+// bit-identical to responses served by a direct in-process
+// EstimateService — the wire adds transport, not arithmetic.
+//
+// Setup that makes bit-identity well-defined (mirroring the service's own
+// determinism contract): one shard, one connection, sequential requests
+// (so dispatch order matches submission order), the same master seed on
+// both sides, and a frozen injected clock (so age/latency stamps are zero
+// on both sides rather than wall-clock noise). Doubles are compared as
+// their IEEE-754 bit patterns, not with tolerances.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/service.hpp"
+#include "serve/source.hpp"
+
+namespace overcount::net {
+namespace {
+
+std::function<std::uint64_t()> frozen_clock() {
+  auto us = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return [us] { return us->load(std::memory_order_relaxed); };
+}
+
+ServiceConfig identity_config() {
+  ServiceConfig config;
+  config.threads = 2;
+  config.queue_capacity = 16;
+  config.lambda2_hint = 0.5;
+  config.seed = 20260809;
+  config.now_us = frozen_clock();
+  return config;
+}
+
+struct Query {
+  QueryKind kind;
+  EstimateMethod method;
+  double epsilon;
+};
+
+TEST(NetIdentity, SocketServedResponsesAreBitIdenticalToInProcess) {
+  const Graph g = complete(24);
+
+  // A mixed sequence with deliberate repeats (cache hits must match too)
+  // and both kinds and methods.
+  const std::vector<Query> queries = {
+      {QueryKind::kSize, EstimateMethod::kRandomTour, 0.30},
+      {QueryKind::kSize, EstimateMethod::kRandomTour, 0.30},       // hit
+      {QueryKind::kDegreeSum, EstimateMethod::kRandomTour, 0.40},
+      {QueryKind::kSize, EstimateMethod::kSampleCollide, 0.50},
+      {QueryKind::kSize, EstimateMethod::kRandomTour, 0.25},       // tighter
+      {QueryKind::kDegreeSum, EstimateMethod::kRandomTour, 0.40},  // hit
+      {QueryKind::kSize, EstimateMethod::kSampleCollide, 0.50},    // hit
+  };
+  constexpr double kDelta = 0.2;
+
+  // In-process reference: a fresh service, queried sequentially.
+  std::vector<EstimateResponse> reference;
+  {
+    EstimateService service(static_graph_source(g), identity_config());
+    for (const Query& q : queries) {
+      EstimateRequest req;
+      req.kind = q.kind;
+      req.method = q.method;
+      req.epsilon = q.epsilon;
+      req.delta = kDelta;
+      req.tenant = "identity";
+      reference.push_back(service.query(req));
+    }
+  }
+
+  // Socket-served: one shard, one connection, same seed and clock.
+  NetServerConfig config;
+  config.acceptors = 1;
+  config.shards = 1;
+  config.classes = {{"identity", 0.3, kDelta, 0, 1e9, 1e9}};
+  config.service = identity_config();
+  EstimateNetServer server(static_graph_source(g), config);
+
+  NetClient client;
+  ASSERT_TRUE(client.connect(server.port()));
+  auto welcome = client.hello("identity", 0);
+  ASSERT_TRUE(welcome.has_value());
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    RequestMsg req;
+    req.request_id = i + 1;
+    req.tenant_id = welcome->tenant_id;
+    req.kind = static_cast<std::uint8_t>(queries[i].kind);
+    req.method = static_cast<std::uint8_t>(queries[i].method);
+    req.flags = kReqAllowCached | kReqExplicitTarget;
+    req.epsilon = queries[i].epsilon;
+    req.delta = kDelta;
+    auto result = client.request(req);
+    ASSERT_TRUE(result.has_value()) << "query " << i;
+    ASSERT_FALSE(result->rejected) << "query " << i;
+    const ResponseMsg& wire = result->response;
+    const EstimateResponse& ref = reference[i];
+
+    EXPECT_EQ(wire.status, static_cast<std::uint8_t>(ref.status))
+        << "query " << i;
+    // Bit-exact estimate and half-width: memcmp-grade equality, NaN-safe.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(wire.value),
+              std::bit_cast<std::uint64_t>(ref.value))
+        << "query " << i << ": " << wire.value << " vs " << ref.value;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(wire.epsilon),
+              std::bit_cast<std::uint64_t>(ref.epsilon))
+        << "query " << i;
+    EXPECT_EQ(wire.walks, ref.walks) << "query " << i;
+    EXPECT_EQ(wire.graph_version, ref.graph_version) << "query " << i;
+    EXPECT_EQ((wire.flags & kRespCacheHit) != 0, ref.cache_hit)
+        << "query " << i;
+    EXPECT_EQ((wire.flags & kRespCoalesced) != 0, ref.coalesced)
+        << "query " << i;
+    // The frozen clock pins even the timing fields.
+    EXPECT_EQ(wire.age_us, ref.age_us) << "query " << i;
+    EXPECT_EQ(wire.latency_us, ref.latency_us) << "query " << i;
+  }
+}
+
+/// Two runs over the socket with the same seed are bit-identical to each
+/// other as well — the transport introduces no ordering nondeterminism for
+/// a sequential client.
+TEST(NetIdentity, RepeatedSocketRunsAreBitIdentical) {
+  const Graph g = complete(20);
+  auto run_once = [&g]() {
+    NetServerConfig config;
+    config.acceptors = 1;
+    config.shards = 1;
+    config.classes = {{"identity", 0.3, 0.2, 0, 1e9, 1e9}};
+    config.service = identity_config();
+    EstimateNetServer server(static_graph_source(g), config);
+    NetClient client;
+    EXPECT_TRUE(client.connect(server.port()));
+    auto welcome = client.hello("identity", 0);
+    EXPECT_TRUE(welcome.has_value());
+    std::vector<std::uint64_t> bits;
+    for (int i = 0; i < 4; ++i) {
+      RequestMsg req;
+      req.request_id = static_cast<std::uint64_t>(i + 1);
+      req.tenant_id = welcome->tenant_id;
+      req.kind = static_cast<std::uint8_t>(i % 2);
+      req.method = 0;
+      req.flags = kReqAllowCached | kReqExplicitTarget;
+      req.epsilon = 0.3 + 0.05 * static_cast<double>(i);
+      req.delta = 0.2;
+      auto result = client.request(req);
+      EXPECT_TRUE(result.has_value());
+      if (result && !result->rejected) {
+        bits.push_back(std::bit_cast<std::uint64_t>(result->response.value));
+        bits.push_back(result->response.walks);
+      }
+    }
+    return bits;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace overcount::net

@@ -1,0 +1,138 @@
+// Shared-socket-helper contract (src/net/socket.hpp), including the errno
+// policy the metrics exporter and the estimate front end both rely on:
+// EINTR is invisible, EMFILE surfaces as kTransient (back off, retry, the
+// pending connection survives in the kernel accept queue), and a closed
+// listener ends the loop instead of spinning.
+#include "net/socket.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+#include <vector>
+
+namespace overcount::net {
+namespace {
+
+struct Listener {
+  int fd = -1;
+  std::uint16_t port = 0;
+  Listener() {
+    fd = listen_loopback(0);
+    if (fd >= 0) port = bound_port(fd);
+  }
+  ~Listener() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+TEST(SocketHelpers, RoundTripAndEof) {
+  Listener listener;
+  ASSERT_GE(listener.fd, 0);
+  ASSERT_NE(listener.port, 0);
+
+  const int client = connect_loopback(listener.port);
+  ASSERT_GE(client, 0);
+  const AcceptResult accepted = accept_next(listener.fd, 1000);
+  ASSERT_EQ(accepted.status, AcceptStatus::kAccepted);
+  ASSERT_GE(accepted.fd, 0);
+
+  const std::string payload = "twelve bytes";
+  ASSERT_TRUE(send_all(client, payload.data(), payload.size()));
+  char buf[64];
+  std::string got;
+  while (got.size() < payload.size()) {
+    const ssize_t n = recv_some(accepted.fd, buf, sizeof(buf), 1000);
+    ASSERT_GT(n, 0);
+    got.append(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(got, payload);
+
+  // Quiet peer: timeout, not EOF, not error.
+  EXPECT_EQ(recv_some(accepted.fd, buf, sizeof(buf), 10), kRecvTimeout);
+
+  ::close(client);
+  EXPECT_EQ(recv_some(accepted.fd, buf, sizeof(buf), 1000), kRecvEof);
+  ::close(accepted.fd);
+}
+
+TEST(SocketHelpers, AcceptTimesOutWhenIdle) {
+  Listener listener;
+  ASSERT_GE(listener.fd, 0);
+  const AcceptResult res = accept_next(listener.fd, 10);
+  EXPECT_EQ(res.status, AcceptStatus::kTimeout);
+  EXPECT_EQ(res.fd, -1);
+}
+
+TEST(SocketHelpers, ClosedListenerReportsClosed) {
+  Listener listener;
+  ASSERT_GE(listener.fd, 0);
+  const int doomed = listener.fd;
+  ::close(doomed);
+  listener.fd = -1;
+  const AcceptResult res = accept_next(doomed, 10);
+  EXPECT_EQ(res.status, AcceptStatus::kClosed);
+}
+
+// The satellite fix pinned: exhausting the process fd table while a
+// connection is pending must surface as kTransient (EMFILE/ENFILE), not a
+// crash, a leak, or a silent drop — and once a descriptor frees, the SAME
+// pending connection is accepted, because the kernel kept it queued.
+TEST(SocketHelpers, FdExhaustionIsTransientAndLossless) {
+  Listener listener;
+  ASSERT_GE(listener.fd, 0);
+
+  // Complete a client handshake FIRST: it sits in the accept queue while
+  // the fd table is full.
+  const int client = connect_loopback(listener.port);
+  ASSERT_GE(client, 0);
+
+  rlimit original{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &original), 0);
+  rlimit tight = original;
+  tight.rlim_cur = 64;
+  if (tight.rlim_cur > original.rlim_max) tight.rlim_cur = original.rlim_max;
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  // Burn every remaining descriptor.
+  std::vector<int> hogs;
+  for (;;) {
+    const int fd = ::dup(listener.fd);
+    if (fd < 0) {
+      ASSERT_EQ(errno, EMFILE);
+      break;
+    }
+    hogs.push_back(fd);
+    ASSERT_LT(hogs.size(), 4096u) << "rlimit not effective";
+  }
+
+  const AcceptResult starved = accept_next(listener.fd, 1000);
+  EXPECT_EQ(starved.status, AcceptStatus::kTransient);
+  EXPECT_TRUE(starved.error == EMFILE || starved.error == ENFILE)
+      << "errno " << starved.error;
+  EXPECT_EQ(starved.fd, -1);
+
+  // Free one descriptor: the queued connection must now be accepted.
+  ASSERT_FALSE(hogs.empty());
+  ::close(hogs.back());
+  hogs.pop_back();
+  const AcceptResult recovered = accept_next(listener.fd, 1000);
+  EXPECT_EQ(recovered.status, AcceptStatus::kAccepted);
+  ASSERT_GE(recovered.fd, 0);
+
+  // Prove it is a live socket, not a stale descriptor.
+  const std::string ping = "x";
+  ASSERT_TRUE(send_all(client, ping.data(), ping.size()));
+  char buf[8];
+  EXPECT_EQ(recv_some(recovered.fd, buf, sizeof(buf), 1000), 1);
+
+  ::close(recovered.fd);
+  ::close(client);
+  for (const int fd : hogs) ::close(fd);
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &original), 0);
+}
+
+}  // namespace
+}  // namespace overcount::net

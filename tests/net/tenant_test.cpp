@@ -1,0 +1,193 @@
+// Tenant admission contract:
+//  (a) Hello registers / rebinds; requests from unknown tenants refuse;
+//  (b) the token bucket enforces rate + burst and its retry_after_us is
+//      the exact time until the next token matures (injected clock);
+//  (c) deficit round robin on top of the EDF DeadlineQueue keeps one
+//      flooding tenant from starving nine polite ones: per-tenant deadline
+//      hit-rates stay fair (Jain index >= 0.9, deterministic seedless
+//      simulation), while the same arrival pattern WITHOUT the DRR layer
+//      collapses to gross unfairness.
+#include "net/tenant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/deadline_queue.hpp"
+
+namespace overcount::net {
+namespace {
+
+TEST(TenantRegistry, HelloRegistersAndRebinds) {
+  TenantRegistry registry(default_slo_classes(), {});
+  const std::uint32_t id = registry.hello("acme", 0, 0);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(registry.hello("acme", 1, 0), id);  // re-Hello keeps the id...
+  ASSERT_NE(registry.spec_for(id), nullptr);
+  EXPECT_EQ(registry.spec_for(id)->name, "silver");  // ...rebinds the class
+  EXPECT_EQ(registry.name_for(id), "acme");
+  EXPECT_EQ(registry.hello("acme", 9, 0), 0u);  // unknown class
+  EXPECT_EQ(registry.hello("", 0, 0), 0u);      // empty name
+  EXPECT_EQ(registry.tenant_count(), 1u);
+}
+
+TEST(TenantRegistry, UnknownTenantRefused) {
+  TenantRegistry registry(default_slo_classes(), {});
+  const AdmitDecision d = registry.admit(12345, 0, false);
+  EXPECT_EQ(d.result, AdmitResult::kUnknownTenant);
+}
+
+TEST(TenantRegistry, TokenBucketRateAndExactRetryHint) {
+  // 10 req/s, burst 2, clock under test control.
+  TenantRegistry registry({{"c", 0.3, 0.2, 0, 10.0, 2.0}}, {});
+  const std::uint32_t id = registry.hello("t", 0, 0);
+  ASSERT_NE(id, 0u);
+
+  EXPECT_EQ(registry.admit(id, 0, false).result, AdmitResult::kAdmit);
+  EXPECT_EQ(registry.admit(id, 0, false).result, AdmitResult::kAdmit);
+  const AdmitDecision broke = registry.admit(id, 0, false);
+  EXPECT_EQ(broke.result, AdmitResult::kRateLimited);
+  // Bucket is exactly empty: one token at 10/s takes 100 ms.
+  EXPECT_EQ(broke.retry_after_us, 100'000u);
+
+  // 50 ms later: still half a token short -> hint shrinks to 50 ms.
+  EXPECT_EQ(registry.admit(id, 50'000, false).retry_after_us, 50'000u);
+  // At the promised instant the request is admitted.
+  EXPECT_EQ(registry.admit(id, 100'000, false).result, AdmitResult::kAdmit);
+  // Refill is capped at burst, not unbounded banking.
+  const AdmitDecision after_idle = registry.admit(id, 100'000'000, false);
+  EXPECT_EQ(after_idle.result, AdmitResult::kAdmit);
+  EXPECT_EQ(registry.admit(id, 100'000'000, false).result,
+            AdmitResult::kAdmit);
+  EXPECT_EQ(registry.admit(id, 100'000'000, false).result,
+            AdmitResult::kRateLimited);
+}
+
+TEST(TenantRegistry, FairShareOnlyBitesWhenSaturated) {
+  DrrConfig drr;
+  drr.quantum = 2.0;
+  drr.round_us = 1000;
+  TenantRegistry registry({{"c", 0.3, 0.2, 0, 1e6, 1e6}}, drr);
+  const std::uint32_t id = registry.hello("t", 0, 0);
+
+  // Unsaturated: everything is admitted, but the deficit still drains.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(registry.admit(id, 0, false).result, AdmitResult::kAdmit);
+  }
+  // Saturation arrives: the pre-drained tenant is immediately deferred,
+  // with a hint pointing at its next DRR round.
+  const AdmitDecision deferred = registry.admit(id, 0, true);
+  EXPECT_EQ(deferred.result, AdmitResult::kFairShare);
+  EXPECT_GT(deferred.retry_after_us, 0u);
+  EXPECT_LE(deferred.retry_after_us, drr.round_us);
+  // The next round restores one quantum of credit.
+  EXPECT_EQ(registry.admit(id, 1000, true).result, AdmitResult::kAdmit);
+  EXPECT_EQ(registry.admit(id, 1000, true).result, AdmitResult::kAdmit);
+  EXPECT_EQ(registry.admit(id, 1000, true).result, AdmitResult::kFairShare);
+}
+
+TEST(JainIndex, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_index({1, 1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({1, 0, 0, 0}), 0.25);  // 1/n
+  EXPECT_DOUBLE_EQ(jain_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_index({0, 0}), 1.0);
+}
+
+/// One adversarial-soak round-based simulation: 10 tenants share an EDF
+/// DeadlineQueue drained at `kServiceRate` items per round. Tenant 0
+/// floods kFloodOffered requests per round and (adversarially) always
+/// arrives first; tenants 1..9 offer kHonestOffered each. Returns the
+/// per-tenant fraction of offered requests served by their deadline.
+std::vector<double> run_fairness_sim(bool with_drr) {
+  constexpr int kTenants = 10;
+  constexpr int kRounds = 50;
+  constexpr int kFloodOffered = 100;
+  constexpr int kHonestOffered = 5;
+  constexpr std::size_t kServiceRate = 60;     // pops per round
+  constexpr std::size_t kQueueCapacity = 128;  // EDF queue bound
+  constexpr std::size_t kSaturatedAt = 40;     // DRR engages here
+  constexpr std::uint64_t kRoundUs = 10'000;
+  constexpr std::uint64_t kGraceRounds = 2;    // deadline = arrival + grace
+
+  DrrConfig drr;
+  drr.quantum = 8.0;
+  drr.round_us = kRoundUs;
+  // Token buckets sized out of the way: this test isolates the DRR layer.
+  TenantRegistry registry({{"c", 0.3, 0.2, 0, 1e9, 1e9}}, drr);
+  std::vector<std::uint32_t> ids;
+  for (int t = 0; t < kTenants; ++t) {
+    ids.push_back(registry.hello("tenant-" + std::to_string(t), 0, 0));
+  }
+
+  DeadlineQueue<int> queue(kQueueCapacity);
+  std::uint64_t seq = 0;
+  std::vector<double> offered(kTenants, 0.0);
+  std::vector<double> hits(kTenants, 0.0);
+
+  for (int round = 0; round < kRounds; ++round) {
+    const std::uint64_t now = static_cast<std::uint64_t>(round) * kRoundUs;
+    const std::uint64_t deadline = now + kGraceRounds * kRoundUs;
+    auto offer = [&](int tenant, int count) {
+      for (int i = 0; i < count; ++i) {
+        offered[static_cast<std::size_t>(tenant)] += 1.0;
+        const bool saturated = with_drr && queue.size() >= kSaturatedAt;
+        const AdmitDecision d =
+            registry.admit(ids[static_cast<std::size_t>(tenant)], now,
+                           saturated);
+        if (d.result != AdmitResult::kAdmit) continue;  // deferred: a miss
+        // Item encodes (tenant, arrival round) so the drain below can
+        // compare each pop against the item's OWN deadline. A full queue
+        // refusing the push is a miss too.
+        queue.try_push(tenant * kRounds + round, deadline, seq++);
+      }
+    };
+    offer(0, kFloodOffered);  // the flood arrives first, adversarially
+    for (int t = 1; t < kTenants; ++t) offer(t, kHonestOffered);
+
+    // Drain this round's service capacity in EDF order; a pop after the
+    // item's deadline is a scrub, not a hit.
+    const std::uint64_t served_at = now + kRoundUs;
+    for (std::size_t s = 0; s < kServiceRate && queue.size() > 0; ++s) {
+      auto item = queue.pop_earliest();
+      if (!item.has_value()) break;
+      const int tenant = *item / kRounds;
+      const int arrival_round = *item % kRounds;
+      const std::uint64_t item_deadline =
+          (static_cast<std::uint64_t>(arrival_round) + kGraceRounds) *
+          kRoundUs;
+      if (served_at <= item_deadline) {
+        hits[static_cast<std::size_t>(tenant)] += 1.0;
+      }
+    }
+  }
+  std::vector<double> rates(kTenants, 0.0);
+  for (int t = 0; t < kTenants; ++t) {
+    rates[static_cast<std::size_t>(t)] =
+        offered[static_cast<std::size_t>(t)] == 0.0
+            ? 0.0
+            : hits[static_cast<std::size_t>(t)] /
+                  offered[static_cast<std::size_t>(t)];
+  }
+  return rates;
+}
+
+TEST(DeadlineQueueFairness, FloodingTenantCannotStarveOthers) {
+  const std::vector<double> with_drr = run_fairness_sim(true);
+  const std::vector<double> without_drr = run_fairness_sim(false);
+  const double jain_with = jain_index(with_drr);
+  const double jain_without = jain_index(without_drr);
+
+  // Honest tenants keep essentially their whole service rate...
+  for (std::size_t t = 1; t < with_drr.size(); ++t) {
+    EXPECT_GE(with_drr[t], 0.9) << "tenant " << t << " starved";
+  }
+  // ...so fairness holds the pinned bar, while the no-DRR control shows
+  // the flood genuinely overwhelms this arrival pattern.
+  EXPECT_GE(jain_with, 0.9);
+  EXPECT_LT(jain_without, 0.6);
+  EXPECT_GT(jain_with, jain_without);
+}
+
+}  // namespace
+}  // namespace overcount::net
